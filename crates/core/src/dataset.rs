@@ -1,0 +1,344 @@
+//! Training-data generation: run scenario grids, label windows against
+//! baselines, and assemble per-server feature vectors into datasets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use qi_ml::data::Dataset;
+use qi_monitor::client::client_windows;
+use qi_monitor::features::{server_vector, FeatureConfig};
+use qi_monitor::server::server_windows;
+use qi_monitor::window::WindowConfig;
+use qi_pfs::config::ClusterConfig;
+use qi_pfs::ids::{AppId, DeviceId};
+use qi_pfs::ops::RunTrace;
+use qi_simkit::time::SimDuration;
+use qi_workloads::registry::WorkloadKind;
+
+use crate::labeling::{window_degradation, BaselineIndex, Bins};
+use crate::scenario::{InterferenceSpec, Scenario};
+
+/// Assemble, for every window in which `target` completed operations,
+/// the flattened per-server feature block (`n_devices × features`).
+pub fn window_vectors(
+    trace: &RunTrace,
+    target: AppId,
+    wcfg: WindowConfig,
+    fcfg: FeatureConfig,
+    n_devices: u32,
+) -> HashMap<u64, Vec<f32>> {
+    let cw = client_windows(trace, wcfg, n_devices);
+    let sw = server_windows(&trace.samples, wcfg);
+    let windows: Vec<u64> = cw
+        .keys()
+        .filter(|(app, _)| *app == target)
+        .map(|&(_, w)| w)
+        .collect();
+    let mut out = HashMap::with_capacity(windows.len());
+    for w in windows {
+        let client = cw.get(&(target, w));
+        let mut block = Vec::with_capacity(n_devices as usize * fcfg.len());
+        for d in 0..n_devices {
+            let dev = DeviceId(d);
+            let server = sw.get(&(dev, w));
+            block.extend(server_vector(fcfg, client, server, dev, wcfg.window));
+        }
+        out.insert(w, block);
+    }
+    out
+}
+
+/// Where a sample came from (kept alongside the dataset for analysis).
+#[derive(Clone, Debug)]
+pub struct SampleMeta {
+    /// Target workload.
+    pub target: WorkloadKind,
+    /// Interference source and instance count (`None` = baseline run).
+    pub noise: Option<(WorkloadKind, u32)>,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Window index within the run.
+    pub window: u64,
+    /// Raw degradation level before binning.
+    pub level: f64,
+}
+
+/// A generated dataset plus its provenance.
+pub struct GeneratedDataset {
+    /// Feature/label data ready for `qi_ml::train`.
+    pub data: Dataset,
+    /// Per-sample provenance, parallel to `data.y`.
+    pub meta: Vec<SampleMeta>,
+    /// Bin definition used for the labels.
+    pub bins: Bins,
+}
+
+impl GeneratedDataset {
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.bins.n_classes()];
+        for &l in &self.data.y {
+            c[l] += 1;
+        }
+        c
+    }
+}
+
+/// The scenario grid to run for a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Target workloads to measure.
+    pub targets: Vec<WorkloadKind>,
+    /// Interference workload kinds.
+    pub noise_kinds: Vec<WorkloadKind>,
+    /// Interference intensities (concurrent instances), e.g. `[1, 2, 3]`.
+    pub intensities: Vec<u32>,
+    /// Seeds; every (target, noise, intensity) combo runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Ranks of each target application.
+    pub target_ranks: u32,
+    /// Ranks of each interference instance.
+    pub noise_ranks: u32,
+    /// Cluster description.
+    pub cluster: ClusterConfig,
+    /// Monitor window length.
+    pub window: WindowConfig,
+    /// Feature blocks to include.
+    pub features: FeatureConfig,
+    /// Label bins.
+    pub bins: Bins,
+    /// Use reduced-scale workloads.
+    pub small: bool,
+    /// Per-run safety deadline.
+    pub deadline: SimDuration,
+    /// Also emit the baseline runs' windows (labelled by self-comparison,
+    /// i.e. level 1.0 → the lowest bin) as extra negatives.
+    pub include_baseline_windows: bool,
+}
+
+impl DatasetSpec {
+    /// A small, fast spec for tests and examples: a reduced grid that
+    /// still yields on the order of a hundred labelled windows.
+    pub fn smoke() -> Self {
+        DatasetSpec {
+            targets: vec![WorkloadKind::IorEasyRead, WorkloadKind::MdtHardWrite],
+            noise_kinds: vec![WorkloadKind::IorEasyWrite, WorkloadKind::IorEasyRead],
+            intensities: vec![1, 2],
+            seeds: vec![1, 2, 3],
+            target_ranks: 2,
+            noise_ranks: 2,
+            cluster: ClusterConfig::small(),
+            window: WindowConfig::seconds(1),
+            features: FeatureConfig::default(),
+            bins: Bins::binary(),
+            small: true,
+            deadline: SimDuration::from_secs(900),
+            include_baseline_windows: true,
+        }
+    }
+
+    fn scenario(&self, target: WorkloadKind, seed: u64) -> Scenario {
+        Scenario {
+            target,
+            target_ranks: self.target_ranks,
+            interference: Vec::new(),
+            cluster: self.cluster.clone(),
+            seed,
+            deadline: self.deadline,
+            small: self.small,
+            warmup: if self.small {
+                SimDuration::from_secs(3)
+            } else {
+                SimDuration::from_secs(6)
+            },
+            noise_throttle: None,
+        }
+    }
+
+    /// Number of interfered runs the grid will execute.
+    pub fn n_runs(&self) -> usize {
+        self.targets.len() * self.noise_kinds.len() * self.intensities.len() * self.seeds.len()
+    }
+}
+
+/// Per-run harvest: feature blocks, labels, and provenance.
+type RunSamples = (Vec<Vec<f32>>, Vec<usize>, Vec<SampleMeta>);
+
+/// Run the grid (in parallel) and build the labelled dataset.
+pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
+    let n_devices = spec.cluster.n_devices();
+
+    // 1. Baselines, one per (target, seed), in parallel.
+    let base_keys: Vec<(WorkloadKind, u64)> = spec
+        .targets
+        .iter()
+        .flat_map(|&t| spec.seeds.iter().map(move |&s| (t, s)))
+        .collect();
+    let baselines: HashMap<(WorkloadKind, u64), (AppId, Arc<RunTrace>)> = base_keys
+        .par_iter()
+        .map(|&(t, s)| {
+            let (app, trace) = spec.scenario(t, s).run();
+            assert!(
+                trace.completion_of(app).is_some(),
+                "baseline {t} (seed {s}) hit the deadline"
+            );
+            ((t, s), (app, Arc::new(trace)))
+        })
+        .collect();
+
+    // 2. Interfered runs.
+    let mut combos: Vec<(WorkloadKind, WorkloadKind, u32, u64)> = Vec::new();
+    for &t in &spec.targets {
+        for &n in &spec.noise_kinds {
+            for &i in &spec.intensities {
+                for &s in &spec.seeds {
+                    combos.push((t, n, i, s));
+                }
+            }
+        }
+    }
+    let mut per_run: Vec<RunSamples> = combos
+        .par_iter()
+        .map(|&(target, noise, intensity, seed)| {
+            let scenario = spec
+                .scenario(target, seed)
+                .with_interference(InterferenceSpec {
+                    kind: noise,
+                    instances: intensity,
+                    ranks: spec.noise_ranks,
+                });
+            let (app, trace) = scenario.run();
+            let (base_app, base) = &baselines[&(target, seed)];
+            debug_assert_eq!(*base_app, app);
+            let idx = BaselineIndex::new(base, app);
+            collect_samples(
+                spec,
+                &trace,
+                app,
+                &idx,
+                n_devices,
+                target,
+                Some((noise, intensity)),
+                seed,
+            )
+        })
+        .collect();
+
+    // 3. Baseline windows as extra lowest-bin samples.
+    if spec.include_baseline_windows {
+        let extra: Vec<_> = baselines
+            .par_iter()
+            .map(|(&(target, seed), (app, trace))| {
+                let idx = BaselineIndex::new(trace, *app);
+                collect_samples(spec, trace, *app, &idx, n_devices, target, None, seed)
+            })
+            .collect();
+        per_run.extend(extra);
+    }
+
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    let mut meta = Vec::new();
+    for (s, l, m) in per_run {
+        samples.extend(s);
+        labels.extend(l);
+        meta.extend(m);
+    }
+    assert!(!samples.is_empty(), "dataset grid produced no samples");
+    GeneratedDataset {
+        data: Dataset::from_samples(samples, labels, n_devices as usize),
+        meta,
+        bins: spec.bins.clone(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_samples(
+    spec: &DatasetSpec,
+    trace: &RunTrace,
+    app: AppId,
+    baseline: &BaselineIndex,
+    n_devices: u32,
+    target: WorkloadKind,
+    noise: Option<(WorkloadKind, u32)>,
+    seed: u64,
+) -> RunSamples {
+    let levels = window_degradation(baseline, trace, app, spec.window);
+    let vectors = window_vectors(trace, app, spec.window, spec.features, n_devices);
+    let mut windows: Vec<u64> = levels.keys().copied().collect();
+    windows.sort_unstable();
+    let mut xs = Vec::with_capacity(windows.len());
+    let mut ys = Vec::with_capacity(windows.len());
+    let mut ms = Vec::with_capacity(windows.len());
+    for w in windows {
+        let Some(v) = vectors.get(&w) else { continue };
+        let level = levels[&w];
+        xs.push(v.clone());
+        ys.push(spec.bins.classify(level));
+        ms.push(SampleMeta {
+            target,
+            noise,
+            seed,
+            window: w,
+            level,
+        });
+    }
+    (xs, ys, ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_generates_balanced_dataset() {
+        let spec = DatasetSpec::smoke();
+        let gen = generate(&spec);
+        assert!(gen.data.len() >= 8, "only {} samples", gen.data.len());
+        assert_eq!(gen.meta.len(), gen.data.len());
+        assert_eq!(gen.data.n_servers, spec.cluster.n_devices() as usize);
+        assert_eq!(gen.data.n_features(), spec.features.len());
+        let counts = gen.class_counts();
+        // Baseline windows guarantee class 0; interference should create
+        // at least some class-1 windows.
+        assert!(counts[0] > 0, "no negative windows: {counts:?}");
+        assert!(counts[1] > 0, "no positive windows: {counts:?}");
+    }
+
+    #[test]
+    fn baseline_windows_are_lowest_bin() {
+        let mut spec = DatasetSpec::smoke();
+        spec.noise_kinds = vec![];
+        spec.intensities = vec![];
+        spec.include_baseline_windows = true;
+        let gen = generate(&spec);
+        assert!(gen.data.y.iter().all(|&y| y == 0));
+        assert!(gen
+            .meta
+            .iter()
+            .all(|m| m.noise.is_none() && (m.level - 1.0).abs() < 0.2));
+    }
+
+    #[test]
+    fn window_vectors_align_with_degradation_windows() {
+        let spec = DatasetSpec::smoke();
+        let scenario = spec.scenario(WorkloadKind::IorEasyRead, 1);
+        let (app, trace) = scenario.run();
+        let vecs = window_vectors(
+            &trace,
+            app,
+            spec.window,
+            spec.features,
+            spec.cluster.n_devices(),
+        );
+        assert!(!vecs.is_empty());
+        for v in vecs.values() {
+            assert_eq!(
+                v.len(),
+                spec.cluster.n_devices() as usize * spec.features.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Ground-truth labelling (paper §III-D).
+//!
+//! The degradation level of a time window is the average, over the
+//! target's operations completing in that window, of
+//! `iotime_interfered / iotime_baseline`, where the baseline duration of
+//! an operation is looked up by its `(rank, sequence)` identity from the
+//! standalone execution. Levels are then bucketed into severity bins
+//! (binary `<2 / >=2`, or the mild/moderate/severe 3-bin split of Fig. 4).
+
+use std::collections::HashMap;
+
+use qi_monitor::window::WindowConfig;
+use qi_pfs::ids::AppId;
+use qi_pfs::ops::RunTrace;
+
+/// Severity bin thresholds, ascending. `n+1` bins for `n` thresholds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bins(pub Vec<f64>);
+
+impl Bins {
+    /// The paper's binary split at 2×.
+    pub fn binary() -> Self {
+        Bins(vec![2.0])
+    }
+
+    /// The paper's 3-class split (mild < 2×, moderate 2-5×, severe ≥ 5×),
+    /// after Lu et al. (Perseus).
+    pub fn three_class() -> Self {
+        Bins(vec![2.0, 5.0])
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.0.len() + 1
+    }
+
+    /// Bin index of a degradation level.
+    pub fn classify(&self, level: f64) -> usize {
+        self.0.iter().take_while(|&&t| level >= t).count()
+    }
+
+    /// Human-readable bin labels.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.n_classes());
+        let mut lo: Option<f64> = None;
+        for &t in &self.0 {
+            out.push(match lo {
+                None => format!("<{t}x"),
+                Some(l) => format!("{l}-{t}x"),
+            });
+            lo = Some(t);
+        }
+        out.push(format!(">={}x", lo.unwrap_or(0.0)));
+        out
+    }
+}
+
+/// Baseline operation durations, keyed by `(rank, seq)`.
+pub struct BaselineIndex {
+    durations: HashMap<(u32, u64), f64>,
+}
+
+impl BaselineIndex {
+    /// Index the target's operations from a baseline trace.
+    pub fn new(baseline: &RunTrace, target: AppId) -> Self {
+        let durations = baseline
+            .ops_of(target)
+            .map(|o| ((o.token.rank, o.token.seq), o.duration().as_secs_f64()))
+            .collect();
+        BaselineIndex { durations }
+    }
+
+    /// Number of indexed operations.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// True when no operation was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Baseline duration of one operation, if it was matched.
+    pub fn duration_of(&self, rank: u32, seq: u64) -> Option<f64> {
+        self.durations.get(&(rank, seq)).copied()
+    }
+}
+
+/// Per-window degradation level of `target` in the interfered `run`.
+///
+/// Returns `window index → level`. Windows where the target completed no
+/// matched operation are absent. Baseline durations below `min_base`
+/// (numerical floor) are clamped.
+pub fn window_degradation(
+    baseline: &BaselineIndex,
+    run: &RunTrace,
+    target: AppId,
+    wcfg: WindowConfig,
+) -> HashMap<u64, f64> {
+    const MIN_BASE: f64 = 1e-7;
+    let mut acc: HashMap<u64, (f64, u64)> = HashMap::new();
+    for op in run.ops_of(target) {
+        let Some(base) = baseline.duration_of(op.token.rank, op.token.seq) else {
+            continue;
+        };
+        let ratio = op.duration().as_secs_f64() / base.max(MIN_BASE);
+        let w = wcfg.index_of(op.completed);
+        let cell = acc.entry(w).or_insert((0.0, 0));
+        cell.0 += ratio;
+        cell.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(w, (sum, n))| (w, sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_pfs::ids::OpToken;
+    use qi_pfs::ops::{OpKind, OpRecord};
+    use qi_simkit::time::SimTime;
+
+    fn op(app: u32, rank: u32, seq: u64, issued_ms: u64, completed_ms: u64) -> OpRecord {
+        OpRecord {
+            token: OpToken {
+                app: AppId(app),
+                rank,
+                seq,
+            },
+            kind: OpKind::Read,
+            bytes: 1,
+            issued: SimTime::from_millis(issued_ms),
+            completed: SimTime::from_millis(completed_ms),
+        }
+    }
+
+    #[test]
+    fn bins_classify_levels() {
+        let b = Bins::binary();
+        assert_eq!(b.n_classes(), 2);
+        assert_eq!(b.classify(1.0), 0);
+        assert_eq!(b.classify(1.99), 0);
+        assert_eq!(b.classify(2.0), 1);
+        assert_eq!(b.classify(50.0), 1);
+        let t = Bins::three_class();
+        assert_eq!(t.n_classes(), 3);
+        assert_eq!(t.classify(1.5), 0);
+        assert_eq!(t.classify(3.0), 1);
+        assert_eq!(t.classify(5.0), 2);
+    }
+
+    #[test]
+    fn bin_labels_are_readable() {
+        assert_eq!(Bins::binary().labels(), vec!["<2x", ">=2x"]);
+        assert_eq!(Bins::three_class().labels(), vec!["<2x", "2-5x", ">=5x"]);
+    }
+
+    #[test]
+    fn degradation_is_mean_ratio_per_window() {
+        let mut base = RunTrace::default();
+        // Two ops, both 10 ms in the baseline.
+        base.ops.push(op(0, 0, 0, 0, 10));
+        base.ops.push(op(0, 0, 1, 10, 20));
+        let idx = BaselineIndex::new(&base, AppId(0));
+        assert_eq!(idx.len(), 2);
+
+        let mut run = RunTrace::default();
+        // Interfered: 30 ms and 10 ms, both completing in window 0.
+        run.ops.push(op(0, 0, 0, 0, 30));
+        run.ops.push(op(0, 0, 1, 100, 110));
+        let lv = window_degradation(&idx, &run, AppId(0), WindowConfig::seconds(1));
+        assert_eq!(lv.len(), 1);
+        // Ratios 3.0 and 1.0 → mean 2.0.
+        assert!((lv[&0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_split_by_completion_time() {
+        let mut base = RunTrace::default();
+        base.ops.push(op(0, 0, 0, 0, 10));
+        base.ops.push(op(0, 0, 1, 0, 10));
+        let idx = BaselineIndex::new(&base, AppId(0));
+        let mut run = RunTrace::default();
+        run.ops.push(op(0, 0, 0, 0, 500));
+        run.ops.push(op(0, 0, 1, 1000, 1500));
+        let lv = window_degradation(&idx, &run, AppId(0), WindowConfig::seconds(1));
+        assert_eq!(lv.len(), 2);
+        assert!((lv[&0] - 50.0).abs() < 1e-9);
+        assert!((lv[&1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_ops_are_ignored() {
+        let base = RunTrace::default();
+        let idx = BaselineIndex::new(&base, AppId(0));
+        assert!(idx.is_empty());
+        let mut run = RunTrace::default();
+        run.ops.push(op(0, 0, 0, 0, 10));
+        let lv = window_degradation(&idx, &run, AppId(0), WindowConfig::seconds(1));
+        assert!(lv.is_empty());
+    }
+
+    #[test]
+    fn other_apps_do_not_leak() {
+        let mut base = RunTrace::default();
+        base.ops.push(op(0, 0, 0, 0, 10));
+        base.ops.push(op(1, 0, 0, 0, 10));
+        let idx = BaselineIndex::new(&base, AppId(0));
+        assert_eq!(idx.len(), 1);
+        let mut run = RunTrace::default();
+        run.ops.push(op(1, 0, 0, 0, 99));
+        let lv = window_degradation(&idx, &run, AppId(0), WindowConfig::seconds(1));
+        assert!(lv.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # quanterference
+//!
+//! The framework of *"Understanding and Predicting Cross-Application I/O
+//! Interference in HPC Storage Systems"* (SC 2024), reproduced end to
+//! end over a simulated Lustre-like cluster:
+//!
+//! 1. [`scenario`] — run a target workload alone and under controlled
+//!    background interference on disjoint client nodes.
+//! 2. [`labeling`] — match operations between the two executions and
+//!    compute per-window degradation levels (`§III-D`), bucketed into
+//!    severity bins.
+//! 3. [`dataset`] — sweep a scenario grid (targets × interference kinds ×
+//!    intensities × seeds, in parallel) and assemble labelled per-server
+//!    feature vectors.
+//! 4. [`predict`] — train the kernel-based network and serve window-level
+//!    interference predictions.
+//!
+//! ```no_run
+//! use quanterference::prelude::*;
+//!
+//! // Generate a small labelled dataset, train, evaluate (Fig. 3 shape).
+//! let spec = DatasetSpec::smoke();
+//! let tcfg = TrainConfig::default();
+//! let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 42);
+//! println!("{}", report.render());
+//! println!("F1 = {:.3} on {} test windows", report.headline_f1(), report.test_size);
+//! # let _ = (dataset, predictor.bin_labels());
+//! ```
+
+pub mod dataset;
+pub mod experiments;
+pub mod importance;
+pub mod labeling;
+pub mod mitigation;
+pub mod predict;
+pub mod report;
+pub mod scenario;
+
+/// Common imports for framework users.
+pub mod prelude {
+    pub use crate::dataset::{generate, window_vectors, DatasetSpec, GeneratedDataset, SampleMeta};
+    pub use crate::experiments::{fig_one_a, fig_one_b, table_one, FigOneConfig, TableOneConfig};
+    pub use crate::importance::{permutation_importance, FeatureImportance};
+    pub use crate::labeling::{window_degradation, BaselineIndex, Bins};
+    pub use crate::mitigation::{
+        prediction_guided_throttling, uniform_tbf_throttling, MitigationOutcome,
+    };
+    pub use crate::predict::{family_spec, train_and_evaluate, EvalReport, Predictor};
+    pub use crate::report::{summarize, RunReport};
+    pub use crate::scenario::{completion_slowdown, target_duration, InterferenceSpec, Scenario};
+    pub use qi_ml::train::TrainConfig;
+    pub use qi_monitor::features::FeatureConfig;
+    pub use qi_monitor::window::WindowConfig;
+    pub use qi_workloads::registry::WorkloadKind;
+}
+
+pub use prelude::*;

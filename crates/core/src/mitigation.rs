@@ -1,0 +1,262 @@
+//! Prediction-guided interference mitigation — the use case the paper
+//! motivates ("with such a capability, users can develop more effective
+//! methods to mitigate such impacts", §II-B) but leaves to future work.
+//!
+//! The loop: run the target under interference once, let the trained
+//! predictor flag the windows whose degradation bin is at or above a
+//! threshold, turn those windows into a [`ThrottleSchedule`], and replay
+//! the scenario with the interference rate-limited during exactly those
+//! windows (a token-bucket-style actuation, after Qian et al.'s TBF
+//! scheduler which the paper cites as mitigation machinery). The outcome
+//! quantifies both sides of the trade: how much the target recovered and
+//! how much interference throughput the throttling cost.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use qi_pfs::ids::AppId;
+use qi_pfs::ops::RunTrace;
+use qi_workloads::common::ThrottleSchedule;
+
+use crate::predict::Predictor;
+use crate::scenario::{target_duration, Scenario};
+
+/// What prediction-guided throttling achieved on one scenario.
+#[derive(Clone, Debug)]
+pub struct MitigationOutcome {
+    /// Target duration with no interference at all (the ideal), seconds.
+    pub baseline_s: f64,
+    /// Target duration under unmitigated interference, seconds.
+    pub unmitigated_s: f64,
+    /// Target duration with prediction-guided throttling, seconds.
+    pub mitigated_s: f64,
+    /// Windows the predictor flagged (and the schedule throttled).
+    pub throttled_windows: HashSet<u64>,
+    /// Interference operations completed without mitigation.
+    pub noise_ops_unmitigated: usize,
+    /// Interference operations completed with mitigation (its cost).
+    pub noise_ops_mitigated: usize,
+}
+
+impl MitigationOutcome {
+    /// Fraction of the interference-induced slowdown removed:
+    /// 1.0 = target fully recovered its baseline, 0.0 = no effect.
+    pub fn recovered_fraction(&self) -> f64 {
+        let hurt = self.unmitigated_s - self.baseline_s;
+        if hurt <= 0.0 {
+            return 0.0;
+        }
+        ((self.unmitigated_s - self.mitigated_s) / hurt).clamp(-1.0, 1.0)
+    }
+
+    /// Fraction of interference throughput lost to the throttle.
+    pub fn noise_cost_fraction(&self) -> f64 {
+        if self.noise_ops_unmitigated == 0 {
+            return 0.0;
+        }
+        1.0 - self.noise_ops_mitigated as f64 / self.noise_ops_unmitigated as f64
+    }
+}
+
+fn noise_ops(trace: &RunTrace, target: AppId) -> usize {
+    trace.ops.iter().filter(|o| o.token.app != target).count()
+}
+
+/// Run the predict→throttle→replay loop on `scenario` (which must have
+/// interference configured). `min_bin` is the severity bin at which the
+/// throttle engages (1 = every window predicted ≥2x).
+pub fn prediction_guided_throttling(
+    scenario: &Scenario,
+    predictor: &mut Predictor,
+    min_bin: usize,
+) -> MitigationOutcome {
+    assert!(
+        !scenario.interference.is_empty(),
+        "mitigation needs interference to mitigate"
+    );
+    // Ideal and unmitigated executions.
+    let (app, baseline) = scenario.run_baseline();
+    let (_, unmitigated) = scenario.run();
+    let baseline_s = target_duration(&baseline, app)
+        .expect("baseline completed")
+        .as_secs_f64();
+    let unmitigated_s = target_duration(&unmitigated, app)
+        .expect("target completed")
+        .as_secs_f64();
+
+    // Predict per window and build the throttle plan.
+    let predictions = predictor.predict_run(&unmitigated, app);
+    let throttled_windows: HashSet<u64> = predictions
+        .iter()
+        .filter(|(_, bin)| *bin >= min_bin)
+        .map(|(w, _)| *w)
+        .collect();
+
+    // Replay with the interference rate-limited in those windows.
+    let mut mitigated_scenario = scenario.clone();
+    mitigated_scenario.noise_throttle = Some(Arc::new(ThrottleSchedule::new(
+        predictor.window_config().window,
+        throttled_windows.clone(),
+    )));
+    let (_, mitigated) = mitigated_scenario.run();
+    let mitigated_s = target_duration(&mitigated, app)
+        .expect("mitigated target completed")
+        .as_secs_f64();
+
+    MitigationOutcome {
+        baseline_s,
+        unmitigated_s,
+        mitigated_s,
+        throttled_windows,
+        noise_ops_unmitigated: noise_ops(&unmitigated, app),
+        noise_ops_mitigated: noise_ops(&mitigated, app),
+    }
+}
+
+/// Uniform server-side TBF baseline: rate-limit every interference
+/// application's data path to `bytes_per_sec` for the WHOLE run — the
+/// "uniform treatment" the paper calls inefficient (§II-A). Returns the
+/// same outcome shape as the prediction-guided loop so the two can be
+/// compared directly.
+pub fn uniform_tbf_throttling(scenario: &Scenario, bytes_per_sec: f64) -> MitigationOutcome {
+    assert!(!scenario.interference.is_empty());
+    let (app, baseline) = scenario.run_baseline();
+    let (_, unmitigated) = scenario.run();
+    let baseline_s = target_duration(&baseline, app)
+        .expect("baseline completed")
+        .as_secs_f64();
+    let unmitigated_s = target_duration(&unmitigated, app)
+        .expect("target completed")
+        .as_secs_f64();
+    let n_noise_apps: u32 = scenario.interference.iter().map(|i| i.instances).sum();
+    let (_, mitigated) = scenario.run_with(|cl| {
+        for a in 1..=n_noise_apps {
+            cl.set_app_rate_limit(qi_pfs::ids::AppId(a), bytes_per_sec);
+        }
+    });
+    let mitigated_s = target_duration(&mitigated, app)
+        .expect("mitigated target completed")
+        .as_secs_f64();
+    MitigationOutcome {
+        baseline_s,
+        unmitigated_s,
+        mitigated_s,
+        throttled_windows: HashSet::new(),
+        noise_ops_unmitigated: noise_ops(&unmitigated, app),
+        noise_ops_mitigated: noise_ops(&mitigated, app),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use crate::predict::train_and_evaluate;
+    use crate::scenario::InterferenceSpec;
+    use crate::{TrainConfig, WorkloadKind};
+    use qi_pfs::config::ClusterConfig;
+
+    #[test]
+    fn throttling_recovers_target_performance() {
+        // Train a quick model on the smoke grid.
+        let mut spec = DatasetSpec::smoke();
+        spec.seeds = (1..=4).collect();
+        let tcfg = TrainConfig {
+            epochs: 15,
+            ..TrainConfig::default()
+        };
+        let (_, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 3);
+
+        // A read-vs-read scenario where mitigation has room to help.
+        let scenario = Scenario {
+            cluster: ClusterConfig::small(),
+            small: true,
+            target_ranks: 2,
+            ..Scenario::baseline(WorkloadKind::IorEasyRead, 55)
+        }
+        .with_interference(InterferenceSpec {
+            kind: WorkloadKind::IorEasyRead,
+            instances: 2,
+            ranks: 2,
+        });
+        let outcome = prediction_guided_throttling(&scenario, &mut predictor, 1);
+        assert!(outcome.unmitigated_s > outcome.baseline_s);
+        // Whatever the model flags, the mitigated run must not be slower
+        // than the unmitigated one (throttling can only help the target).
+        assert!(
+            outcome.mitigated_s <= outcome.unmitigated_s * 1.05,
+            "mitigation hurt the target: {outcome:?}"
+        );
+        // And if any window was throttled, the interference paid for it.
+        if !outcome.throttled_windows.is_empty() {
+            assert!(
+                outcome.noise_ops_mitigated <= outcome.noise_ops_unmitigated,
+                "{outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_tbf_helps_the_target_but_taxes_the_noise() {
+        let scenario = Scenario {
+            cluster: ClusterConfig::small(),
+            small: true,
+            target_ranks: 2,
+            ..Scenario::baseline(WorkloadKind::IorEasyWrite, 57)
+        }
+        .with_interference(InterferenceSpec {
+            kind: WorkloadKind::IorEasyWrite,
+            instances: 2,
+            ranks: 2,
+        });
+        let outcome = uniform_tbf_throttling(&scenario, 5.0e6);
+        assert!(outcome.unmitigated_s > outcome.baseline_s);
+        assert!(
+            outcome.mitigated_s < outcome.unmitigated_s,
+            "uniform TBF did not help: {outcome:?}"
+        );
+        assert!(
+            outcome.noise_cost_fraction() > 0.1,
+            "uniform TBF should visibly tax the noise: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn full_throttle_recovers_most_of_the_slowdown() {
+        // With a perfect oracle (throttle every window), the target must
+        // recover the bulk of its lost performance — an upper bound on
+        // what prediction-guided throttling can deliver.
+        let scenario = Scenario {
+            cluster: ClusterConfig::small(),
+            small: true,
+            target_ranks: 2,
+            ..Scenario::baseline(WorkloadKind::IorEasyRead, 56)
+        }
+        .with_interference(InterferenceSpec {
+            kind: WorkloadKind::IorEasyRead,
+            instances: 2,
+            ranks: 2,
+        });
+        let (app, baseline) = scenario.run_baseline();
+        let (_, unmitigated) = scenario.run();
+        let base = target_duration(&baseline, app).expect("done").as_secs_f64();
+        let hurt = target_duration(&unmitigated, app)
+            .expect("done")
+            .as_secs_f64();
+        assert!(hurt > base * 1.2, "scenario not interfered enough");
+
+        let mut all = scenario.clone();
+        all.noise_throttle = Some(Arc::new(ThrottleSchedule::new(
+            qi_simkit::SimDuration::from_secs(1),
+            (0..10_000u64).collect(),
+        )));
+        let (_, mitigated) = all.run();
+        let fixed = target_duration(&mitigated, app)
+            .expect("done")
+            .as_secs_f64();
+        assert!(
+            (fixed - base) < 0.5 * (hurt - base),
+            "oracle throttle recovered too little: base {base} hurt {hurt} fixed {fixed}"
+        );
+    }
+}

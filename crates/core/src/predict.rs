@@ -1,0 +1,251 @@
+//! The deployed-model facade: after offline training, the training
+//! server keeps receiving window metrics and answers "how much slowdown
+//! is this application about to experience?" (paper §III-C, deployment).
+
+use std::collections::HashMap;
+
+use qi_ml::data::Dataset;
+use qi_ml::matrix::Matrix;
+use qi_ml::train::TrainedModel;
+use qi_monitor::features::FeatureConfig;
+use qi_monitor::window::WindowConfig;
+use qi_pfs::ids::AppId;
+use qi_pfs::ops::RunTrace;
+use qi_workloads::registry::WorkloadKind;
+
+use crate::dataset::{generate, window_vectors, DatasetSpec, GeneratedDataset};
+use crate::labeling::Bins;
+
+/// A trained interference predictor bound to its monitoring config.
+pub struct Predictor {
+    model: TrainedModel,
+    window: WindowConfig,
+    features: FeatureConfig,
+    n_devices: u32,
+    bins: Bins,
+}
+
+impl Predictor {
+    /// Wrap a trained model with the monitoring configuration it was
+    /// trained under.
+    pub fn new(
+        model: TrainedModel,
+        window: WindowConfig,
+        features: FeatureConfig,
+        n_devices: u32,
+        bins: Bins,
+    ) -> Self {
+        Predictor {
+            model,
+            window,
+            features,
+            n_devices,
+            bins,
+        }
+    }
+
+    /// Severity-bin labels ("<2x", ">=2x", …).
+    pub fn bin_labels(&self) -> Vec<String> {
+        self.bins.labels()
+    }
+
+    /// The window configuration the model was trained under.
+    pub fn window_config(&self) -> WindowConfig {
+        self.window
+    }
+
+    /// Predict the severity bin for one assembled feature block
+    /// (`n_devices × n_features`, flattened row-major).
+    pub fn predict_block(&mut self, block: &[f32]) -> usize {
+        let f = self.features.len();
+        assert_eq!(block.len(), self.n_devices as usize * f, "block shape");
+        let m = Matrix::from_vec(self.n_devices as usize, f, block.to_vec());
+        self.model.predict_one(&m)
+    }
+
+    /// Predict every window of a finished run's target application.
+    /// Returns `window index → predicted bin`, sorted by window.
+    pub fn predict_run(&mut self, trace: &RunTrace, target: AppId) -> Vec<(u64, usize)> {
+        let vectors = window_vectors(trace, target, self.window, self.features, self.n_devices);
+        let mut windows: Vec<u64> = vectors.keys().copied().collect();
+        windows.sort_unstable();
+        windows
+            .into_iter()
+            .map(|w| (w, self.predict_block(&vectors[&w])))
+            .collect()
+    }
+
+    /// Compare predictions against ground-truth degradation levels.
+    /// Returns `(window, predicted bin, true bin)` for labelled windows.
+    pub fn score_run(
+        &mut self,
+        trace: &RunTrace,
+        target: AppId,
+        truth: &HashMap<u64, f64>,
+    ) -> Vec<(u64, usize, usize)> {
+        self.predict_run(trace, target)
+            .into_iter()
+            .filter_map(|(w, pred)| truth.get(&w).map(|&lv| (w, pred, self.bins.classify(lv))))
+            .collect()
+    }
+}
+
+/// End-to-end evaluation report for one dataset (what each of the
+/// paper's Figures 3-5 shows for one workload family).
+pub struct EvalReport {
+    /// Training-set size (samples).
+    pub train_size: usize,
+    /// Test-set size (samples).
+    pub test_size: usize,
+    /// Training-set class counts.
+    pub train_counts: Vec<usize>,
+    /// Test-set class counts.
+    pub test_counts: Vec<usize>,
+    /// Confusion matrix on the held-out test set.
+    pub cm: qi_ml::metrics::ConfusionMatrix,
+    /// Bin labels for rendering.
+    pub labels: Vec<String>,
+}
+
+impl EvalReport {
+    /// Positive-class F1 (binary) or macro-F1 (multi-class).
+    pub fn headline_f1(&self) -> f64 {
+        if self.cm.n_classes() == 2 {
+            self.cm.f1_positive()
+        } else {
+            self.cm.macro_f1()
+        }
+    }
+
+    /// Render the confusion matrix with its labels.
+    pub fn render(&self) -> String {
+        let labels: Vec<&str> = self.labels.iter().map(String::as_str).collect();
+        self.cm.render(&labels)
+    }
+}
+
+/// Generate a dataset from `spec`, train with `tcfg` on an 80/20 split,
+/// and evaluate — the full Figure 3/4/5 pipeline for one family.
+pub fn train_and_evaluate(
+    spec: &DatasetSpec,
+    tcfg: &qi_ml::train::TrainConfig,
+    split_seed: u64,
+) -> (GeneratedDataset, Predictor, EvalReport) {
+    let gen = generate(spec);
+    let (train_set, test_set) = gen.data.split(0.2, split_seed);
+    let mut tcfg = tcfg.clone();
+    tcfg.n_classes = spec.bins.n_classes();
+    let mut model = qi_ml::train::train(&train_set, &tcfg);
+    let cm = model.evaluate(&test_set);
+    let count = |d: &Dataset| {
+        let mut c = vec![0usize; spec.bins.n_classes()];
+        for &y in &d.y {
+            c[y] += 1;
+        }
+        c
+    };
+    let report = EvalReport {
+        train_size: train_set.len(),
+        test_size: test_set.len(),
+        train_counts: count(&train_set),
+        test_counts: count(&test_set),
+        cm,
+        labels: spec.bins.labels(),
+    };
+    let predictor = Predictor::new(
+        model,
+        spec.window,
+        spec.features,
+        spec.cluster.n_devices(),
+        spec.bins.clone(),
+    );
+    (gen, predictor, report)
+}
+
+/// Convenience: the dataset spec used for one paper figure's family.
+///
+/// Targets come from `family`; interference is always drawn from the
+/// IO500 tasks at intensities 1-3, matching the paper's data-collection
+/// protocol ("we created varying levels of background I/O requests
+/// (using IO500)", §III-D). The full-scale variant samples servers every
+/// 250 ms so the per-window std features are informative.
+pub fn family_spec(family: &[WorkloadKind], small: bool) -> DatasetSpec {
+    let mut spec = DatasetSpec::smoke();
+    spec.targets = family.to_vec();
+    spec.noise_kinds = WorkloadKind::IO500.to_vec();
+    spec.intensities = vec![1, 2, 3];
+    spec.seeds = vec![1, 2];
+    spec.small = small;
+    if !small {
+        spec.cluster = qi_pfs::config::ClusterConfig::default();
+        spec.cluster.sample_interval = qi_simkit::time::SimDuration::from_millis(250);
+        spec.target_ranks = 4;
+        spec.noise_ranks = 2;
+        spec.seeds = vec![1, 2, 3, 4, 5];
+        // Calibration (documented in EXPERIMENTS.md): DLIO's buffered
+        // readers and compute gaps absorb mild contention in the
+        // simulator, piling its degradation levels onto the 2x label
+        // boundary; heavier background intensity separates the classes
+        // the way the authors' testbed did.
+        if family.iter().any(|k| WorkloadKind::DLIO.contains(k)) {
+            spec.noise_ranks = 6;
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::BaselineIndex;
+    use crate::scenario::InterferenceSpec;
+
+    #[test]
+    fn pipeline_smoke_trains_and_scores() {
+        let spec = DatasetSpec::smoke();
+        let tcfg = qi_ml::train::TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        };
+        let (gen, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 9);
+        assert_eq!(report.train_size + report.test_size, gen.data.len());
+        assert!(report.cm.total() as usize == report.test_size);
+        assert!(report.headline_f1() >= 0.0);
+        assert_eq!(predictor.bin_labels(), vec!["<2x", ">=2x"]);
+
+        // Live scoring path: rerun one interfered scenario and score it.
+        let scenario = crate::scenario::Scenario {
+            target: WorkloadKind::IorEasyRead,
+            target_ranks: spec.target_ranks,
+            interference: vec![InterferenceSpec {
+                kind: WorkloadKind::IorEasyWrite,
+                instances: 2,
+                ranks: 2,
+            }],
+            cluster: spec.cluster.clone(),
+            seed: 1,
+            deadline: spec.deadline,
+            small: true,
+            warmup: qi_simkit::time::SimDuration::from_secs(3),
+            noise_throttle: None,
+        };
+        let (app, base) = scenario.run_baseline();
+        let (_, noisy) = scenario.run();
+        let idx = BaselineIndex::new(&base, app);
+        let truth = crate::labeling::window_degradation(&idx, &noisy, app, spec.window);
+        let scored = predictor.score_run(&noisy, app, &truth);
+        assert!(!scored.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "block shape")]
+    fn wrong_block_shape_panics() {
+        let spec = DatasetSpec::smoke();
+        let tcfg = qi_ml::train::TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let (_, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 1);
+        predictor.predict_block(&[0.0; 3]);
+    }
+}

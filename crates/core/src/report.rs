@@ -1,0 +1,230 @@
+//! Post-run summaries: per-application and per-device digests of a
+//! trace, for quick inspection in examples, benches, and debugging.
+
+use std::collections::HashMap;
+
+use qi_pfs::ids::{AppId, DeviceId};
+use qi_pfs::ops::{OpKind, RunTrace};
+use qi_simkit::table::{fmt_bytes, fmt_f64, AsciiTable};
+
+/// Per-application digest.
+#[derive(Clone, Debug, Default)]
+pub struct AppSummary {
+    /// Completed operations by class.
+    pub reads: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    /// Completed metadata operations.
+    pub metas: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total I/O time (sum of op durations), seconds.
+    pub io_time_s: f64,
+    /// Mean operation latency, seconds.
+    pub mean_latency_s: f64,
+    /// Completion time, if the app finished.
+    pub completed_at_s: Option<f64>,
+}
+
+/// Per-device digest derived from the final monitor sample.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceSummary {
+    /// Completed requests (reads + writes).
+    pub requests: u64,
+    /// Bytes read from the media.
+    pub bytes_read: u64,
+    /// Bytes written to the media.
+    pub bytes_written: u64,
+    /// Requests merged in the queue.
+    pub merges: u64,
+    /// Fraction of wall time the media was busy.
+    pub utilization: f64,
+}
+
+/// A whole-run digest.
+pub struct RunReport {
+    /// Per application (indexed by AppId).
+    pub apps: HashMap<AppId, AppSummary>,
+    /// Per device.
+    pub devices: HashMap<DeviceId, DeviceSummary>,
+    /// Simulated run length, seconds.
+    pub wall_s: f64,
+}
+
+/// Summarise a finished run.
+pub fn summarize(trace: &RunTrace) -> RunReport {
+    let mut apps: HashMap<AppId, AppSummary> = HashMap::new();
+    for op in &trace.ops {
+        let a = apps.entry(op.token.app).or_default();
+        match op.kind {
+            OpKind::Read => {
+                a.reads += 1;
+                a.bytes_read += op.bytes;
+            }
+            OpKind::Write => {
+                a.writes += 1;
+                a.bytes_written += op.bytes;
+            }
+            _ => a.metas += 1,
+        }
+        a.io_time_s += op.duration().as_secs_f64();
+    }
+    for (id, a) in apps.iter_mut() {
+        let n = a.reads + a.writes + a.metas;
+        a.mean_latency_s = if n > 0 { a.io_time_s / n as f64 } else { 0.0 };
+        a.completed_at_s = trace.completion_of(*id).map(|t| t.as_secs_f64());
+    }
+    let wall_s = trace.end.as_secs_f64();
+    let mut devices = HashMap::new();
+    // The last sample of each device carries the cumulative counters.
+    for s in &trace.samples {
+        let c = &s.counters;
+        devices.insert(
+            s.dev,
+            DeviceSummary {
+                requests: c.reads_completed + c.writes_completed,
+                bytes_read: c.sectors_read * qi_pfs::config::SECTOR_SIZE,
+                bytes_written: c.sectors_written * qi_pfs::config::SECTOR_SIZE,
+                merges: c.read_merges + c.write_merges,
+                utilization: if wall_s > 0.0 {
+                    (c.busy_ns as f64 / 1e9 / wall_s).min(1.0)
+                } else {
+                    0.0
+                },
+            },
+        );
+    }
+    RunReport {
+        apps,
+        devices,
+        wall_s,
+    }
+}
+
+impl RunReport {
+    /// Render the per-application table.
+    pub fn render_apps(&self, names: &dyn Fn(AppId) -> String) -> String {
+        let mut t = AsciiTable::new(vec![
+            "app",
+            "reads",
+            "writes",
+            "metas",
+            "read",
+            "written",
+            "io time (s)",
+            "mean lat (ms)",
+            "done (s)",
+        ]);
+        let mut ids: Vec<&AppId> = self.apps.keys().collect();
+        ids.sort();
+        for id in ids {
+            let a = &self.apps[id];
+            t.add_row(vec![
+                names(*id),
+                a.reads.to_string(),
+                a.writes.to_string(),
+                a.metas.to_string(),
+                fmt_bytes(a.bytes_read),
+                fmt_bytes(a.bytes_written),
+                fmt_f64(a.io_time_s, 3),
+                fmt_f64(a.mean_latency_s * 1e3, 3),
+                a.completed_at_s
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Render the per-device table.
+    pub fn render_devices(&self) -> String {
+        let mut t = AsciiTable::new(vec![
+            "device", "requests", "read", "written", "merges", "util",
+        ]);
+        let mut ids: Vec<&DeviceId> = self.devices.keys().collect();
+        ids.sort();
+        let n = ids.len();
+        for (i, id) in ids.into_iter().enumerate() {
+            let d = &self.devices[id];
+            let name = if i + 1 == n {
+                "MDT".to_string()
+            } else {
+                format!("OST{}", id.0)
+            };
+            t.add_row(vec![
+                name,
+                d.requests.to_string(),
+                fmt_bytes(d.bytes_read),
+                fmt_bytes(d.bytes_written),
+                d.merges.to_string(),
+                format!("{:.1}%", d.utilization * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::WorkloadKind;
+    use qi_pfs::config::ClusterConfig;
+
+    fn run() -> (AppId, RunTrace) {
+        let mut cluster = ClusterConfig::small();
+        // Sample fast enough that even a sub-second run yields device rows.
+        cluster.sample_interval = qi_simkit::SimDuration::from_millis(50);
+        let s = Scenario {
+            cluster,
+            small: true,
+            target_ranks: 2,
+            ..Scenario::baseline(WorkloadKind::IorEasyWrite, 4)
+        };
+        s.run()
+    }
+
+    #[test]
+    fn summary_counts_match_trace() {
+        let (app, trace) = run();
+        let report = summarize(&trace);
+        let a = &report.apps[&app];
+        let writes = trace
+            .ops_of(app)
+            .filter(|o| o.kind == OpKind::Write)
+            .count() as u64;
+        assert_eq!(a.writes, writes);
+        assert!(a.bytes_written > 0);
+        assert!(a.completed_at_s.is_some());
+        assert!(a.mean_latency_s > 0.0);
+        assert!(report.wall_s > 0.0);
+    }
+
+    #[test]
+    fn device_summary_reflects_written_bytes() {
+        let (app, trace) = run();
+        let report = summarize(&trace);
+        let total_dev_written: u64 = report.devices.values().map(|d| d.bytes_written).sum();
+        let app_written: u64 = trace.ops_of(app).map(|o| o.bytes).sum();
+        // Device-level writes may lag the app view (unflushed dirty data
+        // at run end) but can never exceed what was rounded to sectors.
+        assert!(total_dev_written <= app_written + 4096 * trace.ops.len() as u64);
+        for d in report.devices.values() {
+            assert!(d.utilization >= 0.0 && d.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn render_contains_expected_rows() {
+        let (app, trace) = run();
+        let report = summarize(&trace);
+        let apps = report.render_apps(&|id: AppId| format!("app{}", id.0));
+        assert!(apps.contains(&format!("app{}", app.0)));
+        let devs = report.render_devices();
+        assert!(devs.contains("OST0"));
+        assert!(devs.contains("MDT"));
+        assert!(devs.contains('%'));
+    }
+}

@@ -1,0 +1,333 @@
+//! Dense layers, ReLU, and the MLP container, with manual backprop.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::optim::Adam;
+
+/// A fully connected layer `y = x·W + b`.
+#[derive(Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// He-initialised layer (suits the ReLU activations used throughout).
+    pub fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / inputs as f32).sqrt();
+        let data = (0..inputs * outputs)
+            .map(|_| {
+                // Box-Muller standard normal.
+                let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+                let u2: f32 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * scale
+            })
+            .collect();
+        Dense {
+            w: Matrix::from_vec(inputs, outputs, data),
+            b: vec![0.0; outputs],
+            grad_w: Matrix::zeros(inputs, outputs),
+            grad_b: vec![0.0; outputs],
+            input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass; caches the input for backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_vec(&self.b);
+        self.input = Some(x.clone());
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns dL/dx.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.input.as_ref().expect("backward before forward");
+        self.grad_w = x.t_matmul(grad_out);
+        self.grad_b = grad_out.col_sums();
+        grad_out.matmul_t(&self.w)
+    }
+
+    /// Apply the accumulated gradients through `opt`. `slot` must be a
+    /// stable per-layer index so Adam keeps its moments straight.
+    pub fn apply(&mut self, opt: &mut Adam, slot: &mut usize, lr: f32) {
+        opt.step(*slot, self.w.data_mut(), self.grad_w.data());
+        *slot += 1;
+        opt.step(*slot, &mut self.b, &self.grad_b);
+        *slot += 1;
+        let _ = lr; // learning rate lives in the optimizer
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// The weight matrix (inputs × outputs).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Rebuild a layer from serialized parameters.
+    pub fn from_params(inputs: usize, outputs: usize, w: Vec<f32>, b: Vec<f32>) -> Self {
+        assert_eq!(w.len(), inputs * outputs, "weight shape mismatch");
+        assert_eq!(b.len(), outputs, "bias shape mismatch");
+        Dense {
+            w: Matrix::from_vec(inputs, outputs, w),
+            b,
+            grad_w: Matrix::zeros(inputs, outputs),
+            grad_b: vec![0.0; outputs],
+            input: None,
+        }
+    }
+}
+
+/// ReLU activation (stores its mask for backprop).
+#[derive(Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Forward pass in place.
+    pub fn forward(&mut self, mut x: Matrix) -> Matrix {
+        self.mask.clear();
+        self.mask.reserve(x.data().len());
+        for v in x.data_mut() {
+            let pass = *v > 0.0;
+            self.mask.push(pass);
+            if !pass {
+                *v = 0.0;
+            }
+        }
+        x
+    }
+
+    /// Backward pass in place.
+    pub fn backward(&self, mut grad: Matrix) -> Matrix {
+        assert_eq!(grad.data().len(), self.mask.len());
+        for (g, &m) in grad.data_mut().iter_mut().zip(&self.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+}
+
+/// A multilayer perceptron: Dense → ReLU → … → Dense (no final
+/// activation; pair with a softmax loss or use raw outputs).
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    relus: Vec<Relu>,
+}
+
+impl Mlp {
+    /// MLP with the given layer widths, e.g. `[39, 32, 16, 1]`.
+    pub fn new(widths: &[usize], rng: &mut StdRng) -> Self {
+        assert!(widths.len() >= 2, "MLP needs at least one layer");
+        let layers: Vec<Dense> = widths
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        let relus = (0..layers.len().saturating_sub(1))
+            .map(|_| Relu::default())
+            .collect();
+        Mlp { layers, relus }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut cur = self.layers[0].forward(x);
+        for i in 1..n {
+            cur = self.relus[i - 1].forward(cur);
+            cur = self.layers[i].forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass from dL/dy; returns dL/dx.
+    pub fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut g = self.layers[n - 1].backward(grad);
+        for i in (0..n - 1).rev() {
+            g = self.relus[i].backward(g);
+            g = self.layers[i].backward(&g);
+        }
+        g
+    }
+
+    /// Apply accumulated gradients.
+    pub fn apply(&mut self, opt: &mut Adam, slot: &mut usize, lr: f32) {
+        for l in &mut self.layers {
+            l.apply(opt, slot, lr);
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(Dense::n_params).sum()
+    }
+
+    /// The layer widths, e.g. `[39, 32, 16, 1]`.
+    pub fn widths(&self) -> Vec<usize> {
+        let mut w = vec![self.layers[0].inputs()];
+        w.extend(self.layers.iter().map(Dense::outputs));
+        w
+    }
+
+    /// The layers, input-side first.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Rebuild an MLP from serialized layers.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty());
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer widths do not chain"
+            );
+        }
+        let relus = (0..layers.len().saturating_sub(1))
+            .map(|_| Relu::default())
+            .collect();
+        Mlp { layers, relus }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut r = rng();
+        let mut d = Dense::new(3, 2, &mut r);
+        d.b = vec![10.0, 20.0];
+        let x = Matrix::zeros(4, 3);
+        let y = d.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        // Zero input → output is the bias.
+        for row in 0..4 {
+            assert_eq!(y.row(row), &[10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives_in_backward() {
+        let mut relu = Relu::default();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = relu.backward(Matrix::from_vec(1, 4, vec![1.0; 4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut d = Dense::new(2, 2, &mut r);
+        let x = Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1]);
+        // Loss = sum(y); dL/dy = ones.
+        let loss = |d: &mut Dense, x: &Matrix| -> f32 { d.forward(x).data().iter().sum() };
+        let base = loss(&mut d, &x);
+        let ones = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        let _ = d.forward(&x);
+        let _ = d.backward(&ones);
+        let analytic = d.grad_w.get(0, 1);
+        let eps = 1e-3;
+        let old = d.w.get(0, 1);
+        d.w.set(0, 1, old + eps);
+        let bumped = loss(&mut d, &x);
+        let numeric = (bumped - base) / eps;
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn mlp_learns_a_linear_rule() {
+        // y = 1 if x0 > x1 else 0 — trivially learnable.
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[2, 8, 2], &mut r);
+        let mut opt = Adam::new(0.01);
+        let n = 64;
+        let x: Vec<f32> = (0..n)
+            .flat_map(|i| {
+                let a = ((i * 37) % 100) as f32 / 100.0;
+                let b = ((i * 53) % 100) as f32 / 100.0;
+                [a, b]
+            })
+            .collect();
+        let xm = Matrix::from_vec(n, 2, x);
+        let labels: Vec<usize> = (0..n)
+            .map(|i| usize::from(xm.get(i, 0) > xm.get(i, 1)))
+            .collect();
+        for _ in 0..300 {
+            let logits = mlp.forward(&xm);
+            let (_, grad) = crate::loss::softmax_cross_entropy(&logits, &labels, &[1.0, 1.0]);
+            mlp.backward(&grad);
+            let mut slot = 0;
+            mlp.apply(&mut opt, &mut slot, 0.01);
+        }
+        let logits = mlp.forward(&xm);
+        let correct = (0..n)
+            .filter(|&i| {
+                let pred = usize::from(logits.get(i, 1) > logits.get(i, 0));
+                pred == labels[i]
+            })
+            .count();
+        assert!(correct as f64 / n as f64 > 0.9, "acc {}/{n}", correct);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[4, 8, 3], &mut r);
+        assert_eq!(mlp.n_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(mlp.inputs(), 4);
+        assert_eq!(mlp.outputs(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # qi-ml
+//!
+//! A from-scratch neural-network stack sized for the paper's model: a
+//! kernel-based network that applies one shared dense MLP to every
+//! storage server's feature vector, concatenates the per-server outputs,
+//! and classifies the window into interference-severity bins (§III-C).
+//!
+//! Everything is plain `f32` Rust — no BLAS, no framework — because the
+//! model is tiny (thousands of parameters) and exact reproducibility
+//! matters more than GPU throughput here: training is seeded and
+//! bit-deterministic.
+//!
+//! - [`matrix`] — row-major matrix ops (rayon-parallel matmul rows).
+//! - [`layers`] — dense layers / ReLU / MLP with manual backprop.
+//! - [`loss`] — weighted softmax cross-entropy.
+//! - [`optim`] — Adam and SGD.
+//! - [`model`] — the kernel-based network.
+//! - [`data`] — datasets, 80/20 splits, z-score standardisation.
+//! - [`train`] — the training loop.
+//! - [`metrics`] — confusion matrices, precision/recall/F1.
+
+pub mod attention;
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod regress;
+pub mod serialize;
+pub mod train;
+
+pub use attention::AttentionNet;
+pub use data::{Dataset, Standardizer};
+pub use loss::{inverse_frequency_weights, softmax, softmax_cross_entropy};
+pub use matrix::Matrix;
+pub use metrics::ConfusionMatrix;
+pub use model::KernelNet;
+pub use optim::{Adam, Sgd};
+pub use regress::{mse_loss, train_regression, RegressionModel};
+pub use serialize::{load_model, model_from_text, model_to_text, save_model, ModelParseError};
+pub use train::{train, TrainConfig, TrainedModel};

@@ -1,0 +1,279 @@
+//! A minimal row-major `f32` matrix with exactly the operations the
+//! network needs. Row-parallel matmul via rayon stays deterministic
+//! because each output row is accumulated sequentially.
+
+use rayon::prelude::*;
+
+/// Row-major matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Row count below which matmul stays single-threaded.
+const PAR_THRESHOLD: usize = 256;
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Build a matrix from a subset of rows of `self` (by index).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// `self · other` (standard matrix product).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let compute_row = |r: usize, out_row: &mut [f32]| {
+            let a_row = self.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if self.rows >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| compute_row(r, out_row));
+        } else {
+            for r in 0..self.rows {
+                compute_row(r, &mut out.data[r * n..(r + 1) * n]);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            for c in 0..other.rows {
+                let b_row = other.row(c);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[r * other.rows + c] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Add `v` to every row (broadcast bias).
+    pub fn add_row_vec(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols);
+        for r in 0..self.rows {
+            for (x, &b) in self.data[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(v)
+            {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[0.5, -1.0, 2.0, 0.0, 1.0, 3.0]);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 2.0, 2.0, 2.0, -1.0, 1.0, -1.0],
+        );
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn bias_and_sums() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.col_sums(), vec![2.0, 4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.get(1, 2), 1.5);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Force the rayon path with > PAR_THRESHOLD rows.
+        let rows = 300;
+        let a = Matrix::from_vec(
+            rows,
+            8,
+            (0..rows * 8).map(|i| (i % 13) as f32 - 6.0).collect(),
+        );
+        let b = Matrix::from_vec(8, 4, (0..32).map(|i| (i % 7) as f32 * 0.25).collect());
+        let big = a.matmul(&b);
+        // Compare one row against a serial slice computation.
+        let one = a.gather_rows(&[123]).matmul(&b);
+        assert_eq!(one.row(0), big.row(123));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

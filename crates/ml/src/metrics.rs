@@ -1,0 +1,218 @@
+//! Evaluation metrics: confusion matrices, precision/recall/F1.
+//!
+//! The paper reports its results as confusion matrices (Figures 3-5) and
+//! quotes "F1 scores exceeding 90%". [`ConfusionMatrix`] renders both.
+
+use qi_simkit::table::AsciiTable;
+
+/// An `n × n` confusion matrix; rows are ground truth, columns are
+/// predictions (matching the paper's figures: true negatives top-left,
+/// true positives bottom-right for the binary case).
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over `n` classes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        ConfusionMatrix {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Record one (ground truth, prediction) pair.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n && predicted < self.n);
+        self.counts[actual * self.n + predicted] += 1;
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Count in cell (actual, predicted).
+    pub fn get(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.n + predicted]
+    }
+
+    /// Total recorded pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n).map(|i| self.get(i, i)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision of class `c`: TP / (TP + FP).
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.get(c, c) as f64;
+        let predicted: u64 = (0..self.n).map(|a| self.get(a, c)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp / predicted as f64
+        }
+    }
+
+    /// Recall of class `c`: TP / (TP + FN).
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.get(c, c) as f64;
+        let actual: u64 = (0..self.n).map(|p| self.get(c, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp / actual as f64
+        }
+    }
+
+    /// F1 of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.n).map(|c| self.f1(c)).sum::<f64>() / self.n as f64
+    }
+
+    /// Binary-classification convenience: F1 of the positive class
+    /// (class 1) — what the paper's ">90% F1" refers to.
+    pub fn f1_positive(&self) -> f64 {
+        self.f1(1)
+    }
+
+    /// Binary-classification counts `(tn, fp, fn, tp)`.
+    pub fn binary_counts(&self) -> (u64, u64, u64, u64) {
+        assert_eq!(self.n, 2, "binary_counts on a multi-class matrix");
+        (
+            self.get(0, 0),
+            self.get(0, 1),
+            self.get(1, 0),
+            self.get(1, 1),
+        )
+    }
+
+    /// Render as an ASCII table with the given class labels.
+    pub fn render(&self, labels: &[&str]) -> String {
+        assert_eq!(labels.len(), self.n);
+        let mut header: Vec<String> = vec!["actual \\ predicted".to_string()];
+        header.extend(labels.iter().map(|l| l.to_string()));
+        header.push("recall".to_string());
+        let mut t = AsciiTable::new(header);
+        for (a, label) in labels.iter().enumerate() {
+            let mut row = vec![label.to_string()];
+            for p in 0..self.n {
+                row.push(self.get(a, p).to_string());
+            }
+            row.push(format!("{:.3}", self.recall(a)));
+            t.add_row(row);
+        }
+        let mut prec = vec!["precision".to_string()];
+        for c in 0..self.n {
+            prec.push(format!("{:.3}", self.precision(c)));
+        }
+        prec.push(format!("acc {:.3}", self.accuracy()));
+        t.add_row(prec);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cm() -> ConfusionMatrix {
+        // tn=50, fp=10, fn=5, tp=35
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..50 {
+            cm.record(0, 0);
+        }
+        for _ in 0..10 {
+            cm.record(0, 1);
+        }
+        for _ in 0..5 {
+            cm.record(1, 0);
+        }
+        for _ in 0..35 {
+            cm.record(1, 1);
+        }
+        cm
+    }
+
+    #[test]
+    fn binary_counts_and_accuracy() {
+        let cm = sample_cm();
+        assert_eq!(cm.binary_counts(), (50, 10, 5, 35));
+        assert!((cm.accuracy() - 0.85).abs() < 1e-12);
+        assert_eq!(cm.total(), 100);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let cm = sample_cm();
+        assert!((cm.precision(1) - 35.0 / 45.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 35.0 / 40.0).abs() < 1e-12);
+        let p = 35.0 / 45.0;
+        let r = 35.0 / 40.0;
+        let f1 = 2.0 * p * r / (p + r);
+        assert!((cm.f1_positive() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let cm = sample_cm();
+        let expect = (cm.f1(0) + cm.f1(1)) / 2.0;
+        assert!((cm.macro_f1() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_classes_do_not_nan() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+        assert!(cm.macro_f1().is_finite());
+    }
+
+    #[test]
+    fn render_contains_cells() {
+        let cm = sample_cm();
+        let s = cm.render(&["<2x", ">=2x"]);
+        assert!(s.contains("50"));
+        assert!(s.contains("35"));
+        assert!(s.contains("precision"));
+        assert!(s.contains("acc 0.850"));
+    }
+
+    #[test]
+    fn perfect_prediction_has_unit_scores() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..10 {
+            cm.record(0, 0);
+            cm.record(1, 1);
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1_positive(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Text serialization for trained models.
+//!
+//! The deployed framework trains offline and predicts at runtime
+//! (paper Fig. 2); persisting the trained model is what separates the
+//! two phases in practice. The format is a line-oriented text file with
+//! every `f32` encoded as its exact bit pattern in hex, so a round trip
+//! is bit-identical and the files diff cleanly.
+//!
+//! ```text
+//! QIMODEL v1
+//! servers 7
+//! kernel 39 32 16 1
+//! head 7 16 2
+//! std.mean 3f800000 ...
+//! std.std  3f800000 ...
+//! net.w 0 <hex...>      (layer index over kernel layers then head layers)
+//! net.b 0 <hex...>
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::data::Standardizer;
+use crate::layers::{Dense, Mlp};
+use crate::model::KernelNet;
+use crate::train::TrainedModel;
+
+/// A failure while parsing a serialized model.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ModelParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelParseError {}
+
+fn err(message: impl Into<String>) -> ModelParseError {
+    ModelParseError {
+        message: message.into(),
+    }
+}
+
+fn floats_to_hex(v: &[f32]) -> String {
+    let mut out = String::with_capacity(v.len() * 9);
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{:08x}", x.to_bits());
+    }
+    out
+}
+
+fn hex_to_floats(s: &str) -> Result<Vec<f32>, ModelParseError> {
+    s.split_whitespace()
+        .map(|tok| {
+            u32::from_str_radix(tok, 16)
+                .map(f32::from_bits)
+                .map_err(|_| err(format!("bad f32 hex token {tok:?}")))
+        })
+        .collect()
+}
+
+/// Serialize a trained model to its text form.
+pub fn model_to_text(model: &TrainedModel) -> String {
+    let net = model.net();
+    let st = model.standardizer();
+    let mut out = String::new();
+    let _ = writeln!(out, "QIMODEL v1");
+    let _ = writeln!(out, "servers {}", net.n_servers());
+    let widths = |m: &Mlp| {
+        m.widths()
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let _ = writeln!(out, "kernel {}", widths(net.kernel()));
+    let _ = writeln!(out, "head {}", widths(net.head()));
+    let _ = writeln!(out, "std.mean {}", floats_to_hex(st.mean()));
+    let _ = writeln!(out, "std.std {}", floats_to_hex(st.std()));
+    let mut idx = 0;
+    for mlp in [net.kernel(), net.head()] {
+        for layer in mlp.layers() {
+            let _ = writeln!(
+                out,
+                "net.w {} {}",
+                idx,
+                floats_to_hex(layer.weights().data())
+            );
+            let _ = writeln!(out, "net.b {} {}", idx, floats_to_hex(layer.bias()));
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// Parse a model back from its text form.
+pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| err("empty input"))?;
+    if header.trim() != "QIMODEL v1" {
+        return Err(err(format!("unknown header {header:?}")));
+    }
+    let mut servers: Option<usize> = None;
+    let mut kernel_widths: Option<Vec<usize>> = None;
+    let mut head_widths: Option<Vec<usize>> = None;
+    let mut mean: Option<Vec<f32>> = None;
+    let mut std: Option<Vec<f32>> = None;
+    let mut weights: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut biases: Vec<(usize, Vec<f32>)> = Vec::new();
+    for line in lines {
+        let (key, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err(format!("malformed line {line:?}")))?;
+        match key {
+            "servers" => servers = Some(rest.trim().parse().map_err(|_| err("bad server count"))?),
+            "kernel" | "head" => {
+                let w: Result<Vec<usize>, _> = rest.split_whitespace().map(|t| t.parse()).collect();
+                let w = w.map_err(|_| err(format!("bad widths in {key}")))?;
+                if w.len() < 2 {
+                    return Err(err(format!("{key} needs at least two widths")));
+                }
+                if key == "kernel" {
+                    kernel_widths = Some(w)
+                } else {
+                    head_widths = Some(w)
+                }
+            }
+            "std.mean" => mean = Some(hex_to_floats(rest)?),
+            "std.std" => std = Some(hex_to_floats(rest)?),
+            "net.w" | "net.b" => {
+                let (idx, payload) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(format!("malformed {key} line")))?;
+                let idx: usize = idx.parse().map_err(|_| err("bad layer index"))?;
+                let v = hex_to_floats(payload)?;
+                if key == "net.w" {
+                    weights.push((idx, v))
+                } else {
+                    biases.push((idx, v))
+                }
+            }
+            other => return Err(err(format!("unknown key {other:?}"))),
+        }
+    }
+    let servers = servers.ok_or_else(|| err("missing servers"))?;
+    let kernel_widths = kernel_widths.ok_or_else(|| err("missing kernel widths"))?;
+    let head_widths = head_widths.ok_or_else(|| err("missing head widths"))?;
+    let mean = mean.ok_or_else(|| err("missing std.mean"))?;
+    let std = std.ok_or_else(|| err("missing std.std"))?;
+    if mean.len() != std.len() {
+        return Err(err("standardizer length mismatch"));
+    }
+    if std.iter().any(|&s| s <= 0.0 || s.is_nan()) {
+        return Err(err("non-positive standardizer std"));
+    }
+    weights.sort_by_key(|(i, _)| *i);
+    biases.sort_by_key(|(i, _)| *i);
+    let n_layers = kernel_widths.len() - 1 + head_widths.len() - 1;
+    if weights.len() != n_layers || biases.len() != n_layers {
+        return Err(err(format!(
+            "expected {n_layers} layers, got {} weights / {} biases",
+            weights.len(),
+            biases.len()
+        )));
+    }
+    let build = |widths: &[usize], base: usize| -> Result<Mlp, ModelParseError> {
+        let mut layers = Vec::new();
+        for (k, pair) in widths.windows(2).enumerate() {
+            let (wi, w) = &weights[base + k];
+            let (bi, b) = &biases[base + k];
+            if *wi != base + k || *bi != base + k {
+                return Err(err("layer indices not dense"));
+            }
+            if w.len() != pair[0] * pair[1] || b.len() != pair[1] {
+                return Err(err(format!("layer {k} parameter shape mismatch")));
+            }
+            layers.push(Dense::from_params(pair[0], pair[1], w.clone(), b.clone()));
+        }
+        Ok(Mlp::from_layers(layers))
+    };
+    let kernel = build(&kernel_widths, 0)?;
+    let head = build(&head_widths, kernel_widths.len() - 1)?;
+    if head.inputs() != servers {
+        return Err(err("head width does not match server count"));
+    }
+    let net = KernelNet::from_parts(kernel, head, servers);
+    Ok(TrainedModel::from_parts(
+        net,
+        Standardizer::from_parts(mean, std),
+    ))
+}
+
+/// Write a model to `path`.
+pub fn save_model<P: AsRef<Path>>(model: &TrainedModel, path: P) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, model_to_text(model))
+}
+
+/// Read a model back from `path`.
+pub fn load_model<P: AsRef<Path>>(path: P) -> io::Result<TrainedModel> {
+    let text = fs::read_to_string(path)?;
+    model_from_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::train::{train, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained() -> (TrainedModel, Dataset) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let servers = 3;
+        let mut samples = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let pos = i % 2 == 0;
+            let block: Vec<f32> = (0..servers * 5)
+                .map(|_| {
+                    if pos {
+                        rng.gen_range(1.0..2.0)
+                    } else {
+                        rng.gen_range(-2.0..-1.0)
+                    }
+                })
+                .collect();
+            samples.push(block);
+            y.push(usize::from(pos));
+        }
+        let data = Dataset::from_samples(samples, y, servers);
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        };
+        (train(&data, &cfg), data)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let (mut model, data) = trained();
+        let text = model_to_text(&model);
+        let mut back = model_from_text(&text).expect("parse");
+        assert_eq!(model.predict(&data), back.predict(&data));
+        // Serialising again yields the same text.
+        assert_eq!(model_to_text(&back), text);
+    }
+
+    #[test]
+    fn save_load_files() {
+        let (mut model, data) = trained();
+        let path = std::env::temp_dir().join("qi_model_test/model.qim");
+        save_model(&model, &path).expect("save");
+        let mut back = load_model(&path).expect("load");
+        assert_eq!(model.predict(&data), back.predict(&data));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn rejects_corrupt_inputs() {
+        let (model, _) = trained();
+        let text = model_to_text(&model);
+        assert!(model_from_text("garbage").is_err());
+        assert!(model_from_text("QIMODEL v1\nservers 3\n").is_err());
+        // Flip the header version.
+        let bad = text.replace("QIMODEL v1", "QIMODEL v9");
+        assert!(model_from_text(&bad).is_err());
+        // Truncate a layer.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("net.b 0"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(model_from_text(&truncated).is_err());
+        // Corrupt a float token.
+        let corrupt = text.replacen("std.mean ", "std.mean zzzzzzzz ", 1);
+        assert!(model_from_text(&corrupt).is_err());
+    }
+
+    #[test]
+    fn hex_floats_round_trip_exactly() {
+        let xs = vec![0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, 3.4e38, -7.25e-12];
+        let hex = floats_to_hex(&xs);
+        let back = hex_to_floats(&hex).expect("parse");
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Training loop and trained-model inference.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{Dataset, Standardizer};
+use crate::loss::{softmax_cross_entropy, tempered_frequency_weights};
+use crate::matrix::Matrix;
+use crate::metrics::ConfusionMatrix;
+use crate::model::KernelNet;
+use crate::optim::Adam;
+
+/// Hyperparameters for [`train`].
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (in samples).
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Hidden widths of the shared kernel MLP.
+    pub kernel_hidden: Vec<usize>,
+    /// Hidden widths of the classification head.
+    pub head_hidden: Vec<usize>,
+    /// Output classes (2 = binary `<2x / >=2x`, 3 = the Fig. 4 bins).
+    pub n_classes: usize,
+    /// Weight initialisation / shuffling seed.
+    pub seed: u64,
+    /// Multiply the learning rate by this each epoch (1.0 = constant).
+    pub lr_decay: f32,
+    /// Exponent tempering the inverse-frequency class weights
+    /// (1.0 = full reweighting, 0.5 = square-root tempering, 0 = none).
+    pub class_weight_exponent: f32,
+    /// Optional early stopping on a held-out validation split.
+    pub early_stop: Option<EarlyStop>,
+}
+
+/// Early-stopping policy: carve `val_fraction` of the training samples
+/// into a validation set, track its (unweighted) loss each epoch, and
+/// stop after `patience` epochs without improvement, restoring the best
+/// epoch's weights.
+#[derive(Clone, Copy, Debug)]
+pub struct EarlyStop {
+    /// Epochs without validation improvement before stopping.
+    pub patience: usize,
+    /// Fraction of training samples held out for validation.
+    pub val_fraction: f64,
+}
+
+impl Default for EarlyStop {
+    fn default() -> Self {
+        EarlyStop {
+            patience: 5,
+            val_fraction: 0.15,
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch: 64,
+            lr: 1e-3,
+            kernel_hidden: vec![32, 16],
+            head_hidden: vec![16],
+            n_classes: 2,
+            seed: 17,
+            lr_decay: 0.97,
+            class_weight_exponent: 0.5,
+            early_stop: None,
+        }
+    }
+}
+
+/// A trained model: network + the standardiser fitted on its training
+/// data. Apply to raw (unstandardised) feature blocks.
+pub struct TrainedModel {
+    net: KernelNet,
+    standardizer: Standardizer,
+    /// Mean training loss per epoch (for convergence checks/plots).
+    pub loss_curve: Vec<f32>,
+    /// Validation loss per epoch when early stopping was enabled.
+    pub val_curve: Vec<f32>,
+}
+
+impl TrainedModel {
+    /// The underlying network (serialization / introspection).
+    pub fn net(&self) -> &KernelNet {
+        &self.net
+    }
+
+    /// The fitted standardizer.
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// Rebuild a model from serialized parts.
+    pub fn from_parts(net: KernelNet, standardizer: Standardizer) -> Self {
+        TrainedModel {
+            net,
+            standardizer,
+            loss_curve: Vec::new(),
+            val_curve: Vec::new(),
+        }
+    }
+
+    /// Number of classes the model outputs.
+    pub fn n_classes(&self) -> usize {
+        self.net.n_classes()
+    }
+
+    /// Predict class labels for every sample of `data`.
+    pub fn predict(&mut self, data: &Dataset) -> Vec<usize> {
+        let mut x = data.x.clone();
+        self.standardizer.transform(&mut x);
+        let logits = self.net.forward(&x);
+        (0..logits.rows())
+            .map(|r| {
+                let row = logits.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Predict one raw sample (an `n_servers × n_features` block).
+    pub fn predict_one(&mut self, block: &Matrix) -> usize {
+        let mut x = block.clone();
+        self.standardizer.transform(&mut x);
+        let logits = self.net.forward(&x);
+        let row = logits.row(0);
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row")
+    }
+
+    /// Evaluate on a labelled dataset, producing the confusion matrix.
+    pub fn evaluate(&mut self, data: &Dataset) -> ConfusionMatrix {
+        let preds = self.predict(data);
+        let mut cm = ConfusionMatrix::new(self.n_classes());
+        for (&actual, pred) in data.y.iter().zip(preds) {
+            cm.record(actual, pred);
+        }
+        cm
+    }
+}
+
+/// Train the kernel network on `train_set` with inverse-frequency class
+/// weights (the datasets are imbalanced; see paper §IV-A).
+pub fn train(train_set: &Dataset, cfg: &TrainConfig) -> TrainedModel {
+    assert!(!train_set.is_empty(), "empty training set");
+    assert!(
+        train_set.n_classes() <= cfg.n_classes,
+        "label exceeds configured classes"
+    );
+    let standardizer = Standardizer::fit(&train_set.x);
+    let mut x = train_set.x.clone();
+    standardizer.transform(&mut x);
+    let std_train = Dataset {
+        x,
+        y: train_set.y.clone(),
+        n_servers: train_set.n_servers,
+    };
+
+    // Optional validation carve-out for early stopping.
+    let (fit_set, val_set) = match cfg.early_stop {
+        Some(es) => {
+            let (fit, val) = std_train.split(es.val_fraction, cfg.seed ^ 0x7A1);
+            (fit, Some(val))
+        }
+        None => (std_train, None),
+    };
+
+    let mut net = KernelNet::new(
+        fit_set.n_features(),
+        fit_set.n_servers,
+        &cfg.kernel_hidden,
+        &cfg.head_hidden,
+        cfg.n_classes,
+        cfg.seed,
+    );
+    let mut opt = Adam::new(cfg.lr);
+    let weights = tempered_frequency_weights(&fit_set.y, cfg.n_classes, cfg.class_weight_exponent);
+    let flat = vec![1.0f32; cfg.n_classes];
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let n = fit_set.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut loss_curve = Vec::with_capacity(cfg.epochs);
+    let mut val_curve = Vec::new();
+    let mut best: Option<(f32, KernelNet)> = None;
+    let mut since_best = 0usize;
+
+    for _epoch in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(cfg.batch) {
+            let batch_set = fit_set.subset(chunk);
+            let logits = net.forward(&batch_set.x);
+            let (loss, grad) = softmax_cross_entropy(&logits, &batch_set.y, &weights);
+            net.backward(&grad);
+            net.apply(&mut opt);
+            epoch_loss += loss;
+            batches += 1;
+        }
+        loss_curve.push(epoch_loss / batches.max(1) as f32);
+        opt.set_lr(opt.lr() * cfg.lr_decay);
+
+        if let (Some(es), Some(val)) = (cfg.early_stop, val_set.as_ref()) {
+            let logits = net.forward(&val.x);
+            let (vloss, _) = softmax_cross_entropy(&logits, &val.y, &flat);
+            val_curve.push(vloss);
+            let improved = best.as_ref().map(|(b, _)| vloss < *b).unwrap_or(true);
+            if improved {
+                best = Some((vloss, net.clone()));
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= es.patience {
+                    break;
+                }
+            }
+        }
+    }
+    if let Some((_, best_net)) = best {
+        net = best_net;
+    }
+
+    TrainedModel {
+        net,
+        standardizer,
+        loss_curve,
+        val_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic interference-shaped dataset: positive samples have one
+    /// "contended" server (big queue features), negatives don't.
+    fn synth(n: usize, servers: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let feats = 6;
+        let mut samples = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let positive = i % 3 != 0; // ~67% positive, imbalanced
+            let hot = rng.gen_range(0..servers);
+            let mut block = Vec::with_capacity(servers * feats);
+            for s in 0..servers {
+                let base: f32 = rng.gen_range(0.0..0.5);
+                let contended = positive && s == hot;
+                block.extend_from_slice(&[
+                    base + if contended { 4.0 } else { 0.0 },
+                    base * 2.0
+                        + if contended {
+                            rng.gen_range(2.0..5.0)
+                        } else {
+                            0.0
+                        },
+                    rng.gen_range(0.0..1.0),
+                    if contended {
+                        8.0
+                    } else {
+                        rng.gen_range(0.0..0.8)
+                    },
+                    base,
+                    rng.gen_range(-0.2..0.2),
+                ]);
+            }
+            samples.push(block);
+            y.push(usize::from(positive));
+        }
+        Dataset::from_samples(samples, y, servers)
+    }
+
+    #[test]
+    fn trains_to_high_f1_on_separable_data() {
+        let data = synth(600, 4, 3);
+        let (train_set, test_set) = data.split(0.2, 11);
+        let cfg = TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        };
+        let mut model = train(&train_set, &cfg);
+        let cm = model.evaluate(&test_set);
+        assert!(
+            cm.f1_positive() > 0.9,
+            "F1 {:.3}\n{}",
+            cm.f1_positive(),
+            cm.render(&["neg", "pos"])
+        );
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let data = synth(300, 3, 5);
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        };
+        let model = train(&data, &cfg);
+        let first = model.loss_curve[0];
+        let last = *model.loss_curve.last().expect("non-empty");
+        assert!(last < first * 0.7, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let data = synth(200, 3, 7);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        let mut m1 = train(&data, &cfg);
+        let mut m2 = train(&data, &cfg);
+        assert_eq!(m1.predict(&data), m2.predict(&data));
+        assert_eq!(m1.loss_curve, m2.loss_curve);
+    }
+
+    #[test]
+    fn predict_one_matches_batch() {
+        let data = synth(100, 3, 9);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        let mut model = train(&data, &cfg);
+        let batch = model.predict(&data);
+        for i in [0, 13, 57] {
+            assert_eq!(model.predict_one(&data.sample_rows(i)), batch[i]);
+        }
+    }
+
+    #[test]
+    fn early_stopping_halts_and_keeps_best_weights() {
+        // Small, noisy dataset: validation loss stalls quickly.
+        let data = synth(60, 3, 13);
+        let cfg = TrainConfig {
+            epochs: 400,
+            lr: 5e-3,
+            lr_decay: 1.0,
+            early_stop: Some(EarlyStop {
+                patience: 5,
+                val_fraction: 0.25,
+            }),
+            ..TrainConfig::default()
+        };
+        let mut model = train(&data, &cfg);
+        // Stopped well before the epoch budget.
+        assert!(
+            model.loss_curve.len() < 400,
+            "ran all {} epochs",
+            model.loss_curve.len()
+        );
+        assert_eq!(model.val_curve.len(), model.loss_curve.len());
+        // Still a good classifier on this separable data.
+        let cm = model.evaluate(&data);
+        assert!(cm.accuracy() > 0.8, "acc {:.3}", cm.accuracy());
+        // The best validation loss is at least `patience` from the end.
+        let best = model
+            .val_curve
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        let last = *model.val_curve.last().expect("non-empty");
+        assert!(best <= last);
+    }
+
+    #[test]
+    fn three_class_training_works() {
+        // Class = 0/1/2 by the magnitude of the hot-server feature.
+        let mut rng = StdRng::seed_from_u64(21);
+        let servers = 3;
+        let mut samples = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..450 {
+            let class = i % 3;
+            let mag = match class {
+                0 => 0.0,
+                1 => 3.0,
+                _ => 9.0,
+            };
+            let mut block = Vec::new();
+            for _ in 0..servers {
+                block.extend_from_slice(&[
+                    mag + rng.gen_range(-0.3..0.3f32),
+                    rng.gen_range(0.0..1.0),
+                ]);
+            }
+            samples.push(block);
+            y.push(class);
+        }
+        let data = Dataset::from_samples(samples, y, servers);
+        let (tr, te) = data.split(0.2, 1);
+        let cfg = TrainConfig {
+            n_classes: 3,
+            epochs: 80,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
+        let mut model = train(&tr, &cfg);
+        let cm = model.evaluate(&te);
+        assert!(cm.accuracy() > 0.9, "acc {:.3}", cm.accuracy());
+        assert_eq!(cm.n_classes(), 3);
+    }
+}

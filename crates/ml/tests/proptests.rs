@@ -1,0 +1,184 @@
+//! Property-based tests for the neural-network stack.
+
+use proptest::prelude::*;
+use qi_ml::data::{Dataset, Standardizer};
+use qi_ml::loss::{inverse_frequency_weights, softmax, softmax_cross_entropy};
+use qi_ml::matrix::Matrix;
+use qi_ml::metrics::ConfusionMatrix;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-50.0f32..50.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// Softmax rows are probability distributions for any finite logits.
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix_strategy(4, 5)) {
+        let p = softmax(&m);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to
+    /// ~0 when all class weights are equal (softmax gradient property).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(
+        m in matrix_strategy(6, 3),
+        labels in prop::collection::vec(0usize..3, 6),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&m, &labels, &[1.0, 1.0, 1.0]);
+        prop_assert!(loss >= 0.0);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {} grad sums to {}", r, s);
+        }
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(4, 2),
+    ) {
+        let mut bc = b.clone();
+        for (x, &y) in bc.data_mut().iter_mut().zip(c.data()) {
+            *x += y;
+        }
+        let left = a.matmul(&bc);
+        let ab = a.matmul(&b);
+        let ac = a.matmul(&c);
+        for i in 0..left.data().len() {
+            let rhs = ab.data()[i] + ac.data()[i];
+            prop_assert!(
+                (left.data()[i] - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()),
+                "index {}: {} vs {}",
+                i,
+                left.data()[i],
+                rhs
+            );
+        }
+    }
+
+    /// `t_matmul`/`matmul_t` agree with explicit transposes for any
+    /// shapes.
+    #[test]
+    fn transpose_products_agree(
+        a in matrix_strategy(5, 3),
+        b in matrix_strategy(5, 2),
+    ) {
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        prop_assert_eq!(fast, slow);
+        let c = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.5 - 3.0).collect());
+        let fast2 = a.matmul_t(&c);
+        let slow2 = a.matmul(&c.transpose());
+        prop_assert_eq!(fast2, slow2);
+    }
+
+    /// Standardised training data has ~zero mean per feature; transform
+    /// never produces non-finite values even with constant columns.
+    #[test]
+    fn standardizer_is_safe(
+        rows in 2usize..30,
+        constant in -5.0f32..5.0,
+    ) {
+        let cols = 4;
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            data.push(constant); // constant column
+            data.push(r as f32);
+            data.push((r as f32).sin() * 10.0);
+            data.push(-(r as f32) * 0.25);
+        }
+        let x = Matrix::from_vec(rows, cols, data);
+        let st = Standardizer::fit(&x);
+        let mut t = x.clone();
+        st.transform(&mut t);
+        prop_assert!(t.data().iter().all(|v| v.is_finite()));
+        for c in 0..cols {
+            let mean: f32 = (0..rows).map(|r| t.get(r, c)).sum::<f32>() / rows as f32;
+            prop_assert!(mean.abs() < 1e-3, "col {} mean {}", c, mean);
+        }
+    }
+
+    /// Confusion-matrix identities hold for any recorded pairs:
+    /// accuracy = diag/total, per-class recall·support sums to the
+    /// number of correct predictions, and every score is in [0, 1].
+    #[test]
+    fn confusion_matrix_identities(
+        pairs in prop::collection::vec((0usize..3, 0usize..3), 1..200),
+    ) {
+        let mut cm = ConfusionMatrix::new(3);
+        for &(a, p) in &pairs {
+            cm.record(a, p);
+        }
+        prop_assert_eq!(cm.total(), pairs.len() as u64);
+        let diag: u64 = (0..3).map(|i| cm.get(i, i)).sum();
+        prop_assert!((cm.accuracy() - diag as f64 / pairs.len() as f64).abs() < 1e-12);
+        for c in 0..3 {
+            for v in [cm.precision(c), cm.recall(c), cm.f1(c)] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+    }
+
+    /// Inverse-frequency weights: present classes have positive weight
+    /// whose mean is 1; rarer classes never get smaller weights.
+    #[test]
+    fn class_weights_order_by_rarity(
+        labels in prop::collection::vec(0usize..3, 3..300),
+    ) {
+        let w = inverse_frequency_weights(&labels, 3);
+        let mut counts = [0usize; 3];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                if counts[a] > 0 && counts[b] > 0 && counts[a] < counts[b] {
+                    prop_assert!(w[a] >= w[b], "rarer class got smaller weight");
+                }
+            }
+        }
+        let present: Vec<f32> = (0..3).filter(|&c| counts[c] > 0).map(|c| w[c]).collect();
+        let mean: f32 = present.iter().sum::<f32>() / present.len() as f32;
+        prop_assert!((mean - 1.0).abs() < 1e-4);
+    }
+
+    /// Dataset split is a partition for any size/fraction.
+    #[test]
+    fn dataset_split_partitions(
+        n in 2usize..120,
+        frac in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let servers = 2;
+        let samples: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..servers * 3).map(|j| (i * 7 + j) as f32).collect())
+            .collect();
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let d = Dataset::from_samples(samples, y, servers);
+        let (train, test) = d.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        // Row multiset is preserved: compare sorted first-feature values.
+        let mut all: Vec<f32> = Vec::new();
+        for i in 0..train.len() {
+            all.push(train.sample_rows(i).get(0, 0));
+        }
+        for i in 0..test.len() {
+            all.push(test.sample_rows(i).get(0, 0));
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut orig: Vec<f32> = (0..n).map(|i| d.sample_rows(i).get(0, 0)).collect();
+        orig.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(all, orig);
+    }
+}

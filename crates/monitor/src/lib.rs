@@ -1,0 +1,26 @@
+//! # qi-monitor
+//!
+//! The paper's two runtime monitors, reimplemented over simulator traces:
+//!
+//! - [`client`] — the modified-Darshan client-side monitor: per-app,
+//!   per-window request counts, byte totals, I/O time, throughput/IOPS,
+//!   and per-server targeting (paper §III-A).
+//! - [`server`] — the Lustre server-side monitor: per-second device
+//!   counters reduced to windowed sum/mean/std (paper §III-B, Table II).
+//! - [`features`] — assembly of the per-server vectors fed to the
+//!   kernel-based network (paper §III-C).
+//! - [`window`] — shared window indexing.
+
+pub mod client;
+pub mod dxt;
+pub mod features;
+pub mod server;
+pub mod stream;
+pub mod window;
+
+pub use client::{client_windows, ClientWindow, DevTargeting};
+pub use dxt::{export_dxt, import_dxt, DxtParseError};
+pub use features::{feature_names, server_vector, FeatureConfig, N_FEATURES};
+pub use server::{server_windows, SeriesStats, ServerWindow, N_SERVER_SERIES, SERVER_SERIES};
+pub use stream::{EmittedWindow, StreamingMonitor};
+pub use window::WindowConfig;

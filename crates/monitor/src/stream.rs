@@ -1,0 +1,300 @@
+//! Online (streaming) window aggregation.
+//!
+//! The batch functions in [`crate::client`] and [`crate::server`] digest
+//! a finished run. At deployment time the paper's framework instead
+//! receives metrics continuously — the MPI aggregator flushes its
+//! shared-memory buffer each window, and the training server consumes
+//! window after window (§III-A/C). [`StreamingMonitor`] reproduces that:
+//! feed it events in time order and it emits each `(app, window)` cell
+//! exactly once, as soon as the window can no longer change.
+
+use std::collections::HashMap;
+
+use qi_pfs::ids::{AppId, DeviceId};
+use qi_pfs::ops::{OpRecord, RpcRecord, ServerSample};
+
+use crate::client::{ClientWindow, DevTargeting};
+use crate::server::{ServerWindow, N_SERVER_SERIES};
+use crate::window::WindowConfig;
+use qi_simkit::stats::OnlineStats;
+use qi_simkit::time::SimTime;
+
+/// A fully assembled window emitted by the streaming monitor.
+pub struct EmittedWindow {
+    /// Window index.
+    pub window: u64,
+    /// Per-application client metrics (apps active in this window).
+    pub clients: HashMap<AppId, ClientWindow>,
+    /// Per-device server metrics.
+    pub servers: HashMap<DeviceId, ServerWindow>,
+}
+
+/// Incremental window builder. All inputs must arrive in non-decreasing
+/// time order (as they do from the simulator and from real collectors).
+pub struct StreamingMonitor {
+    cfg: WindowConfig,
+    n_devices: u32,
+    watermark: SimTime,
+    current: u64,
+    clients: HashMap<AppId, ClientWindow>,
+    server_acc: HashMap<DeviceId, [OnlineStats; N_SERVER_SERIES]>,
+    last_sample: HashMap<DeviceId, ServerSample>,
+    emitted: u64,
+}
+
+impl StreamingMonitor {
+    /// New monitor starting at window 0.
+    pub fn new(cfg: WindowConfig, n_devices: u32) -> Self {
+        StreamingMonitor {
+            cfg,
+            n_devices,
+            watermark: SimTime::ZERO,
+            current: 0,
+            clients: HashMap::new(),
+            server_acc: HashMap::new(),
+            last_sample: HashMap::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Windows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn check_order(&mut self, t: SimTime) {
+        assert!(
+            t >= self.watermark,
+            "streaming monitor fed out of order: {t:?} < {:?}",
+            self.watermark
+        );
+        self.watermark = t;
+    }
+
+    /// Advance to `t`'s window, emitting every completed window before it.
+    fn roll_to(&mut self, t: SimTime, out: &mut Vec<EmittedWindow>) {
+        let w = self.cfg.index_of(t);
+        while self.current < w {
+            out.push(self.flush_current());
+        }
+    }
+
+    fn flush_current(&mut self) -> EmittedWindow {
+        let clients = std::mem::take(&mut self.clients);
+        let servers = self
+            .server_acc
+            .drain()
+            .map(|(dev, stats)| {
+                let mut sw = ServerWindow {
+                    samples: stats[0].count() as u32,
+                    ..ServerWindow::default()
+                };
+                for (i, s) in stats.iter().enumerate() {
+                    sw.series[i] = crate::server::SeriesStats {
+                        sum: s.sum(),
+                        mean: s.mean(),
+                        std: s.std_dev(),
+                    };
+                }
+                (dev, sw)
+            })
+            .collect();
+        let window = self.current;
+        self.current += 1;
+        self.emitted += 1;
+        EmittedWindow {
+            window,
+            clients,
+            servers,
+        }
+    }
+
+    /// Feed one completed client operation. Returns any windows that
+    /// became final.
+    pub fn push_op(&mut self, op: &OpRecord) -> Vec<EmittedWindow> {
+        self.check_order(op.completed);
+        let mut out = Vec::new();
+        self.roll_to(op.completed, &mut out);
+        let n = self.n_devices as usize;
+        let cell = self
+            .clients
+            .entry(op.token.app)
+            .or_insert_with(|| ClientWindow {
+                per_dev: vec![DevTargeting::default(); n],
+                ..ClientWindow::default()
+            });
+        match op.kind {
+            qi_pfs::ops::OpKind::Read => {
+                cell.reads += 1;
+                cell.bytes_read += op.bytes;
+            }
+            qi_pfs::ops::OpKind::Write => {
+                cell.writes += 1;
+                cell.bytes_written += op.bytes;
+            }
+            _ => cell.metas += 1,
+        }
+        cell.io_time += op.duration();
+        cell.ops.push((op.token, op.kind, op.duration()));
+        out
+    }
+
+    /// Feed one issued RPC (attributes per-server targeting).
+    pub fn push_rpc(&mut self, rpc: &RpcRecord) -> Vec<EmittedWindow> {
+        self.check_order(rpc.issued);
+        let mut out = Vec::new();
+        self.roll_to(rpc.issued, &mut out);
+        let n = self.n_devices as usize;
+        let cell = self.clients.entry(rpc.app).or_insert_with(|| ClientWindow {
+            per_dev: vec![DevTargeting::default(); n],
+            ..ClientWindow::default()
+        });
+        let d = &mut cell.per_dev[rpc.dev.index()];
+        match rpc.kind {
+            qi_pfs::ops::OpKind::Read => {
+                d.read_reqs += 1;
+                d.bytes_read += rpc.bytes;
+            }
+            qi_pfs::ops::OpKind::Write => {
+                d.write_reqs += 1;
+                d.bytes_written += rpc.bytes;
+            }
+            _ => d.meta_reqs += 1,
+        }
+        out
+    }
+
+    /// Feed one per-second server sample.
+    pub fn push_sample(&mut self, sample: &ServerSample) -> Vec<EmittedWindow> {
+        self.check_order(sample.time);
+        let mut out = Vec::new();
+        // The interval (prev, cur] belongs to the window holding its end.
+        if sample.time.as_nanos() > 0 {
+            self.roll_to(SimTime(sample.time.as_nanos() - 1), &mut out);
+        }
+        if let Some(prev) = self.last_sample.get(&sample.dev) {
+            let deltas = crate::server::delta_series_pub(prev, sample);
+            let acc = self.server_acc.entry(sample.dev).or_default();
+            for (stat, d) in acc.iter_mut().zip(deltas) {
+                stat.push(d);
+            }
+        }
+        self.last_sample.insert(sample.dev, *sample);
+        out
+    }
+
+    /// Signal end-of-stream: flush the final (partial) window.
+    pub fn finish(mut self) -> Vec<EmittedWindow> {
+        let mut out = Vec::new();
+        if !self.clients.is_empty() || !self.server_acc.is_empty() {
+            out.push(self.flush_current());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qi_pfs::ids::OpToken;
+    use qi_pfs::ops::{OpKind, RunTrace};
+
+    fn op(app: u32, seq: u64, completed_ms: u64) -> OpRecord {
+        OpRecord {
+            token: OpToken {
+                app: AppId(app),
+                rank: 0,
+                seq,
+            },
+            kind: OpKind::Read,
+            bytes: 100,
+            issued: SimTime::from_millis(completed_ms.saturating_sub(5)),
+            completed: SimTime::from_millis(completed_ms),
+        }
+    }
+
+    #[test]
+    fn windows_emit_when_complete() {
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
+        assert!(m.push_op(&op(0, 0, 100)).is_empty());
+        assert!(m.push_op(&op(0, 1, 900)).is_empty());
+        // Crossing into window 2 finalises windows 0 and 1.
+        let emitted = m.push_op(&op(0, 2, 2100));
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].window, 0);
+        assert_eq!(emitted[0].clients[&AppId(0)].reads, 2);
+        assert_eq!(emitted[1].window, 1);
+        assert!(emitted[1].clients.is_empty());
+        let rest = m.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].window, 2);
+        assert_eq!(rest[0].clients[&AppId(0)].reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_input_panics() {
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
+        m.push_op(&op(0, 0, 500));
+        m.push_op(&op(0, 1, 400));
+    }
+
+    #[test]
+    fn streaming_matches_batch_aggregation() {
+        // Build an interleaved synthetic trace and check the streaming
+        // result equals the batch client_windows() result.
+        let mut trace = RunTrace::default();
+        for i in 0..200u64 {
+            trace.ops.push(op((i % 3) as u32, i, i * 37));
+        }
+        let cfg = WindowConfig::seconds(1);
+        let batch = crate::client::client_windows(&trace, cfg, 4);
+
+        let mut m = StreamingMonitor::new(cfg, 4);
+        let mut emitted = Vec::new();
+        for o in &trace.ops {
+            emitted.extend(m.push_op(o));
+        }
+        emitted.extend(m.finish());
+
+        let mut streamed = 0;
+        for ew in &emitted {
+            for (app, cw) in &ew.clients {
+                let b = &batch[&(*app, ew.window)];
+                assert_eq!(b.reads, cw.reads);
+                assert_eq!(b.bytes_read, cw.bytes_read);
+                assert_eq!(b.io_time, cw.io_time);
+                streamed += 1;
+            }
+        }
+        assert_eq!(streamed, batch.len());
+    }
+
+    #[test]
+    fn server_samples_stream_into_window_stats() {
+        use qi_pfs::queue::DeviceCounters;
+        let mk = |sec: u64, reads: u64| ServerSample {
+            time: SimTime::from_secs(sec),
+            dev: DeviceId(0),
+            counters: DeviceCounters {
+                reads_completed: reads,
+                ..DeviceCounters::default()
+            },
+            dirty_bytes: 0,
+            throttled_now: 0,
+        };
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(2), 1);
+        let mut emitted = Vec::new();
+        emitted.extend(m.push_sample(&mk(1, 10)));
+        emitted.extend(m.push_sample(&mk(2, 30)));
+        emitted.extend(m.push_sample(&mk(3, 60))); // finalises window 0
+        emitted.extend(m.push_sample(&mk(5, 100))); // finalises window 1
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].window, 0);
+        let w0 = &emitted[0].servers[&DeviceId(0)];
+        assert_eq!(w0.series[0].sum, 20.0); // delta 10→30
+        assert_eq!(emitted[1].window, 1);
+        let w1 = &emitted[1].servers[&DeviceId(0)];
+        assert_eq!(w1.series[0].sum, 30.0); // delta 30→60
+    }
+}

@@ -1,0 +1,67 @@
+//! Time-window indexing shared by both monitors.
+
+use qi_simkit::time::{SimDuration, SimTime};
+
+/// Window configuration: the aggregation period used by both the
+/// client-side and server-side monitors (paper: "a user-defined time
+/// window size").
+#[derive(Clone, Copy, Debug)]
+pub struct WindowConfig {
+    /// Window length.
+    pub window: SimDuration,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl WindowConfig {
+    /// A window of `secs` seconds.
+    pub fn seconds(secs: u64) -> Self {
+        WindowConfig {
+            window: SimDuration::from_secs(secs),
+        }
+    }
+
+    /// Index of the window containing instant `t` (0-based).
+    pub fn index_of(&self, t: SimTime) -> u64 {
+        debug_assert!(self.window.as_nanos() > 0);
+        t.as_nanos() / self.window.as_nanos()
+    }
+
+    /// Number of whole windows fully contained in `[0, end)`.
+    pub fn count_until(&self, end: SimTime) -> u64 {
+        end.as_nanos() / self.window.as_nanos()
+    }
+
+    /// Start instant of window `w`.
+    pub fn start_of(&self, w: u64) -> SimTime {
+        SimTime(w * self.window.as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_is_floor_division() {
+        let w = WindowConfig::seconds(2);
+        assert_eq!(w.index_of(SimTime::ZERO), 0);
+        assert_eq!(w.index_of(SimTime::from_millis(1999)), 0);
+        assert_eq!(w.index_of(SimTime::from_millis(2000)), 1);
+        assert_eq!(w.index_of(SimTime::from_secs(9)), 4);
+    }
+
+    #[test]
+    fn count_and_start_round_trip() {
+        let w = WindowConfig::seconds(3);
+        assert_eq!(w.count_until(SimTime::from_secs(9)), 3);
+        assert_eq!(w.count_until(SimTime::from_secs(10)), 3);
+        assert_eq!(w.start_of(2), SimTime::from_secs(6));
+    }
+}

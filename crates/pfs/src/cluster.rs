@@ -1,0 +1,1584 @@
+//! The cluster simulator: clients, network, OSS/OST, MDS/MDT, all driven
+//! by one deterministic event loop.
+//!
+//! Data-path flow (write): rank issues op → per-stripe chunk RPCs travel
+//! the network (NIC contention) → OSS CPU → write-back cache (absorb or
+//! throttle) → background flush requests on the OST queue (merging,
+//! read-priority dispatch) → rotational disk. Reads are synchronous
+//! foreground requests; replies carry the payload back through the
+//! network. Metadata ops go to the MDS: CPU, lookup cache, per-directory
+//! locks, and journal writes on the MDT device.
+
+use std::collections::{HashMap, VecDeque};
+
+use qi_simkit::event::EventQueue;
+use qi_simkit::ratelimit::TokenBucket;
+use qi_simkit::rng::SimRng;
+use qi_simkit::time::{SimDuration, SimTime};
+
+use crate::cache::{Admit, LruSet, SmallObjectCache, WriteCache};
+use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
+use crate::disk::Disk;
+use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
+use crate::layout::{chunks, ExtentMap, FileLayout, ObjKey};
+use crate::net::Network;
+use crate::ops::{
+    IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
+};
+use crate::queue::{BlockDevice, Dispatch, ReqKind};
+
+/// Client-side per-op syscall/dispatch overhead.
+const CLIENT_OP_OVERHEAD: SimDuration = SimDuration::from_micros(5);
+/// Payload bytes of a metadata request/reply.
+const META_MSG_BYTES: u64 = 1024;
+/// Sectors per metadata device operation (4 KiB records).
+const META_SECTORS: u64 = 8;
+
+/// Completion payload attached to device block requests.
+enum DiskTag {
+    /// Foreground read belonging to a client read chunk.
+    ReadChunk { chunk: u64 },
+    /// Background flush of dirty cache data (payload-byte share).
+    Flush { dirty_bytes: u64 },
+    /// Synchronous write belonging to a client write chunk.
+    SyncChunk { chunk: u64 },
+    /// MDT journal write completing a namespace mutation.
+    Journal {
+        token: OpToken,
+        client: NodeId,
+        dir: DirKey,
+    },
+    /// MDT inode read completing a lookup miss.
+    Lookup {
+        token: OpToken,
+        client: NodeId,
+        file: FileKey,
+    },
+}
+
+/// A write waiting in (or moving through) an OSS cache.
+struct PendingWrite {
+    token: OpToken,
+    client: NodeId,
+    dev: DeviceId,
+    obj: ObjKey,
+    obj_off: u64,
+    len: u64,
+}
+
+/// In-flight chunk bookkeeping (reads and sync writes).
+struct ChunkPending {
+    remaining: u32,
+    token: OpToken,
+    client: NodeId,
+    dev: DeviceId,
+    reply_bytes: u64,
+    /// Object touched, with the end offset of the access (for read-cache
+    /// residency updates on completion). `None` for sync writes.
+    touched: Option<(ObjKey, u64)>,
+}
+
+/// Messages travelling the simulated network.
+enum Msg {
+    ReadReq {
+        dev: DeviceId,
+        obj: ObjKey,
+        obj_off: u64,
+        len: u64,
+        token: OpToken,
+        client: NodeId,
+    },
+    WriteReq {
+        dev: DeviceId,
+        obj: ObjKey,
+        obj_off: u64,
+        len: u64,
+        token: OpToken,
+        client: NodeId,
+    },
+    MetaReq {
+        op: MetaOp,
+        token: OpToken,
+        client: NodeId,
+    },
+    /// Any server→client completion (read reply, write ack, meta ack).
+    OpDone { token: OpToken },
+}
+
+/// Metadata request payloads.
+enum MetaOp {
+    /// open/stat: namespace lookup, maybe an MDT inode read.
+    Lookup { file: FileKey },
+    /// close: CPU only.
+    Close,
+    /// create/unlink/mkdir: directory lock + journal write. For create,
+    /// the layout is registered at processing time.
+    Mutate {
+        create: Option<(FileKey, Option<StripeConfig>)>,
+        dir: DirKey,
+    },
+}
+
+/// Simulator events.
+enum Ev {
+    /// Ask a rank for its next step.
+    RankNext { app: u32, rank: u32 },
+    /// A network message arrives at its destination.
+    Deliver(Msg),
+    /// OSS CPU finished processing a data RPC.
+    OssProcess(Msg),
+    /// MDS CPU finished processing a metadata RPC.
+    MdsProcess(Msg),
+    /// A device finished its in-service block request.
+    DiskDone { dev: u32 },
+    /// A device's anticipation window expired; re-check its queue.
+    DiskIdle { dev: u32 },
+    /// Deferred server→client send (e.g. ack after cache absorb).
+    SendLater {
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+        token: OpToken,
+    },
+    /// A rate-limited data RPC cleared its token-bucket wait.
+    TbfAdmitted(Msg),
+    /// Directory-lock revocation finished; run the mutation's journal
+    /// write under the lock.
+    MdsLockRun {
+        token: OpToken,
+        client: NodeId,
+        dir: DirKey,
+    },
+    /// Server-side monitor tick.
+    Sample,
+    /// A scheduled fail-slow injection fires on a device.
+    FailSlow { dev: u32, factor: f64 },
+}
+
+/// Per-directory metadata lock with FIFO waiters.
+#[derive(Default)]
+struct DirLock {
+    busy: bool,
+    waiters: VecDeque<(OpToken, NodeId)>,
+    /// Client that last held the lock; a different client pays a
+    /// revocation round-trip before its mutation runs.
+    last_client: Option<NodeId>,
+}
+
+/// Metadata server state.
+struct MdsState {
+    namespace: HashMap<FileKey, FileLayout>,
+    dirs: HashMap<DirKey, DirLock>,
+    inode_cache: LruSet<FileKey>,
+    cpu_free: SimTime,
+    journal_ptr: u64,
+    journal_base: u64,
+    journal_sectors: u64,
+    inode_base: u64,
+    inode_sectors: u64,
+}
+
+/// Per-rank execution state.
+struct RankState {
+    seq: u64,
+    outstanding: u32,
+    cur: Option<(OpToken, OpKind, u64, SimTime)>,
+    done: bool,
+}
+
+/// One application instance.
+struct AppState {
+    name: String,
+    programs: Vec<Option<Box<dyn RankProgram>>>,
+    nodes: Vec<NodeId>,
+    ranks: Vec<RankState>,
+    ranks_left: u32,
+}
+
+/// The whole simulated cluster. Build it, add applications, then [`run`].
+///
+/// [`run`]: Cluster::run
+pub struct Cluster {
+    cfg: ClusterConfig,
+    events: EventQueue<Ev>,
+    net: Network,
+    devices: Vec<BlockDevice<DiskTag>>,
+    extents: Vec<ExtentMap>,
+    caches: Vec<WriteCache<PendingWrite>>,
+    read_cache: Vec<SmallObjectCache>,
+    dev_node: Vec<NodeId>,
+    oss_cpu_free: Vec<SimTime>,
+    mds: MdsState,
+    apps: Vec<AppState>,
+    chunk_pending: HashMap<u64, ChunkPending>,
+    next_chunk: u64,
+    /// Per-application server-side token-bucket filters (bytes/s), the
+    /// classful TBF NRS policy of Qian et al. — data RPCs of a limited
+    /// app are admitted to the OSS only as tokens accrue.
+    tbf: HashMap<AppId, TokenBucket>,
+    trace: RunTrace,
+    rng: SimRng,
+}
+
+/// Deterministic 64-bit mix of a file key, used for placement and inode
+/// slots. Placement must depend only on the file's identity — never on
+/// creation order — so that a file lands on the same OSTs in a baseline
+/// run and an interfered run.
+fn file_hash(file: FileKey) -> u64 {
+    let mut z = (file.app.0 as u64)
+        .wrapping_shl(32)
+        .wrapping_add(file.num)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Cluster {
+    /// Build an idle cluster from `cfg`, seeding all internal randomness
+    /// (MDS cache hits) from `seed`.
+    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        let n_osts = cfg.n_osts() as usize;
+        let mut devices = Vec::with_capacity(n_osts + 1);
+        let mut extents = Vec::with_capacity(n_osts);
+        let mut caches = Vec::with_capacity(n_osts);
+        let mut dev_node = Vec::with_capacity(n_osts + 1);
+        for i in 0..n_osts {
+            devices.push(BlockDevice::new(
+                cfg.queue.clone(),
+                Disk::new(cfg.ost_disk.clone()),
+            ));
+            extents.push(ExtentMap::new(cfg.ost_disk.capacity_sectors));
+            caches.push(WriteCache::new(cfg.cache.clone()));
+            let oss = i as u32 / cfg.osts_per_oss;
+            dev_node.push(NodeId(cfg.client_nodes + oss));
+        }
+        // The MDT device: journal is synchronous, so no write-back cache.
+        devices.push(BlockDevice::new(
+            cfg.queue.clone(),
+            Disk::new(cfg.mdt_disk.clone()),
+        ));
+        let mds_node = NodeId(cfg.client_nodes + cfg.oss_nodes);
+        dev_node.push(mds_node);
+
+        let journal_base = 2048;
+        let journal_sectors = cfg.mds.journal_region_bytes / SECTOR_SIZE;
+        let mds = MdsState {
+            namespace: HashMap::new(),
+            dirs: HashMap::new(),
+            inode_cache: LruSet::new(cfg.mds.inode_cache_entries),
+            cpu_free: SimTime::ZERO,
+            journal_ptr: journal_base,
+            journal_base,
+            journal_sectors,
+            inode_base: journal_base + journal_sectors,
+            inode_sectors: (cfg.mdt_disk.capacity_sectors - journal_base - journal_sectors) / 2,
+        };
+        let rng = SimRng::new(seed).substream(0xC10D);
+        let read_cache = (0..n_osts)
+            .map(|_| SmallObjectCache::new(cfg.cache.small_object_max, cfg.cache.read_cache_budget))
+            .collect();
+        Cluster {
+            net: Network::new(cfg.net.clone(), cfg.n_nodes()),
+            events: EventQueue::new(),
+            oss_cpu_free: vec![SimTime::ZERO; cfg.oss_nodes as usize],
+            devices,
+            extents,
+            caches,
+            read_cache,
+            dev_node,
+            mds,
+            apps: Vec::new(),
+            chunk_pending: HashMap::new(),
+            next_chunk: 0,
+            tbf: HashMap::new(),
+            trace: RunTrace::default(),
+            rng,
+            cfg,
+        }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The client node IDs, `0..client_nodes`.
+    pub fn client_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.client_nodes).map(NodeId).collect()
+    }
+
+    /// The device ID of OST `i`.
+    pub fn ost(&self, i: u32) -> DeviceId {
+        assert!(i < self.cfg.n_osts());
+        DeviceId(i)
+    }
+
+    /// The device ID of the MDT (always the last device).
+    pub fn mdt(&self) -> DeviceId {
+        DeviceId(self.cfg.n_osts())
+    }
+
+    /// Register an application: one program per rank, placed round-robin
+    /// over `nodes` (which must be client nodes). Returns its [`AppId`].
+    pub fn add_app(
+        &mut self,
+        name: &str,
+        programs: Vec<Box<dyn RankProgram>>,
+        nodes: &[NodeId],
+    ) -> AppId {
+        assert!(!programs.is_empty(), "app with zero ranks");
+        assert!(!nodes.is_empty(), "app with no nodes");
+        for n in nodes {
+            assert!(n.0 < self.cfg.client_nodes, "app placed on a server node");
+        }
+        let id = AppId(self.apps.len() as u32);
+        let nranks = programs.len();
+        let rank_nodes: Vec<NodeId> = (0..nranks).map(|r| nodes[r % nodes.len()]).collect();
+        self.apps.push(AppState {
+            name: name.to_string(),
+            programs: programs.into_iter().map(Some).collect(),
+            nodes: rank_nodes,
+            ranks: (0..nranks)
+                .map(|_| RankState {
+                    seq: 0,
+                    outstanding: 0,
+                    cur: None,
+                    done: false,
+                })
+                .collect(),
+            ranks_left: nranks as u32,
+        });
+        self.trace.app_completion.push(None);
+        id
+    }
+
+    /// Name of an application.
+    pub fn app_name(&self, app: AppId) -> &str {
+        &self.apps[app.0 as usize].name
+    }
+
+    /// The [`AppId`] the *next* [`Cluster::add_app`] call will return.
+    /// Workload builders use this to key their file namespaces.
+    pub fn next_app_id(&self) -> AppId {
+        AppId(self.apps.len() as u32)
+    }
+
+    /// Install a server-side token-bucket filter for `app`'s data RPCs:
+    /// at most `bytes_per_sec` of payload is admitted to the object
+    /// servers (burst of one second's worth), queuing the excess — the
+    /// classful TBF policy of Qian et al. (the paper's reference [13]).
+    pub fn set_app_rate_limit(&mut self, app: AppId, bytes_per_sec: f64) {
+        assert!(bytes_per_sec > 0.0);
+        self.tbf
+            .insert(app, TokenBucket::new(bytes_per_sec, bytes_per_sec));
+    }
+
+    /// Schedule a fail-slow injection: from `at` onward, `dev` services
+    /// every request `factor`× slower (1.0 restores health). Models the
+    /// gray-failure drives of Lu et al.'s Perseus.
+    pub fn inject_fail_slow(&mut self, dev: DeviceId, at: SimTime, factor: f64) {
+        assert!(dev.index() < self.devices.len(), "no such device");
+        assert!(factor >= 1.0);
+        self.events
+            .schedule(at, Ev::FailSlow { dev: dev.0, factor });
+    }
+
+    /// Pre-populate a file (namespace entry + contiguous extents) without
+    /// simulating any I/O — the equivalent of a dataset that existed
+    /// before the measured run. OSTs are assigned round-robin.
+    pub fn precreate_file(&mut self, file: FileKey, len: u64, stripe: Option<StripeConfig>) {
+        let layout = self.make_layout(file, stripe);
+        self.install_file(file, len, layout);
+    }
+
+    /// Like [`Cluster::precreate_file`] but with an explicit OST list
+    /// (one per stripe), for workloads that need controlled placement.
+    pub fn precreate_file_on(
+        &mut self,
+        file: FileKey,
+        len: u64,
+        stripe_size: u64,
+        osts: Vec<DeviceId>,
+    ) {
+        assert!(!osts.is_empty());
+        for d in &osts {
+            assert!(d.0 < self.cfg.n_osts(), "placement on a non-OST device");
+        }
+        let layout = FileLayout { stripe_size, osts };
+        self.install_file(file, len, layout);
+    }
+
+    fn install_file(&mut self, file: FileKey, len: u64, layout: FileLayout) {
+        // Pre-existing files were created by an earlier phase of the same
+        // workload sequence (e.g. mdtest-hard-write before -read), so
+        // their inodes are warm in the MDS cache.
+        self.mds.inode_cache.insert(file);
+        if len > 0 {
+            let small = len <= self.cfg.cache.small_object_max;
+            for c in chunks(&layout, 0, len) {
+                let key = ObjKey {
+                    file,
+                    stripe: c.stripe,
+                };
+                self.extents[c.dev.index()].map(key, c.obj_offset, c.len);
+                if small {
+                    // Small pre-existing files sit in the server page
+                    // cache (e.g. mdtest-hard bodies written moments
+                    // before the read phase).
+                    self.read_cache[c.dev.index()].touch(key, c.obj_offset + c.len);
+                }
+            }
+        }
+        self.mds.namespace.insert(file, layout);
+    }
+
+    fn make_layout(&mut self, file: FileKey, stripe: Option<StripeConfig>) -> FileLayout {
+        let s = stripe.unwrap_or(self.cfg.stripe);
+        let n_osts = self.cfg.n_osts();
+        let count = s.stripe_count.clamp(1, n_osts);
+        let start = (file_hash(file) % n_osts as u64) as u32;
+        FileLayout {
+            stripe_size: s.stripe_size,
+            osts: (0..count).map(|i| DeviceId((start + i) % n_osts)).collect(),
+        }
+    }
+
+    fn layout_of(&mut self, file: FileKey) -> FileLayout {
+        if let Some(l) = self.mds.namespace.get(&file) {
+            return l.clone();
+        }
+        // Data op on a file never created in this run: auto-register with
+        // the default stripe (the file "already existed").
+        let l = self.make_layout(file, None);
+        self.mds.namespace.insert(file, l.clone());
+        l
+    }
+
+    fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload: u64, msg: Msg) {
+        let deliver = self.net.send(now, src, dst, payload);
+        self.events.schedule(deliver, Ev::Deliver(msg));
+    }
+
+    /// Run until `deadline` (or until no events remain). Consumes the
+    /// cluster and returns its trace.
+    pub fn run(self, deadline: SimTime) -> RunTrace {
+        self.run_inner(deadline, None)
+    }
+
+    /// Run until application `app` completes (all ranks finished), or
+    /// until `deadline` as a safety stop. The trace's
+    /// [`RunTrace::completion_of`] tells which happened.
+    pub fn run_until_app(self, app: AppId, deadline: SimTime) -> RunTrace {
+        self.run_inner(deadline, Some(app))
+    }
+
+    fn run_inner(mut self, deadline: SimTime, stop_app: Option<AppId>) -> RunTrace {
+        // Kick every rank and the sampler.
+        for a in 0..self.apps.len() {
+            for r in 0..self.apps[a].ranks.len() {
+                self.events.schedule(
+                    SimTime::ZERO,
+                    Ev::RankNext {
+                        app: a as u32,
+                        rank: r as u32,
+                    },
+                );
+            }
+        }
+        self.events
+            .schedule(SimTime::ZERO + self.cfg.sample_interval, Ev::Sample);
+
+        while let Some((now, ev)) = self.events.pop_until(deadline) {
+            self.handle(now, ev);
+            if let Some(app) = stop_app {
+                if self.trace.app_completion[app.0 as usize].is_some() {
+                    break;
+                }
+            }
+        }
+        self.trace.end = self.events.now();
+        self.trace
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::RankNext { app, rank } => self.rank_next(now, app, rank),
+            Ev::Deliver(msg) => self.deliver(now, msg),
+            Ev::OssProcess(msg) => self.oss_process(now, msg),
+            Ev::MdsProcess(msg) => self.mds_process(now, msg),
+            Ev::DiskDone { dev } => self.disk_done(now, dev),
+            Ev::DiskIdle { dev } => {
+                let d = self.devices[dev as usize].idle_check(now);
+                self.handle_dispatch(now, dev, d);
+            }
+            Ev::SendLater {
+                src,
+                dst,
+                payload,
+                token,
+            } => self.send(now, src, dst, payload, Msg::OpDone { token }),
+            Ev::TbfAdmitted(msg) => self.oss_admit(now, msg),
+            Ev::MdsLockRun { token, client, dir } => {
+                self.start_journal_write(now, token, client, dir)
+            }
+            Ev::Sample => {
+                self.take_sample(now);
+                self.events
+                    .schedule(now + self.cfg.sample_interval, Ev::Sample);
+            }
+            Ev::FailSlow { dev, factor } => {
+                self.devices[dev as usize].disk_mut().set_fail_slow(factor);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- clients
+
+    fn rank_next(&mut self, now: SimTime, app: u32, rank: u32) {
+        let step = {
+            let a = &mut self.apps[app as usize];
+            match a.programs[rank as usize].as_mut() {
+                Some(p) => p.next(now),
+                None => return,
+            }
+        };
+        match step {
+            ProgramStep::Compute(d) => {
+                self.events.schedule(now + d, Ev::RankNext { app, rank });
+            }
+            ProgramStep::Finished => {
+                let a = &mut self.apps[app as usize];
+                a.programs[rank as usize] = None;
+                if !a.ranks[rank as usize].done {
+                    a.ranks[rank as usize].done = true;
+                    a.ranks_left -= 1;
+                    if a.ranks_left == 0 {
+                        self.trace.app_completion[app as usize] = Some(now);
+                    }
+                }
+            }
+            ProgramStep::Op(op) => self.issue_op(now, app, rank, op),
+        }
+    }
+
+    fn issue_op(&mut self, now: SimTime, app: u32, rank: u32, op: IoOp) {
+        let issued = now + CLIENT_OP_OVERHEAD;
+        let token = {
+            let st = &mut self.apps[app as usize].ranks[rank as usize];
+            let token = OpToken {
+                app: AppId(app),
+                rank,
+                seq: st.seq,
+            };
+            st.seq += 1;
+            st.cur = Some((token, op.kind(), op.bytes(), issued));
+            token
+        };
+        let client = self.apps[app as usize].nodes[rank as usize];
+        match op {
+            IoOp::Read { file, offset, len } | IoOp::Write { file, offset, len } => {
+                let is_read = matches!(
+                    self.apps[app as usize].ranks[rank as usize].cur,
+                    Some((_, OpKind::Read, _, _))
+                );
+                let layout = self.layout_of(file);
+                let cs = chunks(&layout, offset, len);
+                self.apps[app as usize].ranks[rank as usize].outstanding = cs.len() as u32;
+                for c in cs {
+                    let obj = ObjKey {
+                        file,
+                        stripe: c.stripe,
+                    };
+                    self.trace.rpcs.push(RpcRecord {
+                        app: AppId(app),
+                        dev: c.dev,
+                        kind: if is_read { OpKind::Read } else { OpKind::Write },
+                        bytes: c.len,
+                        issued,
+                    });
+                    let dst = self.dev_node[c.dev.index()];
+                    let (payload, msg) = if is_read {
+                        (
+                            0,
+                            Msg::ReadReq {
+                                dev: c.dev,
+                                obj,
+                                obj_off: c.obj_offset,
+                                len: c.len,
+                                token,
+                                client,
+                            },
+                        )
+                    } else {
+                        (
+                            c.len,
+                            Msg::WriteReq {
+                                dev: c.dev,
+                                obj,
+                                obj_off: c.obj_offset,
+                                len: c.len,
+                                token,
+                                client,
+                            },
+                        )
+                    };
+                    self.send(issued, client, dst, payload, msg);
+                }
+            }
+            meta => {
+                self.apps[app as usize].ranks[rank as usize].outstanding = 1;
+                let mop = match meta {
+                    IoOp::Open { file } | IoOp::Stat { file } => MetaOp::Lookup { file },
+                    IoOp::Close { .. } => MetaOp::Close,
+                    IoOp::Create { file, dir, stripe } => MetaOp::Mutate {
+                        create: Some((file, stripe)),
+                        dir,
+                    },
+                    IoOp::Unlink { dir, .. } => MetaOp::Mutate { create: None, dir },
+                    IoOp::Mkdir { dir } => MetaOp::Mutate { create: None, dir },
+                    IoOp::Read { .. } | IoOp::Write { .. } => unreachable!(),
+                };
+                let mdt = self.mdt();
+                self.trace.rpcs.push(RpcRecord {
+                    app: AppId(app),
+                    dev: mdt,
+                    kind: self.apps[app as usize].ranks[rank as usize]
+                        .cur
+                        .expect("current op")
+                        .1,
+                    bytes: 0,
+                    issued,
+                });
+                let dst = self.dev_node[mdt.index()];
+                self.send(
+                    issued,
+                    client,
+                    dst,
+                    META_MSG_BYTES,
+                    Msg::MetaReq {
+                        op: mop,
+                        token,
+                        client,
+                    },
+                );
+            }
+        }
+    }
+
+    fn op_part_done(&mut self, now: SimTime, token: OpToken) {
+        let app = token.app.0 as usize;
+        let rank = token.rank as usize;
+        let st = &mut self.apps[app].ranks[rank];
+        let Some((cur_token, kind, bytes, issued)) = st.cur else {
+            return; // op was cancelled (should not happen)
+        };
+        debug_assert_eq!(cur_token, token, "completion for a stale op");
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            st.cur = None;
+            self.trace.ops.push(OpRecord {
+                token,
+                kind,
+                bytes,
+                issued,
+                completed: now,
+            });
+            self.events.schedule(
+                now,
+                Ev::RankNext {
+                    app: token.app.0,
+                    rank: token.rank,
+                },
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- routing
+
+    fn deliver(&mut self, now: SimTime, msg: Msg) {
+        match msg {
+            Msg::ReadReq { len, token, .. } | Msg::WriteReq { len, token, .. } => {
+                // Server-side TBF admission, if this app is rate-limited.
+                // The wait happens BEFORE the CPU stage so a throttled
+                // app cannot head-of-line block other applications.
+                let admitted = match self.tbf.get_mut(&token.app) {
+                    Some(bucket) => bucket.earliest(now, len as f64),
+                    None => now,
+                };
+                if admitted > now {
+                    self.events.schedule(admitted, Ev::TbfAdmitted(msg));
+                } else {
+                    self.oss_admit(now, msg);
+                }
+            }
+            Msg::MetaReq { ref op, .. } => {
+                let cost = match op {
+                    MetaOp::Mutate { .. } => self.cfg.mds.cpu_per_mutation,
+                    _ => self.cfg.mds.cpu_per_op,
+                };
+                let start = now.max(self.mds.cpu_free);
+                let done = start + cost;
+                self.mds.cpu_free = done;
+                self.events.schedule(done, Ev::MdsProcess(msg));
+            }
+            Msg::OpDone { token } => self.op_part_done(now, token),
+        }
+    }
+
+    // -------------------------------------------------------------- OSS
+
+    /// Mark `obj` resident in `dev`'s page cache if, and only if, the
+    /// whole object is small (residency is object-granular, so partially
+    /// read large objects must never qualify).
+    fn touch_small(&mut self, dev: DeviceId, obj: ObjKey) {
+        let bytes = self.extents[dev.index()].object_sectors(obj) * SECTOR_SIZE;
+        if bytes > 0 && bytes <= self.cfg.cache.small_object_max {
+            self.read_cache[dev.index()].touch(obj, bytes);
+        }
+    }
+
+    fn handle_dispatch(&mut self, now: SimTime, dev: u32, d: Dispatch) {
+        match d {
+            Dispatch::Started(dur) => self.events.schedule(now + dur, Ev::DiskDone { dev }),
+            Dispatch::Anticipating(at) => self.events.schedule(at, Ev::DiskIdle { dev }),
+            Dispatch::Idle => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_block(
+        &mut self,
+        now: SimTime,
+        dev: DeviceId,
+        kind: ReqKind,
+        sector: u64,
+        sectors: u64,
+        foreground: bool,
+        tag: DiskTag,
+    ) {
+        let d = self.devices[dev.index()].submit(now, kind, sector, sectors, foreground, tag);
+        self.handle_dispatch(now, dev.0, d);
+    }
+
+    /// Schedule a data RPC onto its OSS node's CPU (post-TBF).
+    fn oss_admit(&mut self, now: SimTime, msg: Msg) {
+        let dev = match &msg {
+            Msg::ReadReq { dev, .. } | Msg::WriteReq { dev, .. } => *dev,
+            _ => unreachable!("only data RPCs reach the OSS"),
+        };
+        let oss = (dev.0 / self.cfg.osts_per_oss) as usize;
+        let start = now.max(self.oss_cpu_free[oss]);
+        let done = start + self.cfg.oss.cpu_per_rpc;
+        self.oss_cpu_free[oss] = done;
+        self.events.schedule(done, Ev::OssProcess(msg));
+    }
+
+    fn oss_process(&mut self, now: SimTime, msg: Msg) {
+        match msg {
+            Msg::ReadReq {
+                dev,
+                obj,
+                obj_off,
+                len,
+                token,
+                client,
+            } => {
+                // Server page cache: small resident objects never touch
+                // the disk.
+                if self.read_cache[dev.index()].contains(obj) {
+                    let memcpy =
+                        SimDuration::from_secs_f64(len as f64 / self.cfg.cache.absorb_rate);
+                    self.events.schedule(
+                        now + memcpy,
+                        Ev::SendLater {
+                            src: self.dev_node[dev.index()],
+                            dst: client,
+                            payload: len,
+                            token,
+                        },
+                    );
+                    return;
+                }
+                let ranges = self.extents[dev.index()].map(obj, obj_off, len);
+                let chunk = self.next_chunk;
+                self.next_chunk += 1;
+                self.chunk_pending.insert(
+                    chunk,
+                    ChunkPending {
+                        remaining: ranges.len() as u32,
+                        token,
+                        client,
+                        dev,
+                        reply_bytes: len,
+                        touched: Some((obj, obj_off + len)),
+                    },
+                );
+                for r in ranges {
+                    self.submit_block(
+                        now,
+                        dev,
+                        ReqKind::Read,
+                        r.sector,
+                        r.sectors,
+                        true,
+                        DiskTag::ReadChunk { chunk },
+                    );
+                }
+            }
+            Msg::WriteReq {
+                dev,
+                obj,
+                obj_off,
+                len,
+                token,
+                client,
+            } => {
+                let pw = PendingWrite {
+                    token,
+                    client,
+                    dev,
+                    obj,
+                    obj_off,
+                    len,
+                };
+                match self.caches[dev.index()].admit(len, pw) {
+                    Admit::Absorbed { absorb } => {
+                        let pw = PendingWrite {
+                            token,
+                            client,
+                            dev,
+                            obj,
+                            obj_off,
+                            len,
+                        };
+                        self.touch_small(dev, obj);
+                        self.start_flush(now, &pw);
+                        self.events.schedule(
+                            now + absorb,
+                            Ev::SendLater {
+                                src: self.dev_node[dev.index()],
+                                dst: client,
+                                payload: 0,
+                                token,
+                            },
+                        );
+                    }
+                    Admit::Throttled => {} // released by a later flush
+                    Admit::Sync => {
+                        let ranges = self.extents[dev.index()].map(obj, obj_off, len);
+                        let chunk = self.next_chunk;
+                        self.next_chunk += 1;
+                        self.chunk_pending.insert(
+                            chunk,
+                            ChunkPending {
+                                remaining: ranges.len() as u32,
+                                token,
+                                client,
+                                dev,
+                                reply_bytes: 0,
+                                touched: None,
+                            },
+                        );
+                        for r in ranges {
+                            self.submit_block(
+                                now,
+                                dev,
+                                ReqKind::Write,
+                                r.sector,
+                                r.sectors,
+                                true,
+                                DiskTag::SyncChunk { chunk },
+                            );
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("only data RPCs reach the OSS"),
+        }
+    }
+
+    /// Submit background flush requests covering one absorbed write.
+    fn start_flush(&mut self, now: SimTime, pw: &PendingWrite) {
+        let ranges = self.extents[pw.dev.index()].map(pw.obj, pw.obj_off, pw.len);
+        let mut remaining = pw.len;
+        let n = ranges.len();
+        for (i, r) in ranges.into_iter().enumerate() {
+            let sector_bytes = r.sectors * SECTOR_SIZE;
+            let share = if i + 1 == n {
+                remaining
+            } else {
+                sector_bytes.min(remaining)
+            };
+            remaining -= share;
+            self.submit_block(
+                now,
+                pw.dev,
+                ReqKind::Write,
+                r.sector,
+                r.sectors,
+                false,
+                DiskTag::Flush { dirty_bytes: share },
+            );
+        }
+    }
+
+    // -------------------------------------------------------------- MDS
+
+    fn journal_alloc(&mut self) -> u64 {
+        let s = self.mds.journal_ptr;
+        self.mds.journal_ptr += self.cfg.mds.journal_record_bytes / SECTOR_SIZE;
+        if self.mds.journal_ptr >= self.mds.journal_base + self.mds.journal_sectors {
+            self.mds.journal_ptr = self.mds.journal_base;
+        }
+        s
+    }
+
+    fn inode_sector(&self, file: FileKey) -> u64 {
+        // Spread inode reads over the inode region, 4 KiB aligned.
+        let h = (file.app.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(file.num.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let slots = (self.mds.inode_sectors / META_SECTORS).max(1);
+        self.mds.inode_base + (h % slots) * META_SECTORS
+    }
+
+    /// Begin a mutation that holds `dir`'s lock: pay the lock revocation
+    /// round-trip first when the lock last belonged to a different
+    /// client, then journal the change.
+    fn run_under_dir_lock(&mut self, now: SimTime, token: OpToken, client: NodeId, dir: DirKey) {
+        let lock = self.mds.dirs.get_mut(&dir).expect("locked dir");
+        let switch = lock.last_client != Some(client);
+        lock.last_client = Some(client);
+        if switch {
+            let at = now + self.cfg.mds.lock_revoke;
+            self.events
+                .schedule(at, Ev::MdsLockRun { token, client, dir });
+        } else {
+            self.start_journal_write(now, token, client, dir);
+        }
+    }
+
+    fn start_journal_write(&mut self, now: SimTime, token: OpToken, client: NodeId, dir: DirKey) {
+        let sector = self.journal_alloc();
+        let mdt = self.mdt();
+        self.submit_block(
+            now,
+            mdt,
+            ReqKind::Write,
+            sector,
+            META_SECTORS,
+            true,
+            DiskTag::Journal { token, client, dir },
+        );
+    }
+
+    fn mds_process(&mut self, now: SimTime, msg: Msg) {
+        let Msg::MetaReq { op, token, client } = msg else {
+            unreachable!("only metadata RPCs reach the MDS");
+        };
+        let mds_node = self.dev_node[self.mdt().index()];
+        match op {
+            MetaOp::Lookup { file } => {
+                let hit = self.mds.inode_cache.contains(file)
+                    || self.rng.chance(self.cfg.mds.lookup_cache_hit);
+                if hit {
+                    self.send(now, mds_node, client, META_MSG_BYTES, Msg::OpDone { token });
+                } else {
+                    let sector = self.inode_sector(file);
+                    let mdt = self.mdt();
+                    self.submit_block(
+                        now,
+                        mdt,
+                        ReqKind::Read,
+                        sector,
+                        META_SECTORS,
+                        true,
+                        DiskTag::Lookup {
+                            token,
+                            client,
+                            file,
+                        },
+                    );
+                }
+            }
+            MetaOp::Close => {
+                self.send(now, mds_node, client, META_MSG_BYTES, Msg::OpDone { token });
+            }
+            MetaOp::Mutate { create, dir } => {
+                if let Some((file, stripe)) = create {
+                    let layout = self.make_layout(file, stripe);
+                    self.mds.namespace.insert(file, layout);
+                    // The creator's MDS holds the fresh inode.
+                    self.mds.inode_cache.insert(file);
+                }
+                let lock = self.mds.dirs.entry(dir).or_default();
+                if lock.busy {
+                    lock.waiters.push_back((token, client));
+                } else {
+                    lock.busy = true;
+                    self.run_under_dir_lock(now, token, client, dir);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ disks
+
+    fn disk_done(&mut self, now: SimTime, dev: u32) {
+        let (done, next) = self.devices[dev as usize].complete(now);
+        self.handle_dispatch(now, dev, next);
+        let mut flushed_bytes = 0u64;
+        for m in done.members {
+            match m.tag {
+                DiskTag::ReadChunk { chunk } | DiskTag::SyncChunk { chunk } => {
+                    let finished = {
+                        let p = self
+                            .chunk_pending
+                            .get_mut(&chunk)
+                            .expect("unknown chunk completion");
+                        p.remaining -= 1;
+                        p.remaining == 0
+                    };
+                    if finished {
+                        let p = self.chunk_pending.remove(&chunk).expect("chunk present");
+                        if let Some((obj, _end)) = p.touched {
+                            self.touch_small(p.dev, obj);
+                        }
+                        let src = self.dev_node[p.dev.index()];
+                        self.send(
+                            now,
+                            src,
+                            p.client,
+                            p.reply_bytes,
+                            Msg::OpDone { token: p.token },
+                        );
+                    }
+                }
+                DiskTag::Flush { dirty_bytes } => flushed_bytes += dirty_bytes,
+                DiskTag::Journal { token, client, dir } => {
+                    let src = self.dev_node[self.mdt().index()];
+                    self.send(now, src, client, META_MSG_BYTES, Msg::OpDone { token });
+                    // Release the directory lock; start the next waiter.
+                    let next_waiter = {
+                        let lock = self.mds.dirs.get_mut(&dir).expect("locked dir");
+                        match lock.waiters.pop_front() {
+                            Some(w) => Some(w),
+                            None => {
+                                lock.busy = false;
+                                None
+                            }
+                        }
+                    };
+                    if let Some((t, c)) = next_waiter {
+                        self.run_under_dir_lock(now, t, c, dir);
+                    }
+                }
+                DiskTag::Lookup {
+                    token,
+                    client,
+                    file,
+                } => {
+                    self.mds.inode_cache.insert(file);
+                    let src = self.dev_node[self.mdt().index()];
+                    self.send(now, src, client, META_MSG_BYTES, Msg::OpDone { token });
+                }
+            }
+        }
+        if flushed_bytes > 0 {
+            let released = self.caches[dev as usize].flushed(flushed_bytes);
+            for r in released {
+                let (token, client, d) = (r.tag.token, r.tag.client, r.tag.dev);
+                self.start_flush(now, &r.tag);
+                self.events.schedule(
+                    now + r.absorb,
+                    Ev::SendLater {
+                        src: self.dev_node[d.index()],
+                        dst: client,
+                        payload: 0,
+                        token,
+                    },
+                );
+            }
+        }
+    }
+
+    // --------------------------------------------------------- sampling
+
+    fn take_sample(&mut self, now: SimTime) {
+        let n_osts = self.cfg.n_osts() as usize;
+        for (i, dev) in self.devices.iter().enumerate() {
+            let (dirty, throttled) = if i < n_osts {
+                (
+                    self.caches[i].dirty(),
+                    self.caches[i].throttled_now() as u64,
+                )
+            } else {
+                (0, 0)
+            };
+            self.trace.samples.push(ServerSample {
+                time: now,
+                dev: DeviceId(i as u32),
+                counters: dev.counters(now),
+                dirty_bytes: dirty,
+                throttled_now: throttled,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(num: u64) -> FileKey {
+        FileKey { app: AppId(0), num }
+    }
+
+    /// A program issuing a fixed list of ops, then finishing.
+    struct Script {
+        ops: Vec<IoOp>,
+        i: usize,
+    }
+    impl RankProgram for Script {
+        fn next(&mut self, _now: SimTime) -> ProgramStep {
+            if self.i < self.ops.len() {
+                self.i += 1;
+                ProgramStep::Op(self.ops[self.i - 1].clone())
+            } else {
+                ProgramStep::Finished
+            }
+        }
+    }
+
+    fn script(ops: Vec<IoOp>) -> Box<dyn RankProgram> {
+        Box::new(Script { ops, i: 0 })
+    }
+
+    #[test]
+    fn single_write_completes_and_is_traced() {
+        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let app = cl.add_app(
+            "w",
+            vec![script(vec![IoOp::Write {
+                file: file(1),
+                offset: 0,
+                len: 1024 * 1024,
+            }])],
+            &[NodeId(0)],
+        );
+        let trace = cl.run_until_app(app, SimTime::from_secs(10));
+        assert!(trace.completion_of(app).is_some());
+        assert_eq!(trace.ops.len(), 1);
+        let op = &trace.ops[0];
+        assert_eq!(op.kind, OpKind::Write);
+        assert_eq!(op.bytes, 1024 * 1024);
+        assert!(op.completed > op.issued);
+        // Cached write: ack should come back in ~network + absorb time,
+        // well under the disk service time for 1 MiB.
+        assert!(op.duration().as_secs_f64() < 0.01, "{}", op.duration());
+        assert_eq!(trace.rpcs.len(), 1);
+    }
+
+    #[test]
+    fn read_takes_disk_time() {
+        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        cl.precreate_file(file(1), 16 * 1024 * 1024, None);
+        let app = cl.add_app(
+            "r",
+            vec![script(vec![IoOp::Read {
+                file: file(1),
+                offset: 0,
+                len: 1024 * 1024,
+            }])],
+            &[NodeId(0)],
+        );
+        let trace = cl.run_until_app(app, SimTime::from_secs(10));
+        let op = &trace.ops[0];
+        // 1 MiB at 150 MB/s ≈ 7 ms of media time plus transfers.
+        let d = op.duration().as_secs_f64();
+        assert!(d > 0.006, "read too fast: {d}");
+        assert!(d < 0.05, "read too slow: {d}");
+    }
+
+    #[test]
+    fn ops_run_in_sequence_per_rank() {
+        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let ops: Vec<IoOp> = (0..10)
+            .map(|i| IoOp::Write {
+                file: file(1),
+                offset: i * 1024 * 1024,
+                len: 1024 * 1024,
+            })
+            .collect();
+        let app = cl.add_app("w", vec![script(ops)], &[NodeId(0)]);
+        let trace = cl.run_until_app(app, SimTime::from_secs(30));
+        assert_eq!(trace.ops.len(), 10);
+        for w in trace.ops.windows(2) {
+            assert!(w[1].issued >= w[0].completed, "ops overlap");
+            assert_eq!(w[1].token.seq, w[0].token.seq + 1);
+        }
+    }
+
+    #[test]
+    fn metadata_creates_serialize_on_shared_dir() {
+        // Two ranks creating in the SAME dir must take longer than two
+        // ranks creating in SEPARATE dirs.
+        let run = |shared: bool| -> f64 {
+            let mut cl = Cluster::new(ClusterConfig::small(), 1);
+            let mk = |rank: u64| -> Box<dyn RankProgram> {
+                let dir = DirKey {
+                    app: AppId(0),
+                    num: if shared { 0 } else { rank },
+                };
+                let ops = (0..40)
+                    .map(|i| IoOp::Create {
+                        file: file(rank * 1000 + i),
+                        dir,
+                        stripe: None,
+                    })
+                    .collect();
+                script(ops)
+            };
+            let app = cl.add_app("md", vec![mk(0), mk(1)], &[NodeId(0), NodeId(1)]);
+            let trace = cl.run_until_app(app, SimTime::from_secs(60));
+            trace
+                .completion_of(app)
+                .expect("metadata app finished")
+                .as_secs_f64()
+        };
+        let t_shared = run(true);
+        let t_split = run(false);
+        assert!(
+            t_shared > t_split * 1.2,
+            "shared-dir contention missing: shared {t_shared} split {t_split}"
+        );
+    }
+
+    #[test]
+    fn samples_cover_run_duration() {
+        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let _app = cl.add_app(
+            "w",
+            vec![script(vec![IoOp::Write {
+                file: file(1),
+                offset: 0,
+                len: 1024,
+            }])],
+            &[NodeId(0)],
+        );
+        let n_devices = cl.config().n_devices() as usize;
+        let trace = cl.run(SimTime::from_secs(5));
+        // Samples at 1s..5s for every device (deadline pops no event at 5s,
+        // so at least 4 ticks are guaranteed).
+        assert!(trace.samples.len() >= 4 * n_devices);
+        assert_eq!(trace.samples.len() % n_devices, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let build = || {
+            let mut cl = Cluster::new(ClusterConfig::small(), 7);
+            cl.precreate_file(file(1), 64 * 1024 * 1024, None);
+            let ops: Vec<IoOp> = (0..20)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        IoOp::Stat { file: file(1) }
+                    } else {
+                        IoOp::Read {
+                            file: file(1),
+                            offset: (i % 8) * 1024 * 1024,
+                            len: 1024 * 1024,
+                        }
+                    }
+                })
+                .collect();
+            let app = cl.add_app("m", vec![script(ops)], &[NodeId(0)]);
+            cl.run_until_app(app, SimTime::from_secs(60))
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.ops.len(), b.ops.len());
+        for (x, y) in a.ops.iter().zip(b.ops.iter()) {
+            assert_eq!(x.issued, y.issued);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.token, y.token);
+        }
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn interfered_reads_are_slower() {
+        // The headline mechanism: a reader slows down when another app
+        // reads from the same OSTs.
+        let run = |with_noise: bool| -> f64 {
+            let mut cl = Cluster::new(ClusterConfig::small(), 3);
+            // Everything on OST 0 so the streams genuinely share a disk.
+            let ost0 = vec![cl.ost(0)];
+            cl.precreate_file_on(file(1), 64 * 1024 * 1024, 1024 * 1024, ost0.clone());
+            let reader_ops: Vec<IoOp> = (0..32)
+                .map(|i| IoOp::Read {
+                    file: file(1),
+                    offset: i * 1024 * 1024,
+                    len: 1024 * 1024,
+                })
+                .collect();
+            let app = cl.add_app("target", vec![script(reader_ops)], &[NodeId(0)]);
+            if with_noise {
+                // Noise app reading its own files from other nodes, forever.
+                for k in 0..2u64 {
+                    let nf = FileKey {
+                        app: AppId(99),
+                        num: k,
+                    };
+                    cl.precreate_file_on(nf, 512 * 1024 * 1024, 1024 * 1024, ost0.clone());
+                    let mut i = 0u64;
+                    let noise = move |_now: SimTime| {
+                        i += 1;
+                        ProgramStep::Op(IoOp::Read {
+                            file: nf,
+                            offset: (i % 512) * 1024 * 1024,
+                            len: 1024 * 1024,
+                        })
+                    };
+                    cl.add_app("noise", vec![Box::new(noise)], &[NodeId(1 + k as u32)]);
+                }
+            }
+            let trace = cl.run_until_app(app, SimTime::from_secs(120));
+            trace
+                .completion_of(app)
+                .expect("reader finished")
+                .as_secs_f64()
+        };
+        let alone = run(false);
+        let noisy = run(true);
+        assert!(
+            noisy > alone * 1.5,
+            "no read-read interference: alone {alone} noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn small_writes_throttle_behind_a_bulk_writer() {
+        // mdtest-hard-style tiny writes must slow down dramatically when
+        // a bulk writer keeps the shared OST's cache at its dirty limit
+        // (the Table I 26-41x mechanism).
+        let run = |with_bulk: bool| -> f64 {
+            let mut cfg = ClusterConfig::small();
+            cfg.cache.dirty_limit = 16 * 1024 * 1024;
+            let mut cl = Cluster::new(cfg, 9);
+            let ost0 = vec![cl.ost(0)];
+            // Tiny-writer target: 60 x 3901-byte files on OST 0.
+            cl.precreate_file_on(file(1), 4096, 512, ost0.clone());
+            let tiny_ops: Vec<IoOp> = (0..60)
+                .map(|i| IoOp::Write {
+                    file: file(1),
+                    offset: i * 4096,
+                    len: 3901,
+                })
+                .collect();
+            let app = cl.add_app("tiny", vec![script(tiny_ops)], &[NodeId(0)]);
+            if with_bulk {
+                let bulk = FileKey {
+                    app: AppId(77),
+                    num: 0,
+                };
+                cl.precreate_file_on(bulk, 512 * 1024 * 1024, 1024 * 1024, ost0);
+                let mut i = 0u64;
+                let noise = move |_now: SimTime| {
+                    i += 1;
+                    ProgramStep::Op(IoOp::Write {
+                        file: bulk,
+                        offset: (i % 512) * 1024 * 1024,
+                        len: 1024 * 1024,
+                    })
+                };
+                cl.add_app("bulk", vec![Box::new(noise)], &[NodeId(1)]);
+            }
+            let trace = cl.run_until_app(app, SimTime::from_secs(300));
+            trace
+                .completion_of(app)
+                .expect("tiny writer finished")
+                .as_secs_f64()
+        };
+        let alone = run(false);
+        let noisy = run(true);
+        assert!(
+            noisy > alone * 3.0,
+            "tiny writes not throttled: alone {alone} noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn streaming_reader_is_nearly_immune_to_a_bulk_writer() {
+        // The flip side (anticipatory idling + read priority): a
+        // streaming reader barely notices a concurrent bulk writer on
+        // the same OST.
+        let run = |with_bulk: bool| -> f64 {
+            let mut cl = Cluster::new(ClusterConfig::small(), 10);
+            let ost0 = vec![cl.ost(0)];
+            cl.precreate_file_on(file(1), 64 * 1024 * 1024, 1024 * 1024, ost0.clone());
+            let ops: Vec<IoOp> = (0..32)
+                .map(|i| IoOp::Read {
+                    file: file(1),
+                    offset: i * 1024 * 1024,
+                    len: 1024 * 1024,
+                })
+                .collect();
+            let app = cl.add_app("reader", vec![script(ops)], &[NodeId(0)]);
+            if with_bulk {
+                let bulk = FileKey {
+                    app: AppId(88),
+                    num: 0,
+                };
+                cl.precreate_file_on(bulk, 512 * 1024 * 1024, 1024 * 1024, ost0);
+                let mut i = 0u64;
+                let noise = move |_now: SimTime| {
+                    i += 1;
+                    ProgramStep::Op(IoOp::Write {
+                        file: bulk,
+                        offset: (i % 512) * 1024 * 1024,
+                        len: 1024 * 1024,
+                    })
+                };
+                cl.add_app("bulk", vec![Box::new(noise)], &[NodeId(1)]);
+            }
+            let trace = cl.run_until_app(app, SimTime::from_secs(120));
+            trace
+                .completion_of(app)
+                .expect("reader finished")
+                .as_secs_f64()
+        };
+        let alone = run(false);
+        let noisy = run(true);
+        assert!(
+            noisy < alone * 1.6,
+            "reads should shrug off bulk writes: alone {alone} noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn small_files_are_served_from_the_page_cache() {
+        // A precreated small file's reads never hit the disk: re-reads
+        // are orders of magnitude faster than a cold large-file read.
+        let mut cl = Cluster::new(ClusterConfig::small(), 2);
+        cl.precreate_file(file(1), 3901, None); // small -> resident
+        cl.precreate_file(file(2), 64 * 1024 * 1024, None); // large -> cold
+        let ops = vec![
+            IoOp::Read {
+                file: file(1),
+                offset: 0,
+                len: 3901,
+            },
+            IoOp::Read {
+                file: file(2),
+                offset: 0,
+                len: 1024 * 1024,
+            },
+        ];
+        let app = cl.add_app("r", vec![script(ops)], &[NodeId(0)]);
+        let trace = cl.run_until_app(app, SimTime::from_secs(30));
+        let small_read = trace.ops[0].duration().as_secs_f64();
+        let large_read = trace.ops[1].duration().as_secs_f64();
+        assert!(
+            small_read * 5.0 < large_read,
+            "small {small_read} not cached vs large {large_read}"
+        );
+    }
+
+    #[test]
+    fn server_samples_reflect_cache_pressure() {
+        // Saturating one OST's cache must surface in the sampled
+        // dirty_bytes (the monitor's cache-pressure signal).
+        let mut cfg = ClusterConfig::small();
+        cfg.cache.dirty_limit = 8 * 1024 * 1024;
+        cfg.sample_interval = SimDuration::from_millis(100);
+        let mut cl = Cluster::new(cfg, 3);
+        let ost0 = vec![cl.ost(0)];
+        cl.precreate_file_on(file(1), 256 * 1024 * 1024, 1024 * 1024, ost0);
+        let ops: Vec<IoOp> = (0..128)
+            .map(|i| IoOp::Write {
+                file: file(1),
+                offset: i * 1024 * 1024,
+                len: 1024 * 1024,
+            })
+            .collect();
+        let app = cl.add_app("w", vec![script(ops)], &[NodeId(0)]);
+        let trace = cl.run_until_app(app, SimTime::from_secs(120));
+        let max_dirty = trace
+            .samples
+            .iter()
+            .filter(|s| s.dev == DeviceId(0))
+            .map(|s| s.dirty_bytes)
+            .max()
+            .expect("samples exist");
+        assert!(
+            max_dirty >= 7 * 1024 * 1024,
+            "cache pressure invisible: max dirty {max_dirty}"
+        );
+        // And the flush eventually drains: writes complete.
+        assert_eq!(trace.ops.len(), 128);
+    }
+
+    #[test]
+    fn server_tbf_rate_limits_an_app() {
+        // A writer limited to 10 MB/s must take ~10x longer than one
+        // allowed to run free (cache-speed writes).
+        let run = |limit: Option<f64>| -> f64 {
+            let mut cl = Cluster::new(ClusterConfig::small(), 6);
+            let ops: Vec<IoOp> = (0..64)
+                .map(|i| IoOp::Write {
+                    file: file(1),
+                    offset: i * 1024 * 1024,
+                    len: 1024 * 1024,
+                })
+                .collect();
+            let app = cl.add_app("w", vec![script(ops)], &[NodeId(0)]);
+            if let Some(rate) = limit {
+                cl.set_app_rate_limit(app, rate);
+            }
+            let trace = cl.run_until_app(app, SimTime::from_secs(60));
+            trace.completion_of(app).expect("finished").as_secs_f64()
+        };
+        let free = run(None);
+        let limited = run(Some(10.0e6));
+        // 64 MiB at 10 MB/s ≈ 6.7 s (minus the 1 s burst).
+        assert!(
+            limited > free * 3.0 && limited > 4.0,
+            "TBF ineffective: free {free} limited {limited}"
+        );
+    }
+
+    #[test]
+    fn shared_nic_slows_colocated_ranks() {
+        // Two ranks on ONE client node share its NIC; spreading them over
+        // two nodes must be faster for network-bound (cached) writes.
+        let run = |colocated: bool| -> f64 {
+            let mut cl = Cluster::new(ClusterConfig::small(), 4);
+            let mk = |rank: u64| -> Box<dyn RankProgram> {
+                let ops: Vec<IoOp> = (0..32)
+                    .map(|i| IoOp::Write {
+                        file: file(rank),
+                        offset: i * 1024 * 1024,
+                        len: 1024 * 1024,
+                    })
+                    .collect();
+                script(ops)
+            };
+            let nodes: Vec<NodeId> = if colocated {
+                vec![NodeId(0), NodeId(0)]
+            } else {
+                vec![NodeId(0), NodeId(1)]
+            };
+            let app = cl.add_app("w", vec![mk(0), mk(1)], &nodes);
+            let trace = cl.run_until_app(app, SimTime::from_secs(60));
+            trace.completion_of(app).expect("finished").as_secs_f64()
+        };
+        let spread = run(false);
+        let shared = run(true);
+        assert!(
+            shared > spread * 1.2,
+            "NIC contention missing: shared {shared} spread {spread}"
+        );
+    }
+}

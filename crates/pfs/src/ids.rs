@@ -1,0 +1,100 @@
+//! Identifier newtypes for cluster entities.
+//!
+//! Everything is a small integer index so traces stay compact and hashing
+//! stays cheap. Paths are deliberately absent from the hot data model:
+//! workload programs allocate their own [`FileKey`]/[`DirKey`] numbers
+//! inside their application's namespace, which is what lets the simulator
+//! run millions of metadata operations without string interning.
+
+use std::fmt;
+
+/// A physical machine (client, OSS, or MDS node). Nodes own one NIC each.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// A storage *device* (server target): one of the OSTs or the MDT.
+///
+/// Devices are indexed `0..n_osts` for OSTs, with the MDT last, matching
+/// the per-server feature-vector layout used by the model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Flat index into per-device arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An application (one workload instance) running on the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AppId(pub u32);
+
+/// A file identity: unique within the issuing application.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FileKey {
+    /// Owning application.
+    pub app: AppId,
+    /// Application-chosen file number.
+    pub num: u64,
+}
+
+/// A directory identity: unique within the issuing application.
+///
+/// Ranks of one application that pass the *same* `DirKey` share a
+/// directory — and therefore contend on its metadata lock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DirKey {
+    /// Owning application.
+    pub app: AppId,
+    /// Application-chosen directory number.
+    pub num: u64,
+}
+
+/// Identifies one logical I/O operation issued by one rank, for matching
+/// the same operation across baseline and interfered executions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpToken {
+    /// Issuing application.
+    pub app: AppId,
+    /// Rank within the application.
+    pub rank: u32,
+    /// Sequence number of the operation within the rank (0-based).
+    pub seq: u64,
+}
+
+impl fmt::Display for OpToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}:r{}:op{}", self.app.0, self.rank, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for app in 0..3 {
+            for num in 0..3 {
+                set.insert(FileKey {
+                    app: AppId(app),
+                    num,
+                });
+            }
+        }
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn op_token_display() {
+        let t = OpToken {
+            app: AppId(2),
+            rank: 5,
+            seq: 17,
+        };
+        assert_eq!(t.to_string(), "app2:r5:op17");
+    }
+}

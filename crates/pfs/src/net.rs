@@ -1,0 +1,117 @@
+//! Store-and-forward network model with per-node NIC serialization.
+//!
+//! Each node owns one NIC. A transfer occupies both the sender's and the
+//! receiver's NIC for `bytes / bandwidth`, beginning when both are free;
+//! delivery lands one propagation latency after the transfer ends. Because
+//! the receiver NIC serializes, fan-in to a storage server saturates at
+//! the NIC rate — the network-contention component of I/O interference.
+
+use qi_simkit::time::{SimDuration, SimTime};
+
+use crate::config::NetConfig;
+use crate::ids::NodeId;
+
+/// The cluster network: one NIC per node.
+pub struct Network {
+    cfg: NetConfig,
+    nic_free: Vec<SimTime>,
+    /// Cumulative bytes through each NIC (tx + rx), for utilisation stats.
+    nic_bytes: Vec<u64>,
+}
+
+impl Network {
+    /// Network with `n_nodes` NICs, all idle.
+    pub fn new(cfg: NetConfig, n_nodes: u32) -> Self {
+        Network {
+            cfg,
+            nic_free: vec![SimTime::ZERO; n_nodes as usize],
+            nic_bytes: vec![0; n_nodes as usize],
+        }
+    }
+
+    /// The configured model parameters.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Earliest time `node`'s NIC is free.
+    pub fn nic_free_at(&self, node: NodeId) -> SimTime {
+        self.nic_free[node.0 as usize]
+    }
+
+    /// Total bytes moved through `node`'s NIC so far.
+    pub fn nic_bytes(&self, node: NodeId) -> u64 {
+        self.nic_bytes[node.0 as usize]
+    }
+
+    /// Reserve the path for a `payload`-byte message from `src` to `dst`
+    /// starting no earlier than `now`; returns the delivery time.
+    ///
+    /// Must be called in non-decreasing `now` order (which the event loop
+    /// guarantees); reservations are FIFO per NIC.
+    pub fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload: u64) -> SimTime {
+        assert_ne!(src, dst, "loopback messages need no network");
+        let bytes = payload + self.cfg.header_bytes;
+        let dur = SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth);
+        let start = now
+            .max(self.nic_free[src.0 as usize])
+            .max(self.nic_free[dst.0 as usize]);
+        let end = start + dur;
+        self.nic_free[src.0 as usize] = end;
+        self.nic_free[dst.0 as usize] = end;
+        self.nic_bytes[src.0 as usize] += bytes;
+        self.nic_bytes[dst.0 as usize] += bytes;
+        end + self.cfg.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetConfig::default(), 4)
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_header() {
+        let mut n = net();
+        let t = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let expect = (1_000_000.0 + 256.0) / 1.0e9 + 100e-6;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_nic_serializes_fan_in() {
+        let mut n = net();
+        // Two different senders target node 3 at the same instant.
+        let t1 = n.send(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000);
+        let t2 = n.send(SimTime::ZERO, NodeId(1), NodeId(3), 1_000_000);
+        // Second transfer waits for the receiver NIC.
+        assert!(t2.as_secs_f64() > 2.0 * (t1.as_secs_f64() - 100e-6));
+    }
+
+    #[test]
+    fn disjoint_pairs_run_concurrently() {
+        let mut n = net();
+        let t1 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let t2 = n.send(SimTime::ZERO, NodeId(2), NodeId(3), 1_000_000);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn sender_nic_serializes_back_to_back_sends() {
+        let mut n = net();
+        let t1 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 500_000);
+        let t2 = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 500_000);
+        assert!(t2 > t1);
+        assert_eq!(n.nic_bytes(NodeId(0)), 2 * (500_000 + 256));
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_is_rejected() {
+        let mut n = net();
+        n.send(SimTime::ZERO, NodeId(1), NodeId(1), 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qi-simkit
+//!
+//! Foundation crate for the Quanterference reproduction: a deterministic
+//! discrete-event simulation core plus the numeric utilities shared by the
+//! PFS simulator, the monitors, and the experiment harnesses.
+//!
+//! - [`time`] — integer-nanosecond [`SimTime`]/[`SimDuration`].
+//! - [`event`] — the deterministic [`EventQueue`].
+//! - [`rng`] — seeded [`SimRng`] with substream derivation.
+//! - [`stats`] — Welford accumulators, percentiles, histograms, smoothing.
+//! - [`table`] — ASCII/CSV table output for experiment results.
+//! - [`ratelimit`] — a token bucket over simulated time.
+//!
+//! Determinism contract: given the same seed and configuration, every
+//! simulation built on this crate produces bit-identical traces, because
+//! (a) time is integral, (b) event ties break by insertion order, and
+//! (c) all randomness flows from [`SimRng`] substreams.
+
+pub mod event;
+pub mod ratelimit;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use event::EventQueue;
+pub use ratelimit::TokenBucket;
+pub use rng::SimRng;
+pub use stats::{moving_average, percentile, Histogram, OnlineStats};
+pub use table::{fmt_bytes, fmt_f64, AsciiTable};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,153 @@
+//! Property-based tests for the simulation core.
+
+use proptest::prelude::*;
+use qi_simkit::event::EventQueue;
+use qi_simkit::stats::{moving_average, percentile, Histogram, OnlineStats};
+use qi_simkit::table::AsciiTable;
+use qi_simkit::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with ties in
+    /// insertion order.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "tie broken out of insertion order");
+                }
+            }
+            prop_assert_eq!(t, SimTime(times[i]));
+            last = Some((t, i));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// pop_until never delivers an event beyond the deadline and always
+    /// advances the clock exactly to the deadline when it returns None.
+    #[test]
+    fn pop_until_respects_any_deadline(
+        times in prop::collection::vec(0u64..1000, 1..50),
+        deadline in 0u64..1200,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime(t), t);
+        }
+        let deadline = SimTime(deadline);
+        let mut delivered = 0;
+        while let Some((t, _)) = q.pop_until(deadline) {
+            prop_assert!(t <= deadline);
+            delivered += 1;
+        }
+        prop_assert_eq!(q.now(), deadline.max(q.now()));
+        let expect = times.iter().filter(|&&t| SimTime(t) <= deadline).count();
+        prop_assert_eq!(delivered, expect);
+    }
+
+    /// Merging two Welford accumulators equals accumulating sequentially.
+    #[test]
+    fn stats_merge_is_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        xs in prop::collection::vec(-1e5f64..1e5, 1..80),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = percentile(&xs, lo);
+        let b = percentile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// Moving averages stay within the input's min/max and preserve
+    /// length.
+    #[test]
+    fn moving_average_is_bounded(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..100),
+        w in 1usize..20,
+    ) {
+        let sm = moving_average(&xs, w);
+        prop_assert_eq!(sm.len(), xs.len());
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &sm {
+            prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+        }
+    }
+
+    /// Histograms never lose observations.
+    #[test]
+    fn histogram_conserves_counts(
+        xs in prop::collection::vec(-100.0f64..200.0, 0..300),
+        buckets in 1usize..32,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, buckets);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let bucketed: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(bucketed + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    /// CSV rendering always yields header + one line per row, and the
+    /// ASCII table has constant line width.
+    #[test]
+    fn tables_render_consistently(
+        rows in prop::collection::vec(prop::collection::vec("[a-z0-9 ,\"]{0,12}", 3), 0..20),
+    ) {
+        let mut t = AsciiTable::new(vec!["a", "b", "c"]);
+        for r in &rows {
+            t.add_row(r.clone());
+        }
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+        let rendered = t.render();
+        let widths: Vec<usize> = rendered.lines().map(|l| l.chars().count()).collect();
+        prop_assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Duration arithmetic round-trips through seconds within 1 ns.
+    #[test]
+    fn duration_seconds_round_trip(ns in 0u64..10_000_000_000) {
+        let d = SimDuration::from_nanos(ns);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        prop_assert!(back.as_nanos().abs_diff(ns) <= 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Proxies for the paper's three real HPC applications (§IV-2):
+//!
+//! - **AMReX** — block-structured AMR: long compute phases punctuated by
+//!   plotfile dumps, where every rank creates a file in a shared per-step
+//!   directory and writes its patch data in multi-MB chunks.
+//!   Data-intensive, bursty.
+//! - **Enzo** — cosmology/collapse simulation: the first ~50 s mix reads,
+//!   writes, opens, closes, and stats (exactly the op mix the paper's
+//!   Figure 1 shows), with hierarchy dumps of many small writes plus a
+//!   few larger ones.
+//! - **OpenPMD** — metadata standard tooling: series output dominated by
+//!   file creates, small dataset writes, and stats. Metadata-intensive.
+//!
+//! These are *pattern* proxies: phase structure, op mix, and size
+//! distributions follow published descriptions of each code's I/O, which
+//! is the only property the paper's framework consumes.
+
+use qi_pfs::config::ClusterConfig;
+use qi_pfs::ids::AppId;
+use qi_pfs::ops::IoOp;
+use qi_simkit::rng::SimRng;
+use qi_simkit::time::SimDuration;
+
+use crate::common::{nsdir, nsfile, Placement, PrecreateFile, ScriptStep, Workload};
+
+/// AMReX proxy: compute + periodic plotfile dumps.
+#[derive(Clone, Debug)]
+pub struct AmrexProxy {
+    /// Simulation cycles per rank.
+    pub cycles: u32,
+    /// Cycles between plotfile dumps.
+    pub plot_every: u32,
+    /// Compute time per cycle.
+    pub compute: SimDuration,
+    /// Bytes each rank writes per dump.
+    pub dump_bytes: u64,
+    /// Write chunk size during dumps.
+    pub chunk: u64,
+}
+
+impl Default for AmrexProxy {
+    fn default() -> Self {
+        AmrexProxy {
+            cycles: 12,
+            plot_every: 3,
+            compute: SimDuration::from_millis(300),
+            dump_bytes: 48 * 1024 * 1024,
+            chunk: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl Workload for AmrexProxy {
+    fn name(&self) -> String {
+        "amrex".into()
+    }
+
+    fn script(
+        &self,
+        ns: AppId,
+        rank: u32,
+        _ranks: u32,
+        seed: u64,
+        _cfg: &ClusterConfig,
+    ) -> Vec<ScriptStep> {
+        let mut rng = SimRng::new(seed).substream(0xA3E + rank as u64);
+        let mut steps = Vec::new();
+        let mut dump_no = 0u64;
+        for cycle in 0..self.cycles {
+            steps.push(ScriptStep::Compute(rng.jittered(self.compute, 0.25)));
+            if (cycle + 1) % self.plot_every == 0 {
+                // Shared per-step directory: every rank creates its own
+                // file in it (the Header/Level_x/Cell_D layout).
+                let dir = nsdir(ns, 1000 + dump_no);
+                let file = nsfile(ns, dump_no * 1_000_000 + rank as u64);
+                if rank == 0 {
+                    steps.push(ScriptStep::Op(IoOp::Mkdir { dir }));
+                }
+                steps.push(ScriptStep::Op(IoOp::Create {
+                    file,
+                    dir,
+                    stripe: None,
+                }));
+                let mut off = 0;
+                while off < self.dump_bytes {
+                    let len = (self.dump_bytes - off).min(self.chunk);
+                    steps.push(ScriptStep::Op(IoOp::Write {
+                        file,
+                        offset: off,
+                        len,
+                    }));
+                    off += len;
+                }
+                steps.push(ScriptStep::Op(IoOp::Close { file }));
+                dump_no += 1;
+            }
+        }
+        steps
+    }
+}
+
+/// Enzo proxy: the mixed read/write/open/close/stat phase structure of a
+/// collapse-test run's opening minute.
+#[derive(Clone, Debug)]
+pub struct EnzoProxy {
+    /// Simulation cycles per rank.
+    pub cycles: u32,
+    /// Compute time per cycle.
+    pub compute: SimDuration,
+    /// Bytes of initial conditions read per rank at startup.
+    pub ic_bytes: u64,
+    /// Cycles between hierarchy dumps.
+    pub dump_every: u32,
+    /// Small writes per hierarchy dump.
+    pub dump_small_writes: u32,
+}
+
+impl Default for EnzoProxy {
+    fn default() -> Self {
+        EnzoProxy {
+            cycles: 30,
+            compute: SimDuration::from_millis(120),
+            ic_bytes: 32 * 1024 * 1024,
+            dump_every: 5,
+            dump_small_writes: 12,
+        }
+    }
+}
+
+impl Workload for EnzoProxy {
+    fn name(&self) -> String {
+        "enzo".into()
+    }
+
+    fn precreate(&self, ns: AppId, ranks: u32, _cfg: &ClusterConfig) -> Vec<PrecreateFile> {
+        // Initial-conditions file per rank.
+        (0..ranks)
+            .map(|r| PrecreateFile {
+                file: nsfile(ns, r as u64),
+                len: self.ic_bytes,
+                placement: Placement::RoundRobin(None),
+            })
+            .collect()
+    }
+
+    fn script(
+        &self,
+        ns: AppId,
+        rank: u32,
+        _ranks: u32,
+        seed: u64,
+        _cfg: &ClusterConfig,
+    ) -> Vec<ScriptStep> {
+        let mut rng = SimRng::new(seed).substream(0xE7_20 + rank as u64);
+        let ic = nsfile(ns, rank as u64);
+        let mut steps = Vec::new();
+        // Startup: read the initial conditions in 1 MiB slices, with the
+        // occasional stat (parameter-file checks).
+        steps.push(ScriptStep::Op(IoOp::Open { file: ic }));
+        let mut off = 0;
+        while off < self.ic_bytes {
+            let len = (self.ic_bytes - off).min(1024 * 1024);
+            steps.push(ScriptStep::Op(IoOp::Read {
+                file: ic,
+                offset: off,
+                len,
+            }));
+            if rng.chance(0.2) {
+                steps.push(ScriptStep::Op(IoOp::Stat { file: ic }));
+            }
+            off += len;
+        }
+        steps.push(ScriptStep::Op(IoOp::Close { file: ic }));
+        // Evolution loop.
+        let mut dump_no = 0u64;
+        for cycle in 0..self.cycles {
+            steps.push(ScriptStep::Compute(rng.jittered(self.compute, 0.3)));
+            // Per-cycle bookkeeping: a stat and sometimes a re-read of a
+            // boundary slab.
+            steps.push(ScriptStep::Op(IoOp::Stat { file: ic }));
+            if rng.chance(0.4) {
+                let slab = rng.range_u64(0, (self.ic_bytes / (256 * 1024)).max(1));
+                steps.push(ScriptStep::Op(IoOp::Read {
+                    file: ic,
+                    offset: slab * 256 * 1024,
+                    len: 256 * 1024,
+                }));
+            }
+            if (cycle + 1) % self.dump_every == 0 {
+                // Hierarchy dump: one grid file per rank per dump with
+                // many small writes and one bigger field write.
+                let dir = nsdir(ns, 2000 + dump_no);
+                let file = nsfile(ns, 1_000_000 + dump_no * 1_000 + rank as u64);
+                if rank == 0 {
+                    steps.push(ScriptStep::Op(IoOp::Mkdir { dir }));
+                }
+                steps.push(ScriptStep::Op(IoOp::Create {
+                    file,
+                    dir,
+                    stripe: None,
+                }));
+                let mut woff = 0u64;
+                for _ in 0..self.dump_small_writes {
+                    let len = rng.range_u64(16 * 1024, 96 * 1024);
+                    steps.push(ScriptStep::Op(IoOp::Write {
+                        file,
+                        offset: woff,
+                        len,
+                    }));
+                    woff += len;
+                }
+                let big = rng.range_u64(1, 4) * 1024 * 1024;
+                steps.push(ScriptStep::Op(IoOp::Write {
+                    file,
+                    offset: woff,
+                    len: big,
+                }));
+                steps.push(ScriptStep::Op(IoOp::Close { file }));
+                dump_no += 1;
+            }
+        }
+        steps
+    }
+}
+
+/// OpenPMD proxy: metadata-heavy series output.
+#[derive(Clone, Debug)]
+pub struct OpenPmdProxy {
+    /// Output iterations per rank.
+    pub iterations: u32,
+    /// Datasets (files) created per iteration per rank.
+    pub datasets_per_iter: u32,
+    /// Bytes written per dataset.
+    pub dataset_bytes: u64,
+    /// Compute time between iterations.
+    pub compute: SimDuration,
+}
+
+impl Default for OpenPmdProxy {
+    fn default() -> Self {
+        OpenPmdProxy {
+            iterations: 15,
+            datasets_per_iter: 10,
+            dataset_bytes: 64 * 1024,
+            compute: SimDuration::from_millis(80),
+        }
+    }
+}
+
+impl Workload for OpenPmdProxy {
+    fn name(&self) -> String {
+        "openpmd".into()
+    }
+
+    fn script(
+        &self,
+        ns: AppId,
+        rank: u32,
+        _ranks: u32,
+        seed: u64,
+        _cfg: &ClusterConfig,
+    ) -> Vec<ScriptStep> {
+        let mut rng = SimRng::new(seed).substream(0x09D + rank as u64);
+        let series_dir = nsdir(ns, 0); // shared series directory
+        let mut steps = Vec::new();
+        for it in 0..self.iterations {
+            steps.push(ScriptStep::Compute(rng.jittered(self.compute, 0.2)));
+            for d in 0..self.datasets_per_iter {
+                let file = nsfile(ns, (it as u64) * 1_000_000 + rank as u64 * 1_000 + d as u64);
+                steps.push(ScriptStep::Op(IoOp::Create {
+                    file,
+                    dir: series_dir,
+                    stripe: None,
+                }));
+                steps.push(ScriptStep::Op(IoOp::Write {
+                    file,
+                    offset: 0,
+                    len: self.dataset_bytes,
+                }));
+                steps.push(ScriptStep::Op(IoOp::Stat { file }));
+                steps.push(ScriptStep::Op(IoOp::Close { file }));
+            }
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::deploy;
+    use qi_pfs::cluster::Cluster;
+    use qi_pfs::ops::OpKind;
+    use qi_simkit::time::SimTime;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn enzo_mixes_all_five_op_kinds() {
+        let w = EnzoProxy::default();
+        let s = w.script(AppId(0), 0, 2, 3, &ClusterConfig::small());
+        let kinds: HashSet<OpKind> = s
+            .iter()
+            .filter_map(|x| match x {
+                ScriptStep::Op(op) => Some(op.kind()),
+                _ => None,
+            })
+            .collect();
+        for k in [
+            OpKind::Read,
+            OpKind::Write,
+            OpKind::Open,
+            OpKind::Close,
+            OpKind::Stat,
+        ] {
+            assert!(kinds.contains(&k), "enzo proxy missing {k:?}");
+        }
+    }
+
+    #[test]
+    fn openpmd_is_metadata_dominated() {
+        let w = OpenPmdProxy::default();
+        let s = w.script(AppId(0), 0, 2, 3, &ClusterConfig::small());
+        let (meta, data) = s.iter().fold((0u32, 0u32), |(m, d), x| match x {
+            ScriptStep::Op(op) if op.kind().is_meta() => (m + 1, d),
+            ScriptStep::Op(_) => (m, d + 1),
+            _ => (m, d),
+        });
+        assert!(meta > 2 * data, "meta {meta} data {data}");
+    }
+
+    #[test]
+    fn amrex_is_data_dominated_by_bytes() {
+        let w = AmrexProxy::default();
+        let s = w.script(AppId(0), 0, 2, 3, &ClusterConfig::small());
+        let bytes: u64 = s
+            .iter()
+            .filter_map(|x| match x {
+                ScriptStep::Op(op) => Some(op.bytes()),
+                _ => None,
+            })
+            .sum();
+        let dumps = (w.cycles / w.plot_every) as u64;
+        assert_eq!(bytes, dumps * w.dump_bytes);
+    }
+
+    #[test]
+    fn proxies_run_to_completion() {
+        let workloads: Vec<Arc<dyn Workload>> = vec![
+            Arc::new(AmrexProxy {
+                cycles: 4,
+                plot_every: 2,
+                dump_bytes: 8 * 1024 * 1024,
+                ..AmrexProxy::default()
+            }),
+            Arc::new(EnzoProxy {
+                cycles: 6,
+                ic_bytes: 4 * 1024 * 1024,
+                ..EnzoProxy::default()
+            }),
+            Arc::new(OpenPmdProxy {
+                iterations: 4,
+                ..OpenPmdProxy::default()
+            }),
+        ];
+        for w in workloads {
+            let mut cl = Cluster::new(ClusterConfig::small(), 8);
+            let nodes = cl.client_nodes();
+            let app = deploy(&mut cl, &w, 2, &nodes[..2], 5, false);
+            let trace = cl.run_until_app(app, SimTime::from_secs(300));
+            assert!(trace.completion_of(app).is_some(), "{} stuck", w.name());
+            assert!(!trace.ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn scripts_differ_between_ranks_but_not_runs() {
+        let w = EnzoProxy::default();
+        let cfg = ClusterConfig::small();
+        let a0 = w.script(AppId(0), 0, 2, 3, &cfg);
+        let a0b = w.script(AppId(0), 0, 2, 3, &cfg);
+        let a1 = w.script(AppId(0), 1, 2, 3, &cfg);
+        assert_eq!(a0.len(), a0b.len());
+        // Rank 1 has a different rng stream → different small-read picks.
+        let reads = |s: &[ScriptStep]| -> Vec<u64> {
+            s.iter()
+                .filter_map(|x| match x {
+                    ScriptStep::Op(IoOp::Read { offset, .. }) => Some(*offset),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(reads(&a0), reads(&a1));
+    }
+}

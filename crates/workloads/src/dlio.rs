@@ -1,0 +1,361 @@
+//! DLIO-style deep-learning I/O workloads (paper §IV-2).
+//!
+//! DLIO emulates the data-loading behaviour of training jobs. The paper
+//! uses two of its configurations:
+//!
+//! - **Unet3D** — one large sample file per training item (the real
+//!   workload reads ~146 MB `.npz` files); every step reads a batch of
+//!   whole sample files, then computes. Periodic checkpoints write a
+//!   model-sized blob.
+//! - **BERT** — records of a few KB read sequentially out of big packed
+//!   dataset files (TFRecord-like), with GPU-bound compute between
+//!   batches and rare, large checkpoints.
+//!
+//! Sizes are scaled so an epoch takes seconds of simulated time; the
+//! access-pattern contrast (few huge sequential reads vs many tiny reads)
+//! is preserved.
+
+use qi_pfs::config::ClusterConfig;
+use qi_pfs::ids::AppId;
+use qi_pfs::ops::IoOp;
+use qi_simkit::rng::SimRng;
+use qi_simkit::time::SimDuration;
+
+use crate::common::{nsdir, nsfile, Placement, PrecreateFile, ScriptStep, Workload};
+
+/// Base for checkpoint file numbers.
+const CKPT_BASE: u64 = 1 << 40;
+
+/// DLIO Unet3D configuration.
+#[derive(Clone, Debug)]
+pub struct DlioUnet3d {
+    /// Sample files in the dataset.
+    pub dataset_files: u32,
+    /// Bytes per sample file.
+    pub sample_bytes: u64,
+    /// Training steps per rank.
+    pub steps: u32,
+    /// Samples read per step (local batch size).
+    pub batch: u32,
+    /// Compute time per step.
+    pub compute: SimDuration,
+    /// Steps between checkpoints (0 = never).
+    pub ckpt_every: u32,
+    /// Bytes written per checkpoint per rank.
+    pub ckpt_bytes: u64,
+}
+
+impl Default for DlioUnet3d {
+    fn default() -> Self {
+        DlioUnet3d {
+            dataset_files: 64,
+            sample_bytes: 8 * 1024 * 1024,
+            steps: 40,
+            batch: 2,
+            compute: SimDuration::from_millis(60),
+            ckpt_every: 20,
+            ckpt_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+impl Workload for DlioUnet3d {
+    fn name(&self) -> String {
+        "dlio-unet3d".into()
+    }
+
+    fn precreate(&self, ns: AppId, _ranks: u32, _cfg: &ClusterConfig) -> Vec<PrecreateFile> {
+        (0..self.dataset_files)
+            .map(|i| PrecreateFile {
+                file: nsfile(ns, i as u64),
+                len: self.sample_bytes,
+                placement: Placement::RoundRobin(None),
+            })
+            .collect()
+    }
+
+    fn script(
+        &self,
+        ns: AppId,
+        rank: u32,
+        _ranks: u32,
+        seed: u64,
+        _cfg: &ClusterConfig,
+    ) -> Vec<ScriptStep> {
+        let mut rng = SimRng::new(seed).substream(0x03E7 + rank as u64);
+        let mut steps = Vec::new();
+        for step in 0..self.steps {
+            // Random whole-sample reads for this batch.
+            for _ in 0..self.batch {
+                let file = nsfile(ns, rng.index(self.dataset_files as usize) as u64);
+                steps.push(ScriptStep::Op(IoOp::Open { file }));
+                // Whole-file read in 1 MiB slices (the data loader streams
+                // the sample in).
+                let mut off = 0;
+                while off < self.sample_bytes {
+                    let len = (self.sample_bytes - off).min(1024 * 1024);
+                    steps.push(ScriptStep::Op(IoOp::Read {
+                        file,
+                        offset: off,
+                        len,
+                    }));
+                    off += len;
+                }
+                steps.push(ScriptStep::Op(IoOp::Close { file }));
+            }
+            steps.push(ScriptStep::Compute(rng.jittered(self.compute, 0.2)));
+            if self.ckpt_every > 0 && (step + 1) % self.ckpt_every == 0 {
+                let ck = nsfile(ns, CKPT_BASE + rank as u64 * 1000 + step as u64);
+                steps.push(ScriptStep::Op(IoOp::Create {
+                    file: ck,
+                    dir: nsdir(ns, 1),
+                    stripe: None,
+                }));
+                let mut off = 0;
+                while off < self.ckpt_bytes {
+                    let len = (self.ckpt_bytes - off).min(4 * 1024 * 1024);
+                    steps.push(ScriptStep::Op(IoOp::Write {
+                        file: ck,
+                        offset: off,
+                        len,
+                    }));
+                    off += len;
+                }
+                steps.push(ScriptStep::Op(IoOp::Close { file: ck }));
+            }
+        }
+        steps
+    }
+}
+
+/// DLIO BERT configuration.
+#[derive(Clone, Debug)]
+pub struct DlioBert {
+    /// Packed dataset files.
+    pub dataset_files: u32,
+    /// Bytes per packed file.
+    pub file_bytes: u64,
+    /// Record size read per sample.
+    pub record_bytes: u64,
+    /// Training steps per rank.
+    pub steps: u32,
+    /// Records per step.
+    pub batch: u32,
+    /// Compute time per step.
+    pub compute: SimDuration,
+    /// Steps between checkpoints (0 = never).
+    pub ckpt_every: u32,
+    /// Bytes written per checkpoint per rank.
+    pub ckpt_bytes: u64,
+}
+
+impl Default for DlioBert {
+    fn default() -> Self {
+        DlioBert {
+            dataset_files: 8,
+            file_bytes: 64 * 1024 * 1024,
+            record_bytes: 2_500,
+            steps: 400,
+            batch: 8,
+            compute: SimDuration::from_millis(25),
+            ckpt_every: 200,
+            ckpt_bytes: 32 * 1024 * 1024,
+        }
+    }
+}
+
+impl Workload for DlioBert {
+    fn name(&self) -> String {
+        "dlio-bert".into()
+    }
+
+    fn precreate(&self, ns: AppId, _ranks: u32, _cfg: &ClusterConfig) -> Vec<PrecreateFile> {
+        (0..self.dataset_files)
+            .map(|i| PrecreateFile {
+                file: nsfile(ns, i as u64),
+                len: self.file_bytes,
+                placement: Placement::RoundRobin(None),
+            })
+            .collect()
+    }
+
+    fn script(
+        &self,
+        ns: AppId,
+        rank: u32,
+        ranks: u32,
+        seed: u64,
+        _cfg: &ClusterConfig,
+    ) -> Vec<ScriptStep> {
+        let mut rng = SimRng::new(seed).substream(0xBE27 + rank as u64);
+        // Each rank walks its own shard of one dataset file sequentially,
+        // record by record — the TFRecord reader pattern. The reader is
+        // *buffered*: records are consumed from a 1 MiB read-ahead
+        // buffer, so the file system only sees one large read per buffer
+        // refill (what Darshan records for DLIO's data loaders).
+        const READ_BUF: u64 = 1024 * 1024;
+        let file = nsfile(ns, (rank % self.dataset_files) as u64);
+        // Ranks sharing a file start at staggered shard offsets.
+        let sharers = (ranks / self.dataset_files).max(1) as u64;
+        let shard = self.file_bytes / sharers;
+        let base = (shard * (rank / self.dataset_files) as u64) % self.file_bytes.max(1);
+        let mut steps = Vec::new();
+        steps.push(ScriptStep::Op(IoOp::Open { file }));
+        let mut cursor = base;
+        let mut buffered_until = base;
+        for step in 0..self.steps {
+            for _ in 0..self.batch {
+                if cursor + self.record_bytes > self.file_bytes {
+                    cursor = 0;
+                    buffered_until = 0;
+                }
+                if cursor + self.record_bytes > buffered_until {
+                    let len = READ_BUF.min(self.file_bytes - buffered_until);
+                    steps.push(ScriptStep::Op(IoOp::Read {
+                        file,
+                        offset: buffered_until,
+                        len,
+                    }));
+                    buffered_until += len;
+                }
+                cursor += self.record_bytes;
+            }
+            steps.push(ScriptStep::Compute(rng.jittered(self.compute, 0.2)));
+            if self.ckpt_every > 0 && (step + 1) % self.ckpt_every == 0 {
+                let ck = nsfile(ns, CKPT_BASE + rank as u64 * 1000 + step as u64);
+                steps.push(ScriptStep::Op(IoOp::Create {
+                    file: ck,
+                    dir: nsdir(ns, 1),
+                    stripe: None,
+                }));
+                let mut off = 0;
+                while off < self.ckpt_bytes {
+                    let len = (self.ckpt_bytes - off).min(4 * 1024 * 1024);
+                    steps.push(ScriptStep::Op(IoOp::Write {
+                        file: ck,
+                        offset: off,
+                        len,
+                    }));
+                    off += len;
+                }
+                steps.push(ScriptStep::Op(IoOp::Close { file: ck }));
+            }
+        }
+        steps.push(ScriptStep::Op(IoOp::Close { file }));
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::deploy;
+    use qi_pfs::cluster::Cluster;
+    use qi_pfs::ops::OpKind;
+    use qi_simkit::time::SimTime;
+    use std::sync::Arc;
+
+    #[test]
+    fn unet3d_reads_whole_samples() {
+        let w = DlioUnet3d {
+            steps: 3,
+            batch: 1,
+            ckpt_every: 0,
+            ..DlioUnet3d::default()
+        };
+        let s = w.script(AppId(0), 0, 1, 1, &ClusterConfig::small());
+        let read_bytes: u64 = s
+            .iter()
+            .filter_map(|x| match x {
+                ScriptStep::Op(IoOp::Read { len, .. }) => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(read_bytes, 3 * w.sample_bytes);
+    }
+
+    #[test]
+    fn unet3d_script_is_deterministic_per_seed() {
+        let w = DlioUnet3d::default();
+        let cfg = ClusterConfig::small();
+        let a = w.script(AppId(0), 0, 2, 9, &cfg);
+        let b = w.script(AppId(0), 0, 2, 9, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (ScriptStep::Op(p), ScriptStep::Op(q)) => assert_eq!(p, q),
+                (ScriptStep::Compute(p), ScriptStep::Compute(q)) => assert_eq!(p, q),
+                _ => panic!("step shape differs"),
+            }
+        }
+    }
+
+    #[test]
+    fn bert_reads_are_buffered_and_sequential() {
+        let w = DlioBert {
+            steps: 600,
+            ckpt_every: 0,
+            ..DlioBert::default()
+        };
+        let s = w.script(AppId(0), 0, 2, 1, &ClusterConfig::small());
+        let mut prev_end: Option<u64> = None;
+        let mut reads = 0u64;
+        for x in &s {
+            if let ScriptStep::Op(IoOp::Read { offset, len, .. }) = x {
+                // Buffered reader: 1 MiB refills, sequential (wrapping).
+                assert_eq!(*len, 1024 * 1024);
+                if let Some(end) = prev_end {
+                    assert!(*offset == end || *offset == 0, "gap at {offset}");
+                }
+                prev_end = Some(offset + len);
+                reads += 1;
+            }
+        }
+        // One refill per MiB of records consumed, not one read per record.
+        let consumed = w.steps as u64 * w.batch as u64 * w.record_bytes;
+        let expected = consumed.div_ceil(1024 * 1024);
+        assert!(
+            reads >= expected && reads <= expected + 2,
+            "reads {reads} vs expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_appear_at_interval() {
+        let w = DlioUnet3d {
+            steps: 4,
+            batch: 1,
+            ckpt_every: 2,
+            ..DlioUnet3d::default()
+        };
+        let s = w.script(AppId(0), 0, 1, 1, &ClusterConfig::small());
+        let creates = s
+            .iter()
+            .filter(|x| matches!(x, ScriptStep::Op(IoOp::Create { .. })))
+            .count();
+        assert_eq!(creates, 2);
+    }
+
+    #[test]
+    fn both_dlio_workloads_run() {
+        for w in [
+            Arc::new(DlioUnet3d {
+                steps: 4,
+                dataset_files: 8,
+                sample_bytes: 2 * 1024 * 1024,
+                ..DlioUnet3d::default()
+            }) as Arc<dyn Workload>,
+            Arc::new(DlioBert {
+                steps: 20,
+                ..DlioBert::default()
+            }) as Arc<dyn Workload>,
+        ] {
+            let mut cl = Cluster::new(ClusterConfig::small(), 2);
+            let nodes = cl.client_nodes();
+            let app = deploy(&mut cl, &w, 2, &nodes[..2], 5, false);
+            let trace = cl.run_until_app(app, SimTime::from_secs(300));
+            assert!(trace.completion_of(app).is_some(), "{}", w.name());
+            assert!(trace.ops.iter().any(|o| o.kind == OpKind::Read));
+        }
+    }
+}

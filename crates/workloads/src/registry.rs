@@ -1,0 +1,268 @@
+//! A name-addressable registry of every workload in the suite, used by
+//! the dataset-generation configs and the experiment harnesses.
+
+use std::sync::Arc;
+
+use crate::apps::{AmrexProxy, EnzoProxy, OpenPmdProxy};
+use crate::common::Workload;
+use crate::dlio::{DlioBert, DlioUnet3d};
+use crate::io500::{IorEasy, IorHard, MdtEasyWrite, MdtHard, MdtPhase};
+
+/// Every workload the reproduction ships, by stable name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkloadKind {
+    /// IO500 `ior-easy-read`.
+    IorEasyRead,
+    /// IO500 `ior-hard-read`.
+    IorHardRead,
+    /// IO500 `mdtest-hard-read`.
+    MdtHardRead,
+    /// IO500 `ior-easy-write`.
+    IorEasyWrite,
+    /// IO500 `ior-hard-write`.
+    IorHardWrite,
+    /// IO500 `mdtest-easy-write`.
+    MdtEasyWrite,
+    /// IO500 `mdtest-hard-write`.
+    MdtHardWrite,
+    /// DLIO Unet3D data loader.
+    DlioUnet3d,
+    /// DLIO BERT data loader.
+    DlioBert,
+    /// AMReX application proxy.
+    Amrex,
+    /// Enzo application proxy.
+    Enzo,
+    /// OpenPMD application proxy.
+    OpenPmd,
+    /// IO500 `mdtest-easy-stat` (extended phase, not in Table I).
+    MdtEasyStat,
+    /// IO500 `mdtest-easy-delete` (extended phase).
+    MdtEasyDelete,
+    /// IO500 `mdtest-hard-stat` (extended phase).
+    MdtHardStat,
+    /// IO500 `mdtest-hard-delete` (extended phase).
+    MdtHardDelete,
+}
+
+impl WorkloadKind {
+    /// The seven IO500 tasks, in the paper's Table I row/column order.
+    pub const IO500: [WorkloadKind; 7] = [
+        WorkloadKind::IorEasyRead,
+        WorkloadKind::IorHardRead,
+        WorkloadKind::MdtHardRead,
+        WorkloadKind::IorEasyWrite,
+        WorkloadKind::IorHardWrite,
+        WorkloadKind::MdtEasyWrite,
+        WorkloadKind::MdtHardWrite,
+    ];
+
+    /// The two DLIO configurations.
+    pub const DLIO: [WorkloadKind; 2] = [WorkloadKind::DlioUnet3d, WorkloadKind::DlioBert];
+
+    /// The three application proxies.
+    pub const APPS: [WorkloadKind; 3] = [
+        WorkloadKind::Amrex,
+        WorkloadKind::Enzo,
+        WorkloadKind::OpenPmd,
+    ];
+
+    /// The extended mdtest phases of a full IO500 run (stat/delete),
+    /// beyond the paper's seven Table I tasks.
+    pub const IO500_EXTENDED: [WorkloadKind; 4] = [
+        WorkloadKind::MdtEasyStat,
+        WorkloadKind::MdtEasyDelete,
+        WorkloadKind::MdtHardStat,
+        WorkloadKind::MdtHardDelete,
+    ];
+
+    /// Stable name (matches the paper's labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::IorEasyRead => "ior-easy-read",
+            WorkloadKind::IorHardRead => "ior-hard-read",
+            WorkloadKind::MdtHardRead => "mdt-hard-read",
+            WorkloadKind::IorEasyWrite => "ior-easy-write",
+            WorkloadKind::IorHardWrite => "ior-hard-write",
+            WorkloadKind::MdtEasyWrite => "mdt-easy-write",
+            WorkloadKind::MdtHardWrite => "mdt-hard-write",
+            WorkloadKind::DlioUnet3d => "dlio-unet3d",
+            WorkloadKind::DlioBert => "dlio-bert",
+            WorkloadKind::Amrex => "amrex",
+            WorkloadKind::Enzo => "enzo",
+            WorkloadKind::OpenPmd => "openpmd",
+            WorkloadKind::MdtEasyStat => "mdt-easy-stat",
+            WorkloadKind::MdtEasyDelete => "mdt-easy-delete",
+            WorkloadKind::MdtHardStat => "mdt-hard-stat",
+            WorkloadKind::MdtHardDelete => "mdt-hard-delete",
+        }
+    }
+
+    /// Parse a stable name back into a kind.
+    pub fn from_name(name: &str) -> Option<Self> {
+        let all = [
+            WorkloadKind::IorEasyRead,
+            WorkloadKind::IorHardRead,
+            WorkloadKind::MdtHardRead,
+            WorkloadKind::IorEasyWrite,
+            WorkloadKind::IorHardWrite,
+            WorkloadKind::MdtEasyWrite,
+            WorkloadKind::MdtHardWrite,
+            WorkloadKind::DlioUnet3d,
+            WorkloadKind::DlioBert,
+            WorkloadKind::Amrex,
+            WorkloadKind::Enzo,
+            WorkloadKind::OpenPmd,
+            WorkloadKind::MdtEasyStat,
+            WorkloadKind::MdtEasyDelete,
+            WorkloadKind::MdtHardStat,
+            WorkloadKind::MdtHardDelete,
+        ];
+        all.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Build the workload at its default reproduction scale.
+    pub fn build(self) -> Arc<dyn Workload> {
+        match self {
+            WorkloadKind::IorEasyRead => Arc::new(IorEasy::read()),
+            WorkloadKind::IorHardRead => Arc::new(IorHard::read()),
+            WorkloadKind::MdtHardRead => Arc::new(MdtHard::read()),
+            WorkloadKind::IorEasyWrite => Arc::new(IorEasy::write()),
+            WorkloadKind::IorHardWrite => Arc::new(IorHard::write()),
+            WorkloadKind::MdtEasyWrite => Arc::new(MdtEasyWrite::default()),
+            WorkloadKind::MdtHardWrite => Arc::new(MdtHard::write()),
+            WorkloadKind::DlioUnet3d => Arc::new(DlioUnet3d::default()),
+            WorkloadKind::DlioBert => Arc::new(DlioBert::default()),
+            WorkloadKind::Amrex => Arc::new(AmrexProxy::default()),
+            WorkloadKind::Enzo => Arc::new(EnzoProxy::default()),
+            WorkloadKind::OpenPmd => Arc::new(OpenPmdProxy::default()),
+            WorkloadKind::MdtEasyStat => Arc::new(MdtPhase::easy_stat()),
+            WorkloadKind::MdtEasyDelete => Arc::new(MdtPhase::easy_delete()),
+            WorkloadKind::MdtHardStat => Arc::new(MdtPhase::hard_stat()),
+            WorkloadKind::MdtHardDelete => Arc::new(MdtPhase::hard_delete()),
+        }
+    }
+
+    /// Build a reduced-scale variant for fast tests and CI.
+    pub fn build_small(self) -> Arc<dyn Workload> {
+        match self {
+            WorkloadKind::IorEasyRead => Arc::new(IorEasy {
+                file_bytes: 32 * 1024 * 1024,
+                ..IorEasy::read()
+            }),
+            WorkloadKind::IorHardRead => Arc::new(IorHard {
+                segments: 120,
+                ..IorHard::read()
+            }),
+            WorkloadKind::MdtHardRead => Arc::new(MdtHard {
+                files_per_rank: 60,
+                ..MdtHard::read()
+            }),
+            WorkloadKind::IorEasyWrite => Arc::new(IorEasy {
+                file_bytes: 32 * 1024 * 1024,
+                ..IorEasy::write()
+            }),
+            WorkloadKind::IorHardWrite => Arc::new(IorHard {
+                segments: 120,
+                ..IorHard::write()
+            }),
+            WorkloadKind::MdtEasyWrite => Arc::new(MdtEasyWrite {
+                files_per_rank: 100,
+            }),
+            WorkloadKind::MdtHardWrite => Arc::new(MdtHard {
+                files_per_rank: 60,
+                ..MdtHard::write()
+            }),
+            WorkloadKind::DlioUnet3d => Arc::new(DlioUnet3d {
+                steps: 8,
+                dataset_files: 16,
+                sample_bytes: 2 * 1024 * 1024,
+                ..DlioUnet3d::default()
+            }),
+            WorkloadKind::DlioBert => Arc::new(DlioBert {
+                steps: 60,
+                ..DlioBert::default()
+            }),
+            WorkloadKind::Amrex => Arc::new(AmrexProxy {
+                cycles: 6,
+                plot_every: 2,
+                dump_bytes: 16 * 1024 * 1024,
+                ..AmrexProxy::default()
+            }),
+            WorkloadKind::Enzo => Arc::new(EnzoProxy {
+                cycles: 10,
+                ic_bytes: 8 * 1024 * 1024,
+                ..EnzoProxy::default()
+            }),
+            WorkloadKind::OpenPmd => Arc::new(OpenPmdProxy {
+                iterations: 6,
+                ..OpenPmdProxy::default()
+            }),
+            WorkloadKind::MdtEasyStat => Arc::new(MdtPhase {
+                files_per_rank: 100,
+                ..MdtPhase::easy_stat()
+            }),
+            WorkloadKind::MdtEasyDelete => Arc::new(MdtPhase {
+                files_per_rank: 100,
+                ..MdtPhase::easy_delete()
+            }),
+            WorkloadKind::MdtHardStat => Arc::new(MdtPhase {
+                files_per_rank: 60,
+                ..MdtPhase::hard_stat()
+            }),
+            WorkloadKind::MdtHardDelete => Arc::new(MdtPhase {
+                files_per_rank: 60,
+                ..MdtPhase::hard_delete()
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in WorkloadKind::IO500
+            .iter()
+            .chain(WorkloadKind::DLIO.iter())
+            .chain(WorkloadKind::APPS.iter())
+            .chain(WorkloadKind::IO500_EXTENDED.iter())
+        {
+            assert_eq!(WorkloadKind::from_name(k.name()), Some(*k));
+        }
+        assert_eq!(WorkloadKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn build_matches_name() {
+        for k in WorkloadKind::IO500 {
+            assert_eq!(k.build().name(), k.name());
+            assert_eq!(k.build_small().name(), k.name());
+        }
+    }
+
+    #[test]
+    fn io500_order_matches_table_one() {
+        let names: Vec<&str> = WorkloadKind::IO500.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ior-easy-read",
+                "ior-hard-read",
+                "mdt-hard-read",
+                "ior-easy-write",
+                "ior-hard-write",
+                "mdt-easy-write",
+                "mdt-hard-write",
+            ]
+        );
+    }
+}

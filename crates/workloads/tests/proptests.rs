@@ -1,0 +1,179 @@
+//! Property-based tests over the workload generators.
+
+use proptest::prelude::*;
+use qi_pfs::config::ClusterConfig;
+use qi_pfs::ids::AppId;
+use qi_pfs::ops::IoOp;
+use qi_workloads::common::ScriptStep;
+use qi_workloads::registry::WorkloadKind;
+
+fn all_kinds() -> Vec<WorkloadKind> {
+    WorkloadKind::IO500
+        .into_iter()
+        .chain(WorkloadKind::DLIO)
+        .chain(WorkloadKind::APPS)
+        .chain(WorkloadKind::IO500_EXTENDED)
+        .collect()
+}
+
+fn script_of(kind: WorkloadKind, ns: u32, rank: u32, ranks: u32, seed: u64) -> Vec<ScriptStep> {
+    kind.build_small()
+        .script(AppId(ns), rank, ranks, seed, &ClusterConfig::small())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Scripts are pure functions of (ns, rank, ranks, seed).
+    #[test]
+    fn scripts_are_deterministic(
+        kind_idx in 0usize..16,
+        rank in 0u32..4,
+        ranks in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        let kind = all_kinds()[kind_idx];
+        let rank = rank % ranks;
+        let a = script_of(kind, 0, rank, ranks, seed);
+        let b = script_of(kind, 0, rank, ranks, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (ScriptStep::Op(p), ScriptStep::Op(q)) => prop_assert_eq!(p, q),
+                (ScriptStep::Compute(p), ScriptStep::Compute(q)) => prop_assert_eq!(p, q),
+                _ => prop_assert!(false, "step shape differs"),
+            }
+        }
+    }
+
+    /// Every operation a script issues stays inside its own namespace —
+    /// no workload can touch another application's files.
+    #[test]
+    fn scripts_stay_in_their_namespace(
+        kind_idx in 0usize..16,
+        ns in 0u32..8,
+        seed in 0u64..500,
+    ) {
+        let kind = all_kinds()[kind_idx];
+        let app = AppId(ns);
+        for step in script_of(kind, ns, 0, 2, seed) {
+            if let ScriptStep::Op(op) = step {
+                let file_app = match &op {
+                    IoOp::Read { file, .. }
+                    | IoOp::Write { file, .. }
+                    | IoOp::Open { file }
+                    | IoOp::Stat { file }
+                    | IoOp::Close { file }
+                    | IoOp::Unlink { file, .. }
+                    | IoOp::Create { file, .. } => Some(file.app),
+                    IoOp::Mkdir { .. } => None,
+                };
+                if let Some(a) = file_app {
+                    prop_assert_eq!(a, app);
+                }
+                if let IoOp::Create { dir, .. } | IoOp::Unlink { dir, .. } = &op {
+                    prop_assert_eq!(dir.app, app);
+                }
+                if let IoOp::Mkdir { dir } = &op {
+                    prop_assert_eq!(dir.app, app);
+                }
+            }
+        }
+    }
+
+    /// All data operations have positive length and metadata ops carry
+    /// no payload.
+    #[test]
+    fn op_payloads_are_sane(kind_idx in 0usize..16, seed in 0u64..500) {
+        let kind = all_kinds()[kind_idx];
+        for step in script_of(kind, 1, 0, 2, seed) {
+            if let ScriptStep::Op(op) = step {
+                if op.kind().is_data() {
+                    prop_assert!(op.bytes() > 0, "{:?} zero-length data op", op.kind());
+                } else {
+                    prop_assert_eq!(op.bytes(), 0);
+                }
+            }
+        }
+    }
+
+    /// ior-hard offsets never overlap across ranks, for any rank count.
+    #[test]
+    fn ior_hard_is_conflict_free(ranks in 1u32..9, seed in 0u64..100) {
+        let kind = WorkloadKind::IorHardWrite;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..ranks {
+            for step in script_of(kind, 0, r, ranks, seed) {
+                if let ScriptStep::Op(IoOp::Write { offset, len, .. }) = step {
+                    prop_assert!(seen.insert(offset), "offset {} reused", offset);
+                    prop_assert_eq!(len, qi_workloads::io500::IOR_HARD_XFER);
+                }
+            }
+        }
+    }
+
+    /// Precreated inputs always cover what read-type scripts consume:
+    /// every read targets a precreated file within its length.
+    #[test]
+    fn reads_are_backed_by_precreated_data(
+        kind_idx in prop::sample::select(vec![0usize, 1, 2]), // the three read tasks
+        ranks in 1u32..5,
+        seed in 0u64..200,
+    ) {
+        let kind = WorkloadKind::IO500[kind_idx];
+        let w = kind.build_small();
+        let cfg = ClusterConfig::small();
+        let pre: std::collections::HashMap<_, _> = w
+            .precreate(AppId(0), ranks, &cfg)
+            .into_iter()
+            .map(|p| (p.file, p.len))
+            .collect();
+        for r in 0..ranks {
+            for step in w.script(AppId(0), r, ranks, seed, &cfg) {
+                if let ScriptStep::Op(IoOp::Read { file, offset, len }) = step {
+                    let flen = pre.get(&file).copied();
+                    prop_assert!(flen.is_some(), "read of unprecreated file {:?}", file);
+                    prop_assert!(
+                        offset + len <= flen.expect("present"),
+                        "read past EOF: {}+{} > {:?}",
+                        offset,
+                        len,
+                        flen
+                    );
+                }
+            }
+        }
+    }
+
+    /// Looping interference never finishes: the program keeps yielding
+    /// steps far beyond one script length.
+    #[test]
+    fn looping_programs_never_finish(kind_idx in 0usize..7, seed in 0u64..50) {
+        use qi_pfs::ops::{ProgramStep, RankProgram};
+        use qi_workloads::common::LoopingProgram;
+        let kind = WorkloadKind::IO500[kind_idx];
+        let w = kind.build_small();
+        let one_pass = w
+            .script(AppId(0), 0, 2, seed, &ClusterConfig::small())
+            .len();
+        let mut p = LoopingProgram::new(
+            kind.build_small(),
+            AppId(0),
+            0,
+            2,
+            seed,
+            ClusterConfig::small(),
+        );
+        for i in 0..(one_pass * 2 + 10) {
+            let step = p.next(qi_simkit::SimTime::ZERO);
+            prop_assert!(
+                !matches!(step, ProgramStep::Finished),
+                "looping program finished at step {}",
+                i
+            );
+        }
+    }
+}

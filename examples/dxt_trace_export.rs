@@ -1,0 +1,58 @@
+//! Export a run's operation trace in the Darshan-DXT-like format the
+//! paper's Figure 1 analysis consumes, re-import it, and verify the
+//! round trip — the offline trace workflow of the paper's labelling
+//! pipeline.
+//!
+//! ```sh
+//! cargo run --release --example dxt_trace_export
+//! ```
+
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::monitor::{export_dxt, import_dxt};
+use quanterference_repro::pfs::config::ClusterConfig;
+
+fn main() {
+    let scenario = Scenario {
+        cluster: ClusterConfig::small(),
+        small: true,
+        target_ranks: 2,
+        ..Scenario::baseline(WorkloadKind::Enzo, 13)
+    }
+    .with_interference(InterferenceSpec {
+        kind: WorkloadKind::IorEasyWrite,
+        instances: 2,
+        ranks: 2,
+    });
+    println!("running the Enzo proxy under interference...");
+    let (app, trace) = scenario.run();
+    let n_ops = trace.ops_of(app).count();
+    println!("captured {n_ops} operations");
+
+    let text = export_dxt(&trace, app);
+    let path = "results/enzo_interfered.dxt";
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write(path, &text).expect("write DXT log");
+    println!("wrote {} ({} bytes)", path, text.len());
+
+    // Show the head of the log, like `darshan-dxt-parser` output.
+    println!("\nfirst lines of the log:");
+    for line in text.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // Round trip.
+    let ops = import_dxt(&text, app).expect("parse back");
+    assert_eq!(ops.len(), n_ops);
+    let slowest = ops
+        .iter()
+        .max_by_key(|o| o.duration())
+        .expect("non-empty trace");
+    println!(
+        "\nround trip ok: {} ops; slowest was {} {} ({} bytes) at {}",
+        ops.len(),
+        slowest.token,
+        slowest.kind.label(),
+        slowest.bytes,
+        slowest.duration(),
+    );
+}

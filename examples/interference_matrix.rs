@@ -1,0 +1,38 @@
+//! Regenerate the paper's Table I at full cluster scale: the 7×7 IO500
+//! cross-interference slowdown matrix.
+//!
+//! ```sh
+//! cargo run --release --example interference_matrix
+//! ```
+//!
+//! Pass `--smoke` for the reduced-scale variant used in tests.
+
+use quanterference_repro::framework::experiments::{table_one, TableOneConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        TableOneConfig::smoke()
+    } else {
+        TableOneConfig::paper()
+    };
+    println!(
+        "Table I — IO500 task slowdown under interference ({} scale)",
+        if smoke { "smoke" } else { "paper" }
+    );
+    println!(
+        "{} instances x {} ranks of background noise per cell; mean over {} seeds\n",
+        cfg.instances,
+        cfg.noise_ranks,
+        cfg.seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let table = table_one(&cfg);
+    println!("{}", table.render());
+    println!("(generated in {:.1?})", t0.elapsed());
+
+    let out = std::path::Path::new("results/table1_io500_matrix.csv");
+    if table.to_table().write_csv(out).is_ok() {
+        println!("CSV written to {}", out.display());
+    }
+}

@@ -1,0 +1,98 @@
+//! Train an interference model on the IO500 grid, then deploy it as an
+//! online predictor against runs it has never seen (different seeds and
+//! interference mixes), reporting per-window predictions vs truth — the
+//! deployment loop of the paper's Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example online_predictor
+//! ```
+
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::pfs::config::ClusterConfig;
+
+fn main() {
+    // Train on a small IO500 grid (reduced scale so the example runs in
+    // seconds; the benches use the full grid).
+    let mut spec = DatasetSpec::smoke();
+    spec.targets = vec![
+        WorkloadKind::IorEasyRead,
+        WorkloadKind::IorEasyWrite,
+        WorkloadKind::MdtHardWrite,
+    ];
+    spec.noise_kinds = vec![WorkloadKind::IorEasyRead, WorkloadKind::IorEasyWrite];
+    spec.intensities = vec![1, 2];
+    spec.seeds = vec![1, 2, 3];
+
+    println!("== training on {} scenario runs ==", spec.n_runs());
+    let tcfg = TrainConfig {
+        epochs: 30,
+        ..TrainConfig::default()
+    };
+    let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 99);
+    println!(
+        "dataset: {} windows, class counts {:?}",
+        dataset.data.len(),
+        dataset.class_counts()
+    );
+    println!("{}", report.render());
+    println!("offline F1 = {:.3}\n", report.headline_f1());
+
+    // Deploy: fresh runs with UNSEEN seeds, including an unseen noise mix.
+    println!("== online deployment on unseen runs ==");
+    let mut total = 0;
+    let mut hits = 0;
+    for (label, target, noise, instances, seed) in [
+        (
+            "seen mix, new seed",
+            WorkloadKind::IorEasyRead,
+            WorkloadKind::IorEasyWrite,
+            2,
+            77,
+        ),
+        (
+            "unseen intensity",
+            WorkloadKind::IorEasyWrite,
+            WorkloadKind::IorEasyWrite,
+            2,
+            78,
+        ),
+        (
+            "unseen noise kind",
+            WorkloadKind::MdtHardWrite,
+            WorkloadKind::IorHardWrite,
+            2,
+            79,
+        ),
+    ] {
+        let scenario = Scenario {
+            cluster: ClusterConfig::small(),
+            small: true,
+            target_ranks: 2,
+            ..Scenario::baseline(target, seed)
+        }
+        .with_interference(InterferenceSpec {
+            kind: noise,
+            instances,
+            ranks: 2,
+        });
+        let (app, base) = scenario.run_baseline();
+        let (_, noisy) = scenario.run();
+        let idx = BaselineIndex::new(&base, app);
+        let truth = window_degradation(&idx, &noisy, app, spec.window);
+        let scored = predictor.score_run(&noisy, app, &truth);
+        let ok = scored.iter().filter(|(_, p, t)| p == t).count();
+        println!(
+            "{label:<22} target={:<15} noise={:<15} windows={:>3} correct={:>3}",
+            target.name(),
+            noise.name(),
+            scored.len(),
+            ok
+        );
+        total += scored.len();
+        hits += ok;
+    }
+    println!(
+        "\nonline accuracy: {hits}/{total} = {:.1}%",
+        100.0 * hits as f64 / total.max(1) as f64
+    );
+}

@@ -1,0 +1,102 @@
+//! Drive the *streaming* monitor the way the deployed framework would:
+//! events flow in time order, windows are emitted the moment they can no
+//! longer change, and each emitted window is immediately classified by
+//! the trained predictor — the online loop of the paper's Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example streaming_windows
+//! ```
+
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::monitor::features::server_vector;
+use quanterference_repro::monitor::{EmittedWindow, StreamingMonitor};
+use quanterference_repro::pfs::config::ClusterConfig;
+use quanterference_repro::pfs::ids::DeviceId;
+
+fn main() {
+    // 1. Train a model offline.
+    let mut spec = DatasetSpec::smoke();
+    spec.seeds = (1..=4).collect();
+    spec.intensities = vec![1, 2, 3];
+    println!("training offline on {} runs...", spec.n_runs());
+    let tcfg = TrainConfig {
+        epochs: 25,
+        ..TrainConfig::default()
+    };
+    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 5);
+    println!("offline F1 = {:.3}\n", report.headline_f1());
+
+    // 2. A fresh run whose events we replay through the streaming path.
+    let scenario = Scenario {
+        cluster: ClusterConfig::small(),
+        small: true,
+        target_ranks: 2,
+        ..Scenario::baseline(WorkloadKind::IorEasyRead, 77)
+    }
+    .with_interference(InterferenceSpec {
+        kind: WorkloadKind::IorEasyWrite,
+        instances: 2,
+        ranks: 2,
+    });
+    let (app, trace) = scenario.run();
+    let n_devices = scenario.cluster.n_devices();
+
+    // 3. Merge the three event streams in time order and feed them in.
+    let mut monitor = StreamingMonitor::new(spec.window, n_devices);
+    let mut emitted: Vec<EmittedWindow> = Vec::new();
+    let mut oi = 0;
+    let mut ri = 0;
+    let mut si = 0;
+    loop {
+        let t_op = trace.ops.get(oi).map(|o| o.completed);
+        let t_rpc = trace.rpcs.get(ri).map(|r| r.issued);
+        let t_smp = trace.samples.get(si).map(|s| s.time);
+        let next = [t_op, t_rpc, t_smp].into_iter().flatten().min();
+        let Some(next) = next else { break };
+        if t_op == Some(next) {
+            emitted.extend(monitor.push_op(&trace.ops[oi]));
+            oi += 1;
+        } else if t_rpc == Some(next) {
+            emitted.extend(monitor.push_rpc(&trace.rpcs[ri]));
+            ri += 1;
+        } else {
+            emitted.extend(monitor.push_sample(&trace.samples[si]));
+            si += 1;
+        }
+    }
+    emitted.extend(monitor.finish());
+    println!(
+        "streamed {} ops, {} rpcs, {} samples -> {} finalized windows",
+        oi,
+        ri,
+        si,
+        emitted.len()
+    );
+
+    // 4. Classify each window the instant it is emitted.
+    println!("\nlive predictions for the target app:");
+    for w in &emitted {
+        let Some(client) = w.clients.get(&app) else {
+            continue;
+        };
+        let mut block = Vec::new();
+        for d in 0..n_devices {
+            let dev = DeviceId(d);
+            block.extend(server_vector(
+                spec.features,
+                Some(client),
+                w.servers.get(&dev),
+                dev,
+                spec.window.window,
+            ));
+        }
+        let bin = predictor.predict_block(&block);
+        println!(
+            "  window {:>2}: {:>4} ops, {:>8} bytes -> predicted {}",
+            w.window,
+            client.total_ops(),
+            client.total_bytes(),
+            predictor.bin_labels()[bin]
+        );
+    }
+}

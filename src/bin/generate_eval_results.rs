@@ -1,0 +1,122 @@
+//! The reproduction's equivalent of the paper artifact's
+//! `generate_eval_results.py` (Appendix, Artifact Execution): trains and
+//! evaluates a model for each of the six modelling scenarios of
+//! Figures 3-5, recreates Figure 1 from trace data, and writes every
+//! result to `eval_results/`.
+//!
+//! ```sh
+//! cargo run --release --bin generate_eval_results            # full scale
+//! cargo run --release --bin generate_eval_results -- --smoke # fast
+//! ```
+
+use std::path::PathBuf;
+
+use quanterference_repro::framework::experiments::{
+    fig_one_a, fig_one_b, series_table, FigOneConfig,
+};
+use quanterference_repro::framework::labeling::Bins;
+use quanterference_repro::framework::predict::{family_spec, train_and_evaluate, EvalReport};
+use quanterference_repro::framework::{TrainConfig, WorkloadKind};
+use quanterference_repro::simkit::AsciiTable;
+
+fn confusion_csv(report: &EvalReport) -> AsciiTable {
+    let mut t = AsciiTable::new(vec![
+        "actual".to_string(),
+        "predicted".to_string(),
+        "count".to_string(),
+    ]);
+    let n = report.cm.n_classes();
+    for a in 0..n {
+        for p in 0..n {
+            t.add_row(vec![
+                report.labels[a].clone(),
+                report.labels[p].clone(),
+                report.cm.get(a, p).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("QI_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let out = PathBuf::from("eval_results");
+    std::fs::create_dir_all(&out).expect("create eval_results/");
+    let tcfg = TrainConfig {
+        epochs: if smoke { 20 } else { 40 },
+        ..TrainConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let mut summary = AsciiTable::new(vec![
+        "scenario".to_string(),
+        "windows".to_string(),
+        "accuracy".to_string(),
+        "f1".to_string(),
+    ]);
+
+    // The six modelling scenarios of Figures 3-5.
+    let scenarios: Vec<(&str, Vec<WorkloadKind>, Bins)> = vec![
+        (
+            "fig3a_io500_binary",
+            WorkloadKind::IO500.to_vec(),
+            Bins::binary(),
+        ),
+        (
+            "fig3b_dlio_binary",
+            WorkloadKind::DLIO.to_vec(),
+            Bins::binary(),
+        ),
+        (
+            "fig4_io500_multiclass",
+            WorkloadKind::IO500.to_vec(),
+            Bins::three_class(),
+        ),
+        ("fig5_amrex", vec![WorkloadKind::Amrex], Bins::binary()),
+        ("fig5_enzo", vec![WorkloadKind::Enzo], Bins::binary()),
+        ("fig5_openpmd", vec![WorkloadKind::OpenPmd], Bins::binary()),
+    ];
+    for (name, family, bins) in scenarios {
+        println!("== {name} ==");
+        let mut spec = family_spec(&family, smoke);
+        spec.bins = bins;
+        let mut cfg = tcfg.clone();
+        cfg.n_classes = spec.bins.n_classes();
+        let (gen, _, report) = train_and_evaluate(&spec, &cfg, 42);
+        println!("{}", report.render());
+        println!("F1 = {:.3}\n", report.headline_f1());
+        confusion_csv(&report)
+            .write_csv(out.join(format!("{name}.csv")))
+            .expect("write CSV");
+        summary.add_row(vec![
+            name.to_string(),
+            gen.data.len().to_string(),
+            format!("{:.4}", report.cm.accuracy()),
+            format!("{:.4}", report.headline_f1()),
+        ]);
+    }
+
+    // Figure 1 recreation from trace data.
+    println!("== fig1 (Enzo per-op traces) ==");
+    let fcfg = if smoke {
+        FigOneConfig::smoke()
+    } else {
+        FigOneConfig::paper()
+    };
+    series_table(&fig_one_a(&fcfg, 3))
+        .write_csv(out.join("fig1a_enzo_vs_write_levels.csv"))
+        .expect("write CSV");
+    series_table(&fig_one_b(&fcfg, 3))
+        .write_csv(out.join("fig1b_enzo_noise_types.csv"))
+        .expect("write CSV");
+
+    summary
+        .write_csv(out.join("summary.csv"))
+        .expect("write summary");
+    println!("{}", summary.render());
+    println!(
+        "all evaluation results written to {}/ in {:.1?}",
+        out.display(),
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,44 @@
+//! # quanterference-repro
+//!
+//! Umbrella crate for the reproduction of *"Understanding and Predicting
+//! Cross-Application I/O Interference in HPC Storage Systems"* (SC 2024).
+//!
+//! This crate re-exports the whole stack and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). The parts:
+//!
+//! - [`simkit`] — deterministic discrete-event core and numeric utilities.
+//! - [`pfs`] — the Lustre-like parallel file system simulator.
+//! - [`workloads`] — IO500 / DLIO / application-proxy workload generators.
+//! - [`monitor`] — client-side and server-side monitors (paper §III-A/B).
+//! - [`ml`] — the from-scratch kernel-based neural network (paper §III-C).
+//! - [`framework`] — scenarios, labelling, datasets, training, prediction.
+//!
+//! Quick start (see `examples/quickstart.rs` for the full version):
+//!
+//! ```
+//! use quanterference_repro::framework::prelude::*;
+//!
+//! // How much does ior-easy-read suffer under 2 concurrent readers?
+//! let scenario = Scenario {
+//!     cluster: qi_pfs::config::ClusterConfig::small(),
+//!     small: true,
+//!     target_ranks: 2,
+//!     ..Scenario::baseline(WorkloadKind::IorEasyRead, 7)
+//! }
+//! .with_interference(InterferenceSpec {
+//!     kind: WorkloadKind::IorEasyRead,
+//!     instances: 2,
+//!     ranks: 2,
+//! });
+//! let (app, base) = scenario.run_baseline();
+//! let (_, noisy) = scenario.run();
+//! let slowdown = completion_slowdown(&base, &noisy, app).unwrap();
+//! assert!(slowdown > 1.0);
+//! ```
+
+pub use qi_ml as ml;
+pub use qi_monitor as monitor;
+pub use qi_pfs as pfs;
+pub use qi_simkit as simkit;
+pub use qi_workloads as workloads;
+pub use quanterference as framework;

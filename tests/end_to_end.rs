@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full pipeline from simulated
+//! cluster to trained predictor, exercised end to end at smoke scale.
+
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::monitor::{client_windows, server_windows};
+use quanterference_repro::pfs::config::ClusterConfig;
+
+fn small_scenario(target: WorkloadKind, seed: u64) -> Scenario {
+    Scenario {
+        cluster: ClusterConfig::small(),
+        small: true,
+        target_ranks: 2,
+        ..Scenario::baseline(target, seed)
+    }
+}
+
+#[test]
+fn baseline_and_interfered_runs_are_deterministic() {
+    let s = small_scenario(WorkloadKind::IorEasyRead, 11).with_interference(InterferenceSpec {
+        kind: WorkloadKind::IorEasyWrite,
+        instances: 2,
+        ranks: 2,
+    });
+    let (app_a, a) = s.run();
+    let (app_b, b) = s.run();
+    assert_eq!(app_a, app_b);
+    assert_eq!(a.ops.len(), b.ops.len());
+    for (x, y) in a.ops.iter().zip(b.ops.iter()) {
+        assert_eq!(x.token, y.token);
+        assert_eq!(x.issued, y.issued);
+        assert_eq!(x.completed, y.completed);
+    }
+    assert_eq!(a.samples.len(), b.samples.len());
+    assert_eq!(a.end, b.end);
+}
+
+#[test]
+fn interference_produces_positive_windows_and_baseline_does_not() {
+    let s = small_scenario(WorkloadKind::IorEasyRead, 5).with_interference(InterferenceSpec {
+        kind: WorkloadKind::IorEasyRead,
+        instances: 2,
+        ranks: 2,
+    });
+    let (app, base) = s.run_baseline();
+    let (_, noisy) = s.run();
+    let idx = BaselineIndex::new(&base, app);
+    let wcfg = WindowConfig::seconds(1);
+    // Self-comparison: every window degrades by exactly 1.0.
+    let self_levels = window_degradation(&idx, &base, app, wcfg);
+    assert!(!self_levels.is_empty());
+    for (&w, &lv) in &self_levels {
+        assert!((lv - 1.0).abs() < 1e-9, "window {w} self-level {lv}");
+    }
+    // Interfered: at least one window beyond 1.5x.
+    let levels = window_degradation(&idx, &noisy, app, wcfg);
+    let max = levels.values().cloned().fold(0.0, f64::max);
+    assert!(max > 1.5, "max degradation only {max:.2}");
+}
+
+#[test]
+fn monitors_cover_every_active_window() {
+    let mut s = small_scenario(WorkloadKind::DlioUnet3d, 9);
+    // Sample fast enough that even a sub-second run yields server data.
+    s.cluster.sample_interval = qi_simkit::SimDuration::from_millis(100);
+    let (app, trace) = s.run();
+    assert!(trace.completion_of(app).is_some());
+    let wcfg = WindowConfig::seconds(1);
+    let n_dev = s.cluster.n_devices();
+    let cw = client_windows(&trace, wcfg, n_dev);
+    let sw = server_windows(&trace.samples, wcfg);
+    assert!(cw.keys().any(|(a, _)| *a == app));
+    // Every client window of the target must have matching server
+    // windows for the sampled period (except the final partial window).
+    let max_sampled = trace
+        .samples
+        .iter()
+        .map(|s| s.time)
+        .max()
+        .expect("samples exist");
+    for &(a, w) in cw.keys() {
+        if a != app {
+            continue;
+        }
+        if wcfg.start_of(w + 1) > max_sampled {
+            continue; // beyond the last full sampling interval
+        }
+        if w == 0 {
+            continue; // first window has no preceding sample to delta
+        }
+        assert!(
+            (0..n_dev).any(|d| sw.contains_key(&(quanterference_repro::pfs::ids::DeviceId(d), w))),
+            "no server window for client window {w}"
+        );
+    }
+}
+
+#[test]
+fn feature_blocks_have_stable_shape_across_runs() {
+    let spec = DatasetSpec::smoke();
+    let scenario =
+        small_scenario(WorkloadKind::MdtHardWrite, 3).with_interference(InterferenceSpec {
+            kind: WorkloadKind::IorEasyWrite,
+            instances: 1,
+            ranks: 2,
+        });
+    let (app, trace) = scenario.run();
+    let vecs = window_vectors(
+        &trace,
+        app,
+        spec.window,
+        spec.features,
+        scenario.cluster.n_devices(),
+    );
+    assert!(!vecs.is_empty());
+    let expect = scenario.cluster.n_devices() as usize * spec.features.len();
+    for v in vecs.values() {
+        assert_eq!(v.len(), expect);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn full_pipeline_beats_majority_class_at_smoke_scale() {
+    let mut spec = DatasetSpec::smoke();
+    spec.seeds = (1..=6).collect();
+    spec.intensities = vec![1, 2, 3];
+    let tcfg = TrainConfig {
+        epochs: 25,
+        ..TrainConfig::default()
+    };
+    let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 17);
+    let counts = gen.class_counts();
+    assert!(
+        counts[0] > 0 && counts[1] > 0,
+        "degenerate dataset {counts:?}"
+    );
+    // The model must beat always-predicting the majority class.
+    let majority = *counts.iter().max().expect("non-empty") as f64 / gen.data.len() as f64;
+    assert!(
+        report.cm.accuracy() > majority.min(0.95) - 0.1,
+        "accuracy {:.3} vs majority {:.3}",
+        report.cm.accuracy(),
+        majority
+    );
+    assert!(report.headline_f1() > 0.3, "F1 {:.3}", report.headline_f1());
+}
+
+#[test]
+fn predictor_round_trips_through_blocks() {
+    let spec = DatasetSpec::smoke();
+    let tcfg = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    };
+    let (gen, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 3);
+    // predict_block on a dataset row must equal the batch prediction.
+    let sample = gen.data.sample_rows(0);
+    let flat: Vec<f32> = sample.data().to_vec();
+    let via_block = predictor.predict_block(&flat);
+    assert!(via_block < 2);
+}
+
+#[test]
+fn every_registered_workload_completes_on_the_small_cluster() {
+    for kind in WorkloadKind::IO500
+        .into_iter()
+        .chain(WorkloadKind::DLIO)
+        .chain(WorkloadKind::APPS)
+        .chain(WorkloadKind::IO500_EXTENDED)
+    {
+        let s = small_scenario(kind, 23);
+        let (app, trace) = s.run();
+        assert!(
+            trace.completion_of(app).is_some(),
+            "{kind} did not complete"
+        );
+        assert!(!trace.ops.is_empty(), "{kind} issued no ops");
+    }
+}
