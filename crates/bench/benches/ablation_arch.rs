@@ -50,6 +50,7 @@ fn evaluate(
         test_counts: count(test_set),
         cm,
         labels: labels.to_vec(),
+        metrics: model.metrics.clone(),
     }
 }
 

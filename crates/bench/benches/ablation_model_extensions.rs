@@ -38,6 +38,7 @@ fn report_from_cm(
         test_counts: vec![],
         cm,
         labels: labels.to_vec(),
+        metrics: qi_telemetry::MetricsSnapshot::new(),
     }
 }
 

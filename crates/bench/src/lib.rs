@@ -39,11 +39,18 @@ pub fn print_report(title: &str, gen: &GeneratedDataset, report: &EvalReport) {
     );
     println!("{}", report.render());
     println!(
-        "headline F1 = {:.3}  (accuracy {:.3}, macro-F1 {:.3})\n",
+        "headline F1 = {:.3}  (accuracy {:.3}, macro-F1 {:.3})",
         report.headline_f1(),
         report.cm.accuracy(),
         report.cm.macro_f1()
     );
+    if !report.metrics.metrics.is_empty() {
+        println!(
+            "telemetry: {} metrics (ml.train.* / ml.eval.*)",
+            report.metrics.metrics.len()
+        );
+    }
+    println!();
 }
 
 /// Serialise a report's confusion matrix as CSV rows.

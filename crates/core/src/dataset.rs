@@ -226,11 +226,14 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         })
         .collect();
 
-    // 3. Baseline windows as extra lowest-bin samples.
+    // 3. Baseline windows as extra lowest-bin samples. Iterate in
+    // `base_keys` order, not map order: HashMap iteration order varies
+    // run to run, and sample order must be deterministic.
     if spec.include_baseline_windows {
-        let extra: Vec<_> = baselines
+        let extra: Vec<_> = base_keys
             .par_iter()
-            .map(|(&(target, seed), (app, trace))| {
+            .map(|&(target, seed)| {
+                let (app, trace) = &baselines[&(target, seed)];
                 let idx = BaselineIndex::new(trace, *app);
                 collect_samples(spec, trace, *app, &idx, n_devices, target, None, seed)
             })

@@ -11,6 +11,7 @@ use qi_monitor::features::FeatureConfig;
 use qi_monitor::window::WindowConfig;
 use qi_pfs::ids::AppId;
 use qi_pfs::ops::RunTrace;
+use qi_telemetry::{MetricValue, MetricsSnapshot};
 use qi_workloads::registry::WorkloadKind;
 
 use crate::dataset::{generate, window_vectors, DatasetSpec, GeneratedDataset};
@@ -105,6 +106,10 @@ pub struct EvalReport {
     pub cm: qi_ml::metrics::ConfusionMatrix,
     /// Bin labels for rendering.
     pub labels: Vec<String>,
+    /// Pipeline telemetry: the model's `ml.train.*` metrics plus
+    /// `ml.eval.*` gauges (accuracy, macro-F1, headline F1) and split
+    /// sizes. Deterministic for a fixed spec, config, and seed.
+    pub metrics: MetricsSnapshot,
 }
 
 impl EvalReport {
@@ -144,6 +149,23 @@ pub fn train_and_evaluate(
         }
         c
     };
+    let mut metrics = model.metrics.clone();
+    metrics.put("ml.eval.accuracy", MetricValue::Gauge(cm.accuracy()));
+    metrics.put("ml.eval.macro_f1", MetricValue::Gauge(cm.macro_f1()));
+    let headline = if cm.n_classes() == 2 {
+        cm.f1_positive()
+    } else {
+        cm.macro_f1()
+    };
+    metrics.put("ml.eval.headline_f1", MetricValue::Gauge(headline));
+    metrics.put(
+        "ml.eval.train_samples",
+        MetricValue::Counter(train_set.len() as u64),
+    );
+    metrics.put(
+        "ml.eval.test_samples",
+        MetricValue::Counter(test_set.len() as u64),
+    );
     let report = EvalReport {
         train_size: train_set.len(),
         test_size: test_set.len(),
@@ -151,6 +173,7 @@ pub fn train_and_evaluate(
         test_counts: count(&test_set),
         cm,
         labels: spec.bins.labels(),
+        metrics,
     };
     let predictor = Predictor::new(
         model,

@@ -18,6 +18,7 @@ use crate::server::{ServerWindow, N_SERVER_SERIES};
 use crate::window::WindowConfig;
 use qi_simkit::stats::OnlineStats;
 use qi_simkit::time::SimTime;
+use qi_telemetry::{MetricValue, MetricsSnapshot};
 
 /// A fully assembled window emitted by the streaming monitor.
 pub struct EmittedWindow {
@@ -40,6 +41,12 @@ pub struct StreamingMonitor {
     server_acc: HashMap<DeviceId, [OnlineStats; N_SERVER_SERIES]>,
     last_sample: HashMap<DeviceId, ServerSample>,
     emitted: u64,
+    /// Windows flushed with no client or server content (time gaps in
+    /// the stream); a real aggregator would drop these on the floor.
+    dropped: u64,
+    ops_ingested: u64,
+    rpcs_ingested: u64,
+    samples_ingested: u64,
 }
 
 impl StreamingMonitor {
@@ -54,12 +61,40 @@ impl StreamingMonitor {
             server_acc: HashMap::new(),
             last_sample: HashMap::new(),
             emitted: 0,
+            dropped: 0,
+            ops_ingested: 0,
+            rpcs_ingested: 0,
+            samples_ingested: 0,
         }
     }
 
     /// Windows emitted so far.
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Windows emitted empty (no client or server content) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Telemetry snapshot of the monitor's ingest/emit counters
+    /// (`monitor.*` namespace). Take it before calling
+    /// [`StreamingMonitor::finish`], which consumes the monitor.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.put("monitor.ops_ingested", MetricValue::Counter(self.ops_ingested));
+        snap.put(
+            "monitor.rpcs_ingested",
+            MetricValue::Counter(self.rpcs_ingested),
+        );
+        snap.put(
+            "monitor.samples_ingested",
+            MetricValue::Counter(self.samples_ingested),
+        );
+        snap.put("monitor.windows_emitted", MetricValue::Counter(self.emitted));
+        snap.put("monitor.windows_dropped", MetricValue::Counter(self.dropped));
+        snap
     }
 
     fn check_order(&mut self, t: SimTime) {
@@ -80,6 +115,9 @@ impl StreamingMonitor {
     }
 
     fn flush_current(&mut self) -> EmittedWindow {
+        if self.clients.is_empty() && self.server_acc.is_empty() {
+            self.dropped += 1;
+        }
         let clients = std::mem::take(&mut self.clients);
         let servers = self
             .server_acc
@@ -113,6 +151,7 @@ impl StreamingMonitor {
     /// became final.
     pub fn push_op(&mut self, op: &OpRecord) -> Vec<EmittedWindow> {
         self.check_order(op.completed);
+        self.ops_ingested += 1;
         let mut out = Vec::new();
         self.roll_to(op.completed, &mut out);
         let n = self.n_devices as usize;
@@ -142,6 +181,7 @@ impl StreamingMonitor {
     /// Feed one issued RPC (attributes per-server targeting).
     pub fn push_rpc(&mut self, rpc: &RpcRecord) -> Vec<EmittedWindow> {
         self.check_order(rpc.issued);
+        self.rpcs_ingested += 1;
         let mut out = Vec::new();
         self.roll_to(rpc.issued, &mut out);
         let n = self.n_devices as usize;
@@ -167,6 +207,7 @@ impl StreamingMonitor {
     /// Feed one per-second server sample.
     pub fn push_sample(&mut self, sample: &ServerSample) -> Vec<EmittedWindow> {
         self.check_order(sample.time);
+        self.samples_ingested += 1;
         let mut out = Vec::new();
         // The interval (prev, cur] belongs to the window holding its end.
         if sample.time.as_nanos() > 0 {
@@ -229,6 +270,23 @@ mod tests {
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].window, 2);
         assert_eq!(rest[0].clients[&AppId(0)].reads, 1);
+    }
+
+    #[test]
+    fn telemetry_counts_ingest_emits_and_drops() {
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
+        m.push_op(&op(0, 0, 100));
+        // Jumping to second 5 flushes windows 0..=4; 1..=4 are empty.
+        let emitted = m.push_op(&op(0, 1, 5_100));
+        assert_eq!(emitted.len(), 5);
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.counter("monitor.ops_ingested"), Some(2));
+        assert_eq!(snap.counter("monitor.rpcs_ingested"), Some(0));
+        assert_eq!(snap.counter("monitor.samples_ingested"), Some(0));
+        assert_eq!(snap.counter("monitor.windows_emitted"), Some(5));
+        assert_eq!(snap.counter("monitor.windows_dropped"), Some(4));
+        assert_eq!(m.emitted(), 5);
+        assert_eq!(m.dropped(), 4);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use std::collections::{HashMap, VecDeque};
 use qi_simkit::event::EventQueue;
 use qi_simkit::ratelimit::TokenBucket;
 use qi_simkit::rng::SimRng;
+use qi_simkit::stats::OnlineStats;
 use qi_simkit::time::{SimDuration, SimTime};
+use qi_telemetry::{MetricValue, MetricsSnapshot};
 
 use crate::cache::{Admit, LruSet, SmallObjectCache, WriteCache};
 use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
@@ -155,14 +157,45 @@ enum Ev {
     FailSlow { dev: u32, factor: f64 },
 }
 
-/// Per-directory metadata lock with FIFO waiters.
+/// Per-directory metadata lock with FIFO waiters (each remembers when it
+/// enqueued, for lock-wait telemetry).
 #[derive(Default)]
 struct DirLock {
     busy: bool,
-    waiters: VecDeque<(OpToken, NodeId)>,
+    waiters: VecDeque<(OpToken, NodeId, SimTime)>,
     /// Client that last held the lock; a different client pays a
     /// revocation round-trip before its mutation runs.
     last_client: Option<NodeId>,
+}
+
+/// Scalar telemetry the cluster accumulates outside the per-device
+/// counters; folded into [`RunTrace::metrics`] when a run ends. All
+/// values derive from simulated time and deterministic state only.
+struct ClusterTelemetry {
+    /// Time each mutation waited for its directory lock, in microseconds
+    /// (uncontended acquisitions observe 0).
+    lock_wait_us: OnlineStats,
+    /// Lock acquisitions that paid a revocation round-trip because the
+    /// lock last belonged to a different client.
+    lock_revocations: u64,
+    /// Lookups served from the inode cache (real or modelled hit).
+    lookup_cache_hits: u64,
+    /// Lookups that had to read the inode from the MDT.
+    lookup_cache_misses: u64,
+    /// Server-side monitor sampling ticks taken.
+    samples_taken: u64,
+}
+
+impl ClusterTelemetry {
+    fn new() -> Self {
+        ClusterTelemetry {
+            lock_wait_us: OnlineStats::new(),
+            lock_revocations: 0,
+            lookup_cache_hits: 0,
+            lookup_cache_misses: 0,
+            samples_taken: 0,
+        }
+    }
 }
 
 /// Metadata server state.
@@ -218,6 +251,7 @@ pub struct Cluster {
     tbf: HashMap<AppId, TokenBucket>,
     trace: RunTrace,
     rng: SimRng,
+    tele: ClusterTelemetry,
 }
 
 /// Deterministic 64-bit mix of a file key, used for placement and inode
@@ -294,6 +328,7 @@ impl Cluster {
             tbf: HashMap::new(),
             trace: RunTrace::default(),
             rng,
+            tele: ClusterTelemetry::new(),
             cfg,
         }
     }
@@ -498,7 +533,93 @@ impl Cluster {
             }
         }
         self.trace.end = self.events.now();
+        self.trace.metrics = self.metrics_snapshot(self.events.now());
         self.trace
+    }
+
+    /// Assemble the cluster-wide telemetry snapshot at `now`: per-device
+    /// block-layer counters and distributions (`pfs.ost{i}.*`,
+    /// `pfs.mdt.*`), per-server NIC traffic and utilisation
+    /// (`pfs.nic.*`), and MDS metadata statistics (`pfs.mds.*`). Every
+    /// value derives from simulated time and deterministic event-loop
+    /// state, so the snapshot is byte-stable across identical runs.
+    fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let n_osts = self.cfg.n_osts() as usize;
+        for (i, dev) in self.devices.iter().enumerate() {
+            let p = if i < n_osts {
+                format!("pfs.ost{i}")
+            } else {
+                "pfs.mdt".to_string()
+            };
+            let c = dev.counters(now);
+            for (field, v) in [
+                ("reads_completed", c.reads_completed),
+                ("writes_completed", c.writes_completed),
+                ("sectors_read", c.sectors_read),
+                ("sectors_written", c.sectors_written),
+                ("read_merges", c.read_merges),
+                ("write_merges", c.write_merges),
+                ("enqueued", c.enqueued),
+                ("wait_ns", c.wait_ns),
+                ("busy_ns", c.busy_ns),
+            ] {
+                snap.put(&format!("{p}.{field}"), MetricValue::Counter(v));
+            }
+            snap.put(
+                &format!("{p}.queue_depth"),
+                MetricValue::Stats(dev.depth_stats().clone()),
+            );
+            snap.put(
+                &format!("{p}.seek_sectors"),
+                MetricValue::Stats(dev.seek_stats().clone()),
+            );
+            snap.put(
+                &format!("{p}.service_us"),
+                MetricValue::Histogram(dev.service_time_hist().clone()),
+            );
+        }
+        let elapsed = now.as_secs_f64();
+        let nic = |snap: &mut MetricsSnapshot, label: String, node: NodeId| {
+            let busy = self.net.nic_busy(node).as_secs_f64();
+            snap.put(
+                &format!("{label}.bytes"),
+                MetricValue::Counter(self.net.nic_bytes(node)),
+            );
+            snap.put(
+                &format!("{label}.busy_us"),
+                MetricValue::Gauge(busy * 1e6),
+            );
+            let util = if elapsed > 0.0 { busy / elapsed } else { 0.0 };
+            snap.put(&format!("{label}.util"), MetricValue::Gauge(util));
+        };
+        for j in 0..self.cfg.oss_nodes {
+            let node = NodeId(self.cfg.client_nodes + j);
+            nic(&mut snap, format!("pfs.nic.oss{j}"), node);
+        }
+        let mds_node = NodeId(self.cfg.client_nodes + self.cfg.oss_nodes);
+        nic(&mut snap, "pfs.nic.mds".to_string(), mds_node);
+        snap.put(
+            "pfs.mds.lock_wait_us",
+            MetricValue::Stats(self.tele.lock_wait_us.clone()),
+        );
+        snap.put(
+            "pfs.mds.lock_revocations",
+            MetricValue::Counter(self.tele.lock_revocations),
+        );
+        snap.put(
+            "pfs.mds.lookup_cache_hits",
+            MetricValue::Counter(self.tele.lookup_cache_hits),
+        );
+        snap.put(
+            "pfs.mds.lookup_cache_misses",
+            MetricValue::Counter(self.tele.lookup_cache_misses),
+        );
+        snap.put(
+            "pfs.sampler.samples",
+            MetricValue::Counter(self.tele.samples_taken),
+        );
+        snap
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -951,6 +1072,7 @@ impl Cluster {
         let switch = lock.last_client != Some(client);
         lock.last_client = Some(client);
         if switch {
+            self.tele.lock_revocations += 1;
             let at = now + self.cfg.mds.lock_revoke;
             self.events
                 .schedule(at, Ev::MdsLockRun { token, client, dir });
@@ -983,6 +1105,11 @@ impl Cluster {
                 let hit = self.mds.inode_cache.contains(file)
                     || self.rng.chance(self.cfg.mds.lookup_cache_hit);
                 if hit {
+                    self.tele.lookup_cache_hits += 1;
+                } else {
+                    self.tele.lookup_cache_misses += 1;
+                }
+                if hit {
                     self.send(now, mds_node, client, META_MSG_BYTES, Msg::OpDone { token });
                 } else {
                     let sector = self.inode_sector(file);
@@ -1014,9 +1141,10 @@ impl Cluster {
                 }
                 let lock = self.mds.dirs.entry(dir).or_default();
                 if lock.busy {
-                    lock.waiters.push_back((token, client));
+                    lock.waiters.push_back((token, client, now));
                 } else {
                     lock.busy = true;
+                    self.tele.lock_wait_us.push(0.0);
                     self.run_under_dir_lock(now, token, client, dir);
                 }
             }
@@ -1070,7 +1198,10 @@ impl Cluster {
                             }
                         }
                     };
-                    if let Some((t, c)) = next_waiter {
+                    if let Some((t, c, since)) = next_waiter {
+                        self.tele
+                            .lock_wait_us
+                            .push(now.saturating_since(since).as_secs_f64() * 1e6);
                         self.run_under_dir_lock(now, t, c, dir);
                     }
                 }
@@ -1106,6 +1237,7 @@ impl Cluster {
     // --------------------------------------------------------- sampling
 
     fn take_sample(&mut self, now: SimTime) {
+        self.tele.samples_taken += 1;
         let n_osts = self.cfg.n_osts() as usize;
         for (i, dev) in self.devices.iter().enumerate() {
             let (dirty, throttled) = if i < n_osts {

@@ -7,9 +7,16 @@
 //! at full media rate — the root cause behind the read-vs-read cells of
 //! the paper's Table I.
 
+use qi_simkit::stats::Histogram;
 use qi_simkit::time::SimDuration;
 
 use crate::config::{DiskConfig, SECTOR_SIZE};
+
+/// Upper edge of the service-time histogram, in microseconds. Requests
+/// slower than this land in the overflow bucket.
+const SERVICE_HIST_HI_US: f64 = 100_000.0;
+/// Bucket count for the service-time histogram (2 ms per bucket).
+const SERVICE_HIST_BUCKETS: usize = 50;
 
 /// Mutable head state plus the service-time model.
 #[derive(Clone, Debug)]
@@ -22,6 +29,8 @@ pub struct Disk {
     /// healthy). Models the gray-failure drives of Lu et al.'s Perseus,
     /// the work the paper borrows its severity bins from.
     degrade: f64,
+    /// Per-request service-time distribution, in microseconds.
+    service_hist: Histogram,
 }
 
 impl Disk {
@@ -32,7 +41,13 @@ impl Disk {
             head: 0,
             busy: SimDuration::ZERO,
             degrade: 1.0,
+            service_hist: Histogram::new(0.0, SERVICE_HIST_HI_US, SERVICE_HIST_BUCKETS),
         }
+    }
+
+    /// Per-request service-time histogram, in microseconds.
+    pub fn service_time_hist(&self) -> &Histogram {
+        &self.service_hist
     }
 
     /// Inject (or clear) a fail-slow condition: every subsequent request
@@ -94,6 +109,7 @@ impl Disk {
         let t = SimDuration::from_secs_f64(healthy.as_secs_f64() * self.degrade);
         self.head = sector + sectors;
         self.busy += t;
+        self.service_hist.record(t.as_secs_f64() * 1e6);
         t
     }
 }

@@ -17,6 +17,8 @@ pub struct Network {
     nic_free: Vec<SimTime>,
     /// Cumulative bytes through each NIC (tx + rx), for utilisation stats.
     nic_bytes: Vec<u64>,
+    /// Cumulative time each NIC spent occupied by a transfer.
+    nic_busy: Vec<SimDuration>,
 }
 
 impl Network {
@@ -26,6 +28,7 @@ impl Network {
             cfg,
             nic_free: vec![SimTime::ZERO; n_nodes as usize],
             nic_bytes: vec![0; n_nodes as usize],
+            nic_busy: vec![SimDuration::ZERO; n_nodes as usize],
         }
     }
 
@@ -42,6 +45,13 @@ impl Network {
     /// Total bytes moved through `node`'s NIC so far.
     pub fn nic_bytes(&self, node: NodeId) -> u64 {
         self.nic_bytes[node.0 as usize]
+    }
+
+    /// Total time `node`'s NIC has been occupied by transfers. Both
+    /// endpoints of a transfer accrue its full duration, so a NIC's
+    /// utilisation over a run is `nic_busy / elapsed`.
+    pub fn nic_busy(&self, node: NodeId) -> SimDuration {
+        self.nic_busy[node.0 as usize]
     }
 
     /// Reserve the path for a `payload`-byte message from `src` to `dst`
@@ -61,6 +71,8 @@ impl Network {
         self.nic_free[dst.0 as usize] = end;
         self.nic_bytes[src.0 as usize] += bytes;
         self.nic_bytes[dst.0 as usize] += bytes;
+        self.nic_busy[src.0 as usize] += dur;
+        self.nic_busy[dst.0 as usize] += dur;
         end + self.cfg.latency
     }
 }

@@ -8,6 +8,7 @@
 //! operation matching (§III-D) well defined.
 
 use qi_simkit::time::{SimDuration, SimTime};
+use qi_telemetry::MetricsSnapshot;
 
 use crate::config::StripeConfig;
 use crate::ids::{AppId, DeviceId, DirKey, FileKey, OpToken};
@@ -239,6 +240,11 @@ pub struct RunTrace {
     pub app_completion: Vec<Option<SimTime>>,
     /// Simulation end time.
     pub end: SimTime,
+    /// Cluster-wide telemetry snapshot taken when the run ended
+    /// (per-device block-layer statistics, NIC utilisation, MDS
+    /// metadata statistics). Deterministic and byte-stable when
+    /// rendered; see the `qi-telemetry` crate.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunTrace {

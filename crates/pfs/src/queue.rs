@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use qi_simkit::stats::{Histogram, OnlineStats};
 use qi_simkit::time::{SimDuration, SimTime};
 
 use crate::config::QueueConfig;
@@ -137,6 +138,10 @@ pub struct BlockDevice<T> {
     /// While set, background work is deferred until this instant in the
     /// hope that another synchronous request arrives first.
     anticipate_until: Option<SimTime>,
+    /// Queue depth (queued + in service) sampled at every submission.
+    depth_stats: OnlineStats,
+    /// Sector distance between the disk head and each dispatched request.
+    seek_stats: OnlineStats,
 }
 
 impl<T> BlockDevice<T> {
@@ -152,6 +157,8 @@ impl<T> BlockDevice<T> {
             counters: DeviceCounters::default(),
             last_depth_change: SimTime::ZERO,
             anticipate_until: None,
+            depth_stats: OnlineStats::new(),
+            seek_stats: OnlineStats::new(),
         }
     }
 
@@ -168,6 +175,24 @@ impl<T> BlockDevice<T> {
             c.queued_now * now.saturating_since(self.last_depth_change).as_nanos();
         c.busy_ns = self.disk.busy_time().as_nanos();
         c
+    }
+
+    /// Queue-depth distribution, one observation per submitted request
+    /// (depth includes the request just queued and any in service).
+    pub fn depth_stats(&self) -> &OnlineStats {
+        &self.depth_stats
+    }
+
+    /// Seek-distance distribution (sectors between the head and each
+    /// dispatched request); 0 for sequential continuations.
+    pub fn seek_stats(&self) -> &OnlineStats {
+        &self.seek_stats
+    }
+
+    /// Per-request service-time histogram of the underlying disk, in
+    /// microseconds.
+    pub fn service_time_hist(&self) -> &Histogram {
+        self.disk.service_time_hist()
     }
 
     /// Members queued but not yet in service.
@@ -250,6 +275,7 @@ impl<T> BlockDevice<T> {
         self.advance_depth_integral(now);
         self.counters.enqueued += 1;
         self.counters.queued_now += 1;
+        self.depth_stats.push(self.counters.queued_now as f64);
         let mut req = Some(BlockRequest {
             kind,
             sector,
@@ -390,6 +416,8 @@ impl<T> BlockDevice<T> {
             }
             self.pick_bg().or_else(|| self.fg.pop_front())
         }?;
+        self.seek_stats
+            .push(req.sector.abs_diff(self.disk.head()) as f64);
         let dur = self.disk.service(req.sector, req.sectors);
         self.in_service = Some(req);
         Some(dur)

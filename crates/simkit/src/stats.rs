@@ -6,7 +6,7 @@
 //! [`percentile`] support the experiment harnesses.
 
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -91,6 +91,29 @@ impl OnlineStats {
         }
     }
 
+    /// Raw second central moment (`Σ(x − mean)²`), for serialisation.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuild an accumulator from its raw parts, the inverse of reading
+    /// `count`/`mean()`/`m2()`/`sum()`/`min()`/`max()` back out. Used by
+    /// snapshot deserialisation; an empty accumulator (`count == 0`)
+    /// restores the `±inf` min/max sentinels regardless of the arguments.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, sum: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return OnlineStats::new();
+        }
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Merge another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -135,7 +158,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 
 /// Fixed-width histogram over `[lo, hi)` with an overflow/underflow bucket
 /// at each end.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -195,6 +218,48 @@ impl Histogram {
     pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
         let w = (self.hi - self.lo) / self.buckets.len() as f64;
         (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Lower bound of the bucketed range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper (exclusive) bound of the bucketed range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Rebuild a histogram from its raw parts (snapshot deserialisation).
+    pub fn from_parts(lo: f64, hi: f64, buckets: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(hi > lo && !buckets.is_empty());
+        Histogram {
+            lo,
+            hi,
+            buckets,
+            underflow,
+            overflow,
+        }
+    }
+
+    /// Merge counts from a histogram with identical bounds and bucket
+    /// count (parallel reduction). Panics on shape mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.buckets.len() == other.buckets.len(),
+            "histogram shape mismatch: [{}, {})x{} vs [{}, {})x{}",
+            self.lo,
+            self.hi,
+            self.buckets.len(),
+            other.lo,
+            other.hi,
+            other.buckets.len()
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 }
 

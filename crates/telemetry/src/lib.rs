@@ -1,0 +1,458 @@
+//! # qi-telemetry
+//!
+//! A lightweight, **deterministic** metrics layer for the simulator and
+//! training pipeline: the in-simulation analogue of the always-on
+//! collection that LASSi runs over Lustre and that the paper's Table 2
+//! server-side statistics come from.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Determinism.** Nothing here reads wall-clock time, thread ids,
+//!    or global state. Durations are simulation time fed in by callers;
+//!    identical runs produce *byte-identical* snapshots regardless of
+//!    repeat count or `RAYON_NUM_THREADS` (locked in by the golden and
+//!    determinism suites under `tests/`).
+//! 2. **Cheap on the hot path.** Metrics are registered once and then
+//!    updated through a copyable [`MetricId`] index — no string hashing
+//!    per event.
+//! 3. **Stable rendering.** [`MetricsSnapshot`] orders metrics by name
+//!    (a `BTreeMap`) and both renderers — [`MetricsSnapshot::to_json`]
+//!    and [`MetricsSnapshot::to_prometheus_text`] — are pure functions
+//!    of that map.
+//!
+//! ## Metric kinds
+//!
+//! | kind | update | rendered as |
+//! |------|--------|-------------|
+//! | counter | [`Registry::add`] / [`Registry::inc`] | monotone `u64` |
+//! | gauge | [`Registry::set`] | last-written `f64` |
+//! | stats | [`Registry::observe`] | Welford summary (count/sum/mean/min/max/stddev) |
+//! | histogram | [`Registry::observe`] | fixed-width buckets + under/overflow |
+//!
+//! `stats` and `histogram` reuse [`qi_simkit::stats::OnlineStats`] and
+//! [`qi_simkit::stats::Histogram`].
+//!
+//! ## Example
+//!
+//! ```
+//! use qi_telemetry::{Registry, MetricValue};
+//!
+//! let mut reg = Registry::new();
+//! let ops = reg.counter("pfs.ost0.ops");
+//! let depth = reg.stats("pfs.ost0.queue_depth");
+//! reg.inc(ops);
+//! reg.observe(depth, 3.0);
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("pfs.ost0.ops"), Some(1));
+//! let json = snap.to_json();
+//! let back = qi_telemetry::MetricsSnapshot::from_json(&json).unwrap();
+//! assert_eq!(snap, back);
+//! assert_eq!(json, back.to_json()); // byte-stable round trip
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use qi_simkit::stats::{Histogram, OnlineStats};
+
+mod json;
+mod prom;
+
+pub use json::JsonError;
+
+/// One metric's current value. The enum is the snapshot-side twin of the
+/// registry entry; see the crate docs for the kind semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing event count.
+    Counter(u64),
+    /// Last-written instantaneous value.
+    Gauge(f64),
+    /// Welford mean/variance/min/max summary of observations.
+    Stats(OnlineStats),
+    /// Fixed-width bucketed distribution of observations.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// Short kind tag used by both renderers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Stats(_) => "stats",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Cheap, copyable handle to a registered metric; obtained from the
+/// `Registry::counter`/`gauge`/`stats`/`histogram` registration calls
+/// and passed to the update methods on hot paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+struct Entry {
+    name: String,
+    value: MetricValue,
+}
+
+/// A set of named metrics, updated in place and exported via
+/// [`Registry::snapshot`].
+///
+/// Registration is get-or-create by name: registering the same name
+/// twice with the same kind returns the same [`MetricId`]; re-registering
+/// under a different kind panics (programmer error). Each simulated
+/// subsystem owns its own registry — there is intentionally no global
+/// one, because globals are where nondeterminism creeps in.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+    index: HashMap<String, usize>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&mut self, name: &str, value: MetricValue) -> MetricId {
+        if let Some(&i) = self.index.get(name) {
+            let have = self.entries[i].value.kind();
+            let want = value.kind();
+            assert!(
+                have == want,
+                "metric `{name}` already registered as {have}, requested {want}"
+            );
+            return MetricId(i);
+        }
+        let i = self.entries.len();
+        self.entries.push(Entry {
+            name: name.to_string(),
+            value,
+        });
+        self.index.insert(name.to_string(), i);
+        MetricId(i)
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricValue::Counter(0))
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricValue::Gauge(0.0))
+    }
+
+    /// Register (or look up) a Welford-summary metric.
+    pub fn stats(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricValue::Stats(OnlineStats::new()))
+    }
+
+    /// Register (or look up) a histogram with `n_buckets` equal-width
+    /// buckets over `[lo, hi)`.
+    pub fn histogram(&mut self, name: &str, lo: f64, hi: f64, n_buckets: usize) -> MetricId {
+        self.register(name, MetricValue::Histogram(Histogram::new(lo, hi, n_buckets)))
+    }
+
+    /// Add `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("add() on non-counter metric ({})", other.kind()),
+        }
+    }
+
+    /// Add 1 to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Set a gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("set() on non-gauge metric ({})", other.kind()),
+        }
+    }
+
+    /// Record one observation into a stats or histogram metric.
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, v: f64) {
+        match &mut self.entries[id.0].value {
+            MetricValue::Stats(s) => s.push(v),
+            MetricValue::Histogram(h) => h.record(v),
+            other => panic!("observe() on non-observable metric ({})", other.kind()),
+        }
+    }
+
+    /// Overwrite a metric wholesale — used by exporters that already hold
+    /// a finished `OnlineStats`/`Histogram` from a simulated component.
+    pub fn put(&mut self, name: &str, value: MetricValue) {
+        if let Some(&i) = self.index.get(name) {
+            self.entries[i].value = value;
+        } else {
+            self.register(name, value);
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Export the current values as an immutable, name-sorted snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .entries
+                .iter()
+                .map(|e| (e.name.clone(), e.value.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable, name-sorted export of a [`Registry`] at one instant.
+///
+/// Snapshots are plain data: they can be attached to run artefacts
+/// (`RunTrace`, `EvalReport`), rendered (JSON / Prometheus text),
+/// parsed back ([`MetricsSnapshot::from_json`]), merged, and diffed.
+/// Equality is structural, and `to_json` output is byte-stable: two
+/// snapshots are equal iff their JSON renderings are identical.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Name → value, ordered by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value by name, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Stats summary by name, if `name` is a stats metric.
+    pub fn stats(&self, name: &str) -> Option<&OnlineStats> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Insert or replace one metric.
+    pub fn put(&mut self, name: &str, value: MetricValue) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Absorb all metrics from `other` under a `prefix.` namespace.
+    /// Useful for folding per-subsystem snapshots into one artefact.
+    pub fn absorb(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (name, value) in &other.metrics {
+            let key = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            self.metrics.insert(key, value.clone());
+        }
+    }
+
+    /// The change from `earlier` to `self`, for before/after comparisons
+    /// around a phase of interest.
+    ///
+    /// Per kind:
+    /// - **counter** — `self − earlier` (saturating; counters are
+    ///   monotone within a run).
+    /// - **gauge** — numeric delta `self − earlier`.
+    /// - **stats** — `count`/`sum`/`m2` subtract and the mean is
+    ///   recomputed from the deltas; `min`/`max` are taken from `self`
+    ///   because extrema cannot be windowed after the fact.
+    /// - **histogram** — per-bucket saturating subtraction (shapes must
+    ///   match).
+    ///
+    /// Metrics present only in `self` pass through unchanged; metrics
+    /// present only in `earlier` are dropped.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (name, now) in &self.metrics {
+            let value = match (now, earlier.metrics.get(name)) {
+                (now, None) => now.clone(),
+                (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                    MetricValue::Counter(a.saturating_sub(*b))
+                }
+                (MetricValue::Gauge(a), Some(MetricValue::Gauge(b))) => {
+                    MetricValue::Gauge(a - b)
+                }
+                (MetricValue::Stats(a), Some(MetricValue::Stats(b))) => {
+                    let count = a.count().saturating_sub(b.count());
+                    let sum = a.sum() - b.sum();
+                    let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+                    MetricValue::Stats(OnlineStats::from_parts(
+                        count,
+                        mean,
+                        (a.m2() - b.m2()).max(0.0),
+                        sum,
+                        a.min(),
+                        a.max(),
+                    ))
+                }
+                (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                    assert!(
+                        a.lo() == b.lo()
+                            && a.hi() == b.hi()
+                            && a.buckets().len() == b.buckets().len(),
+                        "diff of `{name}`: histogram shape mismatch"
+                    );
+                    let buckets = a
+                        .buckets()
+                        .iter()
+                        .zip(b.buckets())
+                        .map(|(x, y)| x.saturating_sub(*y))
+                        .collect();
+                    MetricValue::Histogram(Histogram::from_parts(
+                        a.lo(),
+                        a.hi(),
+                        buckets,
+                        a.underflow().saturating_sub(b.underflow()),
+                        a.overflow().saturating_sub(b.overflow()),
+                    ))
+                }
+                (now, Some(other)) => panic!(
+                    "diff of `{name}`: kind mismatch ({} vs {})",
+                    now.kind(),
+                    other.kind()
+                ),
+            };
+            out.metrics.insert(name.clone(), value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let mut reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let mut reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn updates_land_in_snapshot() {
+        let mut reg = Registry::new();
+        let c = reg.counter("ops");
+        let g = reg.gauge("util");
+        let s = reg.stats("depth");
+        let h = reg.histogram("svc", 0.0, 10.0, 5);
+        reg.add(c, 41);
+        reg.inc(c);
+        reg.set(g, 0.75);
+        reg.observe(s, 2.0);
+        reg.observe(s, 4.0);
+        reg.observe(h, 3.0);
+        reg.observe(h, 100.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ops"), Some(42));
+        assert_eq!(snap.gauge("util"), Some(0.75));
+        let st = snap.stats("depth").unwrap();
+        assert_eq!(st.count(), 2);
+        assert_eq!(st.mean(), 3.0);
+        let hist = snap.histogram("svc").unwrap();
+        assert_eq!(hist.total(), 2);
+        assert_eq!(hist.overflow(), 1);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_windows_stats() {
+        let mut reg = Registry::new();
+        let c = reg.counter("ops");
+        let s = reg.stats("lat");
+        reg.add(c, 10);
+        reg.observe(s, 1.0);
+        let before = reg.snapshot();
+        reg.add(c, 5);
+        reg.observe(s, 3.0);
+        reg.observe(s, 5.0);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("ops"), Some(5));
+        let ds = d.stats("lat").unwrap();
+        assert_eq!(ds.count(), 2);
+        assert_eq!(ds.mean(), 4.0);
+    }
+
+    #[test]
+    fn absorb_prefixes_names() {
+        let mut a = MetricsSnapshot::new();
+        a.put("x", MetricValue::Counter(1));
+        let mut out = MetricsSnapshot::new();
+        out.absorb("sub", &a);
+        assert_eq!(out.counter("sub.x"), Some(1));
+    }
+}

@@ -88,6 +88,18 @@ fn main() {
         confusion_csv(&report)
             .write_csv(out.join(format!("{name}.csv")))
             .expect("write CSV");
+        // Pipeline telemetry, in both renderers the qi-telemetry crate
+        // offers (JSON snapshot for tooling, Prometheus text for eyes).
+        std::fs::write(
+            out.join(format!("{name}.metrics.json")),
+            report.metrics.to_json(),
+        )
+        .expect("write metrics JSON");
+        std::fs::write(
+            out.join(format!("{name}.metrics.prom")),
+            report.metrics.to_prometheus_text(),
+        )
+        .expect("write metrics text");
         summary.add_row(vec![
             name.to_string(),
             gen.data.len().to_string(),

@@ -11,6 +11,7 @@
 //! - [`workloads`] — IO500 / DLIO / application-proxy workload generators.
 //! - [`monitor`] — client-side and server-side monitors (paper §III-A/B).
 //! - [`ml`] — the from-scratch kernel-based neural network (paper §III-C).
+//! - [`telemetry`] — deterministic metrics registry and snapshot renderers.
 //! - [`framework`] — scenarios, labelling, datasets, training, prediction.
 //!
 //! Quick start (see `examples/quickstart.rs` for the full version):
@@ -40,5 +41,6 @@ pub use qi_ml as ml;
 pub use qi_monitor as monitor;
 pub use qi_pfs as pfs;
 pub use qi_simkit as simkit;
+pub use qi_telemetry as telemetry;
 pub use qi_workloads as workloads;
 pub use quanterference as framework;

@@ -32,6 +32,34 @@ fn baseline_and_interfered_runs_are_deterministic() {
     }
     assert_eq!(a.samples.len(), b.samples.len());
     assert_eq!(a.end, b.end);
+    // The telemetry snapshot must be value-equal AND byte-stable when
+    // rendered — goldens and diffing rely on this.
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    assert_eq!(a.metrics.to_prometheus_text(), b.metrics.to_prometheus_text());
+}
+
+#[test]
+fn dataset_sweep_is_byte_identical_across_repeat_runs() {
+    // Two generations in one process use differently seeded HashMaps
+    // internally, so this catches any map-iteration-order dependence in
+    // the sweep (the kind of bug that also breaks thread-count
+    // invariance). The vendored rayon backend is sequential regardless
+    // of RAYON_NUM_THREADS, which this test pins down as well.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let mut spec = DatasetSpec::smoke();
+    spec.include_baseline_windows = true;
+    let a = generate(&spec);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let b = generate(&spec);
+    assert_eq!(rayon::current_num_threads(), 1, "vendored rayon is sequential");
+    assert_eq!(a.data.y, b.data.y);
+    assert_eq!(a.data.x.data(), b.data.x.data(), "feature bytes diverged");
+    assert_eq!(a.meta.len(), b.meta.len());
+    for (ma, mb) in a.meta.iter().zip(b.meta.iter()) {
+        assert_eq!(ma.window, mb.window);
+        assert_eq!(ma.seed, mb.seed);
+    }
 }
 
 #[test]
@@ -143,6 +171,10 @@ fn full_pipeline_beats_majority_class_at_smoke_scale() {
         majority
     );
     assert!(report.headline_f1() > 0.3, "F1 {:.3}", report.headline_f1());
+    // The pipeline surfaces its training/eval telemetry on the report.
+    assert!(report.metrics.counter("ml.train.epochs_run").unwrap_or(0) > 0);
+    assert!(report.metrics.gauge("ml.eval.accuracy").is_some());
+    assert!(report.metrics.gauge("ml.eval.headline_f1").is_some());
 }
 
 #[test]

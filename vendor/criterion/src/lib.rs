@@ -1,0 +1,205 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace vendors this stub as a path dependency.
+//!
+//! It implements just enough to run the `[[bench]]` targets: a
+//! [`Criterion`] handle with `bench_function`, a [`Bencher`] with `iter`
+//! and `iter_batched`, [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple calibrated loop (warm-up
+//! then a fixed measurement budget) printing mean ± spread per benchmark;
+//! there are no plots, baselines, or statistical tests.
+//!
+//! Set `QI_BENCH_QUICK=1` to shrink warm-up/measurement budgets ~20x for
+//! smoke runs of the heavier experiment benches.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// measured invocation regardless of variant, so this is descriptive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let measure_end = Instant::now() + self.measure;
+        while Instant::now() < measure_end || self.samples.is_empty() {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let measure_end = Instant::now() + self.measure;
+        while Instant::now() < measure_end || self.samples.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("QI_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            Criterion {
+                warm_up: Duration::from_millis(20),
+                measure: Duration::from_millis(100),
+            }
+        } else {
+            Criterion {
+                warm_up: Duration::from_millis(400),
+                measure: Duration::from_secs(2),
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let n = b.samples.len();
+        if n == 0 {
+            println!("{name:<44} (no samples)");
+            return self;
+        }
+        b.samples.sort();
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        let p05 = b.samples[n * 5 / 100];
+        let p95 = b.samples[(n * 95 / 100).min(n - 1)];
+        println!(
+            "{name:<44} time: [{} {} {}]  ({n} samples)",
+            fmt_duration(p05),
+            fmt_duration(mean),
+            fmt_duration(p95),
+        );
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no global config to set.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// Re-export spot for code that does `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

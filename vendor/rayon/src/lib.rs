@@ -1,0 +1,142 @@
+//! Offline sequential shim for the subset of the `rayon` API this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace vendors this stub as a path dependency.
+//!
+//! `par_iter()` / `par_chunks_mut()` return the ordinary sequential std
+//! iterators, so every "parallel" pipeline runs in submission order on
+//! the calling thread. That makes `RAYON_NUM_THREADS` a no-op and
+//! thread-count determinism trivially true — which the telemetry test
+//! suite still asserts end to end, so swapping a real rayon back in
+//! later keeps the same contract under test.
+
+#![forbid(unsafe_code)]
+
+/// Extension traits mirroring `rayon::prelude`.
+pub mod prelude {
+    /// `slice.par_iter()` → sequential `slice.iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// `slice.par_iter_mut()` → sequential `slice.iter_mut()`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    /// `vec.into_par_iter()` → sequential `vec.into_iter()`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// `slice.par_chunks_mut(n)` → sequential `slice.chunks_mut(n)`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, K: 'a, V: 'a, S> IntoParallelRefIterator<'a> for std::collections::HashMap<K, V, S> {
+        type Item = (&'a K, &'a V);
+        type Iter = std::collections::hash_map::Iter<'a, K, V>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Number of "worker threads" — always 1 in this sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// `rayon::join` — runs the two closures in order on this thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_everything() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn hashmap_par_iter_collects() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        let back: std::collections::HashMap<i32, &str> =
+            m.par_iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(m, back);
+    }
+}
