@@ -166,29 +166,40 @@ impl DatasetSpec {
 /// Per-run harvest: feature blocks, labels, and provenance.
 type RunSamples = (Vec<Vec<f32>>, Vec<usize>, Vec<SampleMeta>);
 
+/// Everything harvested for one `(target, seed)` key: the baseline's
+/// own windows (when requested) plus each interfered combo's samples,
+/// tagged with the combo's position in the canonical grid order.
+struct KeyHarvest {
+    base_samples: Option<RunSamples>,
+    combo_samples: Vec<(usize, RunSamples)>,
+}
+
+/// Run the grid on an explicit pool handle (shared with the caller's
+/// other parallel work) and build the labelled dataset. Output is
+/// byte-identical for every thread count — see [`generate`].
+pub fn generate_on(pool: &rayon::ThreadPool, spec: &DatasetSpec) -> GeneratedDataset {
+    pool.install(|| generate(spec))
+}
+
 /// Run the grid (in parallel) and build the labelled dataset.
+///
+/// Scheduling: one job per `(target, seed)` key runs that key's
+/// baseline and then fans its interfered combos out as nested parallel
+/// jobs, so baselines and interfered runs of *different* keys overlap
+/// instead of serialising phase-by-phase behind a grid-wide barrier.
+/// Samples are stitched in the canonical grid order (targets × noises ×
+/// intensities × seeds, then baseline windows per key), which keeps the
+/// output byte-identical to the sequential run at any thread count.
 pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let n_devices = spec.cluster.n_devices();
 
-    // 1. Baselines, one per (target, seed), in parallel.
     let base_keys: Vec<(WorkloadKind, u64)> = spec
         .targets
         .iter()
         .flat_map(|&t| spec.seeds.iter().map(move |&s| (t, s)))
         .collect();
-    let baselines: HashMap<(WorkloadKind, u64), (AppId, Arc<RunTrace>)> = base_keys
-        .par_iter()
-        .map(|&(t, s)| {
-            let (app, trace) = spec.scenario(t, s).run();
-            assert!(
-                trace.completion_of(app).is_some(),
-                "baseline {t} (seed {s}) hit the deadline"
-            );
-            ((t, s), (app, Arc::new(trace)))
-        })
-        .collect();
 
-    // 2. Interfered runs.
+    // The canonical combo order (the pre-parallel stitch order).
     let mut combos: Vec<(WorkloadKind, WorkloadKind, u32, u64)> = Vec::new();
     for &t in &spec.targets {
         for &n in &spec.noise_kinds {
@@ -199,52 +210,86 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
             }
         }
     }
-    let mut per_run: Vec<RunSamples> = combos
+    let mut combos_by_key: HashMap<(WorkloadKind, u64), Vec<usize>> = HashMap::new();
+    for (ci, &(t, _, _, s)) in combos.iter().enumerate() {
+        combos_by_key.entry((t, s)).or_default().push(ci);
+    }
+
+    let harvests: Vec<KeyHarvest> = base_keys
         .par_iter()
-        .map(|&(target, noise, intensity, seed)| {
-            let scenario = spec
-                .scenario(target, seed)
-                .with_interference(InterferenceSpec {
-                    kind: noise,
-                    instances: intensity,
-                    ranks: spec.noise_ranks,
-                });
-            let (app, trace) = scenario.run();
-            let (base_app, base) = &baselines[&(target, seed)];
-            debug_assert_eq!(*base_app, app);
-            let idx = BaselineIndex::new(base, app);
-            collect_samples(
-                spec,
-                &trace,
-                app,
-                &idx,
-                n_devices,
-                target,
-                Some((noise, intensity)),
-                seed,
-            )
+        .map(|&(target, seed)| {
+            let (app, trace) = spec.scenario(target, seed).run();
+            assert!(
+                trace.completion_of(app).is_some(),
+                "baseline {target} (seed {seed}) hit the deadline"
+            );
+            let base = Arc::new(trace);
+            let my_combos: &[usize] = combos_by_key
+                .get(&(target, seed))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let combo_samples: Vec<(usize, RunSamples)> = my_combos
+                .par_iter()
+                .map(|&ci| {
+                    let (_, noise, intensity, _) = combos[ci];
+                    let scenario =
+                        spec.scenario(target, seed)
+                            .with_interference(InterferenceSpec {
+                                kind: noise,
+                                instances: intensity,
+                                ranks: spec.noise_ranks,
+                            });
+                    let (run_app, run_trace) = scenario.run();
+                    debug_assert_eq!(run_app, app);
+                    let idx = BaselineIndex::new(&base, run_app);
+                    let samples = collect_samples(
+                        spec,
+                        &run_trace,
+                        run_app,
+                        &idx,
+                        n_devices,
+                        target,
+                        Some((noise, intensity)),
+                        seed,
+                    );
+                    (ci, samples)
+                })
+                .collect();
+            let base_samples = spec.include_baseline_windows.then(|| {
+                let idx = BaselineIndex::new(&base, app);
+                collect_samples(spec, &base, app, &idx, n_devices, target, None, seed)
+            });
+            KeyHarvest {
+                base_samples,
+                combo_samples,
+            }
         })
         .collect();
 
-    // 3. Baseline windows as extra lowest-bin samples. Iterate in
-    // `base_keys` order, not map order: HashMap iteration order varies
-    // run to run, and sample order must be deterministic.
-    if spec.include_baseline_windows {
-        let extra: Vec<_> = base_keys
-            .par_iter()
-            .map(|&(target, seed)| {
-                let (app, trace) = &baselines[&(target, seed)];
-                let idx = BaselineIndex::new(trace, *app);
-                collect_samples(spec, trace, *app, &idx, n_devices, target, None, seed)
-            })
-            .collect();
-        per_run.extend(extra);
+    // Stitch: interfered combos in canonical grid order first, then the
+    // baseline windows in `base_keys` order — the exact order the old
+    // two-phase implementation produced.
+    let mut per_combo: Vec<Option<RunSamples>> = combos.iter().map(|_| None).collect();
+    let mut base_runs: Vec<RunSamples> = Vec::new();
+    for harvest in harvests {
+        for (ci, samples) in harvest.combo_samples {
+            debug_assert!(per_combo[ci].is_none(), "combo {ci} harvested twice");
+            per_combo[ci] = Some(samples);
+        }
+        if let Some(b) = harvest.base_samples {
+            base_runs.push(b);
+        }
     }
 
     let mut samples = Vec::new();
     let mut labels = Vec::new();
     let mut meta = Vec::new();
-    for (s, l, m) in per_run {
+    for run in per_combo
+        .into_iter()
+        .map(|r| r.expect("combo never harvested"))
+        .chain(base_runs)
+    {
+        let (s, l, m) = run;
         samples.extend(s);
         labels.extend(l);
         meta.extend(m);

@@ -2,8 +2,6 @@
 //! The `qi-bench` targets are thin wrappers around these, so integration
 //! tests and examples can reuse the exact same code paths.
 
-use std::collections::HashMap;
-
 use rayon::prelude::*;
 
 use qi_pfs::config::ClusterConfig;
@@ -137,58 +135,69 @@ fn scenario_for(cfg: &TableOneConfig, target: WorkloadKind, seed: u64) -> Scenar
     }
 }
 
+/// Regenerate Table I on an explicit pool handle (shared with the
+/// caller's other parallel work).
+pub fn table_one_on(pool: &rayon::ThreadPool, cfg: &TableOneConfig) -> TableOne {
+    pool.install(|| table_one(cfg))
+}
+
 /// Regenerate the paper's Table I: run every IO500 task standalone and
 /// under each of the seven interference patterns, and report mean
 /// completion-time slowdowns.
+///
+/// Scheduling: one job per `(task, seed)` runs the baseline and then
+/// fans that row's interfered cells out as nested parallel jobs, so
+/// baselines and cells of different rows overlap instead of
+/// serialising behind a matrix-wide barrier. Cell results are reduced
+/// in canonical `(row, col, seed)` order, so the matrix is identical at
+/// every thread count.
 pub fn table_one(cfg: &TableOneConfig) -> TableOne {
     let tasks = WorkloadKind::IO500.to_vec();
-    // Baselines per (task, seed), in parallel.
     let base_jobs: Vec<(usize, u64)> = (0..tasks.len())
         .flat_map(|t| cfg.seeds.iter().map(move |&s| (t, s)))
         .collect();
-    let baselines: HashMap<(usize, u64), (AppId, RunTrace)> = base_jobs
+
+    // One job per (task, seed): baseline first, then that row's cells.
+    type RowResult = ((AppId, RunTrace), Vec<f64>);
+    let per_key: Vec<RowResult> = base_jobs
         .par_iter()
         .map(|&(t, s)| {
-            let (app, trace) = scenario_for(cfg, tasks[t], s).run();
+            let (app, base) = scenario_for(cfg, tasks[t], s).run();
             assert!(
-                trace.completion_of(app).is_some(),
+                base.completion_of(app).is_some(),
                 "baseline {} (seed {s}) hit deadline",
                 tasks[t]
             );
-            ((t, s), (app, trace))
+            let cols: Vec<usize> = (0..tasks.len()).collect();
+            let slowdowns: Vec<f64> = cols
+                .par_iter()
+                .map(|&c| {
+                    let scenario =
+                        scenario_for(cfg, tasks[t], s).with_interference(InterferenceSpec {
+                            kind: tasks[c],
+                            instances: cfg.instances,
+                            ranks: cfg.noise_ranks,
+                        });
+                    let (cell_app, trace) = scenario.run();
+                    completion_slowdown(&base, &trace, cell_app).unwrap_or(f64::NAN)
+                })
+                .collect();
+            ((app, base), slowdowns)
         })
         .collect();
 
-    let mut cells: Vec<(usize, usize, u64)> = Vec::new();
-    for r in 0..tasks.len() {
-        for c in 0..tasks.len() {
-            for &s in &cfg.seeds {
-                cells.push((r, c, s));
-            }
-        }
-    }
-    let results: Vec<((usize, usize), f64)> = cells
-        .par_iter()
-        .map(|&(r, c, s)| {
-            let scenario = scenario_for(cfg, tasks[r], s).with_interference(InterferenceSpec {
-                kind: tasks[c],
-                instances: cfg.instances,
-                ranks: cfg.noise_ranks,
-            });
-            let (app, trace) = scenario.run();
-            let (_, base) = &baselines[&(r, s)];
-            let slow = completion_slowdown(base, &trace, app).unwrap_or(f64::NAN);
-            ((r, c), slow)
-        })
-        .collect();
-
+    // Reduce in canonical (row, col, seed) order: for a fixed cell the
+    // seed contributions sum in ascending-seed order, exactly as the
+    // old flat cells loop did, keeping the f64 accumulation identical.
     let n = tasks.len();
     let mut sums = vec![vec![0.0; n]; n];
     let mut counts = vec![vec![0u32; n]; n];
-    for ((r, c), v) in results {
-        if v.is_finite() {
-            sums[r][c] += v;
-            counts[r][c] += 1;
+    for (&(t, _), (_, slowdowns)) in base_jobs.iter().zip(&per_key) {
+        for (c, &v) in slowdowns.iter().enumerate() {
+            if v.is_finite() {
+                sums[t][c] += v;
+                counts[t][c] += 1;
+            }
         }
     }
     let matrix: Vec<Vec<f64>> = (0..n)
@@ -204,13 +213,12 @@ pub fn table_one(cfg: &TableOneConfig) -> TableOne {
                 .collect()
         })
         .collect();
+    let n_seeds = cfg.seeds.len();
     let baseline_secs: Vec<f64> = (0..n)
         .map(|t| {
-            let vals: Vec<f64> = cfg
-                .seeds
-                .iter()
-                .filter_map(|&s| {
-                    let (app, trace) = &baselines[&(t, s)];
+            let vals: Vec<f64> = (0..n_seeds)
+                .filter_map(|si| {
+                    let ((app, trace), _) = &per_key[t * n_seeds + si];
                     crate::scenario::target_duration(trace, *app).map(|d| d.as_secs_f64())
                 })
                 .collect();

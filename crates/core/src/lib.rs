@@ -38,7 +38,9 @@ pub mod scenario;
 
 /// Common imports for framework users.
 pub mod prelude {
-    pub use crate::dataset::{generate, window_vectors, DatasetSpec, GeneratedDataset, SampleMeta};
+    pub use crate::dataset::{
+        generate, generate_on, window_vectors, DatasetSpec, GeneratedDataset, SampleMeta,
+    };
     pub use crate::experiments::{fig_one_a, fig_one_b, table_one, FigOneConfig, TableOneConfig};
     pub use crate::importance::{permutation_importance, FeatureImportance};
     pub use crate::labeling::{window_degradation, BaselineIndex, Bins};

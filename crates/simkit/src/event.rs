@@ -65,6 +65,30 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Create an empty queue pre-sized for `capacity` pending events,
+    /// avoiding heap regrowth in long runs whose in-flight event count
+    /// is predictable. Scheduling semantics are identical to [`new`].
+    ///
+    /// [`new`]: EventQueue::new
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -187,5 +211,39 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(q.pop_until(SimTime::from_secs(7)).is_none());
         assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn with_capacity_preallocates_without_changing_semantics() {
+        let mut pre = EventQueue::with_capacity(512);
+        assert!(pre.capacity() >= 512);
+        let mut plain = EventQueue::new();
+        // Interleave same-time ties and distinct times; both queues
+        // must agree on pending counts and pop order exactly.
+        for i in 0..300u64 {
+            let at = SimTime::from_millis(i % 7);
+            pre.schedule(at, i);
+            plain.schedule(at, i);
+        }
+        assert_eq!(pre.pending(), plain.pending());
+        // No regrowth happened for the pre-sized queue.
+        assert!(pre.capacity() >= 512);
+        let a: Vec<_> = std::iter::from_fn(|| pre.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| plain.pop()).collect();
+        assert_eq!(a, b);
+        assert_eq!(pre.processed(), 300);
+    }
+
+    #[test]
+    fn reserve_grows_capacity_and_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.reserve(1000);
+        assert!(q.capacity() >= 1002);
+        assert_eq!(q.pending(), 2);
+        q.schedule(SimTime::from_secs(3), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
     }
 }

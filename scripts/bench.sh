@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce BENCH_parallel.json: build in release mode, run the parallel
+# execution bench at 1/2/N threads, and leave the JSON report at the
+# repository root.
+#
+# Usage:
+#   scripts/bench.sh            # full run (5 samples per point, 512^3 matmul)
+#   scripts/bench.sh --smoke    # quick run (2 samples, 192^3 matmul)
+#
+# Environment:
+#   QI_BENCH_THREADS=1,2,8   thread counts to sweep
+#   QI_BENCH_OUT=path.json   where to write the report
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    export QI_SMOKE=1
+fi
+
+cargo bench -p qi-bench --bench parallel

@@ -40,25 +40,44 @@ fn baseline_and_interfered_runs_are_deterministic() {
 }
 
 #[test]
-fn dataset_sweep_is_byte_identical_across_repeat_runs() {
+fn dataset_sweep_is_byte_identical_across_repeat_runs_and_thread_counts() {
     // Two generations in one process use differently seeded HashMaps
     // internally, so this catches any map-iteration-order dependence in
-    // the sweep (the kind of bug that also breaks thread-count
-    // invariance). The vendored rayon backend is sequential regardless
-    // of RAYON_NUM_THREADS, which this test pins down as well.
-    std::env::set_var("RAYON_NUM_THREADS", "1");
+    // the sweep. Since the vendored rayon backend runs real worker
+    // threads, the same sweep is also repeated under 1-, 2- and 8-thread
+    // pools: the ordered result collection must make every output byte
+    // equal to the sequential run regardless of execution interleaving.
     let mut spec = DatasetSpec::smoke();
     spec.include_baseline_windows = true;
     let a = generate(&spec);
-    std::env::remove_var("RAYON_NUM_THREADS");
     let b = generate(&spec);
-    assert_eq!(rayon::current_num_threads(), 1, "vendored rayon is sequential");
     assert_eq!(a.data.y, b.data.y);
     assert_eq!(a.data.x.data(), b.data.x.data(), "feature bytes diverged");
     assert_eq!(a.meta.len(), b.meta.len());
     for (ma, mb) in a.meta.iter().zip(b.meta.iter()) {
         assert_eq!(ma.window, mb.window);
         assert_eq!(ma.seed, mb.seed);
+    }
+    for threads in [1, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("explicit thread counts always build");
+        assert_eq!(pool.current_num_threads(), threads);
+        // The pool override is scoped: it must not leak into callers.
+        let ambient = rayon::current_num_threads();
+        let c = generate_on(&pool, &spec);
+        assert_eq!(rayon::current_num_threads(), ambient);
+        assert_eq!(a.data.y, c.data.y, "labels diverged at {threads} threads");
+        assert_eq!(
+            a.data.x.data(),
+            c.data.x.data(),
+            "feature bytes diverged at {threads} threads"
+        );
+        assert_eq!(a.meta.len(), c.meta.len());
+        for (ma, mc) in a.meta.iter().zip(c.meta.iter()) {
+            assert_eq!((ma.window, ma.seed), (mc.window, mc.seed));
+        }
     }
 }
 

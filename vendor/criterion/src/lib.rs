@@ -29,6 +29,7 @@ pub enum BatchSize {
 pub struct Bencher {
     warm_up: Duration,
     measure: Duration,
+    min_samples: usize,
     samples: Vec<Duration>,
 }
 
@@ -40,7 +41,7 @@ impl Bencher {
             std::hint::black_box(routine());
         }
         let measure_end = Instant::now() + self.measure;
-        while Instant::now() < measure_end || self.samples.is_empty() {
+        while Instant::now() < measure_end || self.samples.len() < self.min_samples {
             let t0 = Instant::now();
             std::hint::black_box(routine());
             self.samples.push(t0.elapsed());
@@ -62,7 +63,7 @@ impl Bencher {
             std::hint::black_box(routine(input));
         }
         let measure_end = Instant::now() + self.measure;
-        while Instant::now() < measure_end || self.samples.is_empty() {
+        while Instant::now() < measure_end || self.samples.len() < self.min_samples {
             let input = setup();
             let t0 = Instant::now();
             std::hint::black_box(routine(input));
@@ -74,10 +75,33 @@ impl Bencher {
     }
 }
 
+/// Summary statistics for one completed benchmark, in wall-clock
+/// nanoseconds. Returned by [`Criterion::results`] so harnesses can
+/// post-process timings (e.g. write a JSON report) instead of scraping
+/// stdout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchStats {
+    pub name: String,
+    pub samples: usize,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub p05_ns: f64,
+    pub p95_ns: f64,
+}
+
+impl BenchStats {
+    /// Median wall-clock time in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+}
+
 /// Entry point handed to each bench function.
 pub struct Criterion {
     warm_up: Duration,
     measure: Duration,
+    min_samples: usize,
+    results: Vec<BenchStats>,
 }
 
 impl Default for Criterion {
@@ -87,11 +111,15 @@ impl Default for Criterion {
             Criterion {
                 warm_up: Duration::from_millis(20),
                 measure: Duration::from_millis(100),
+                min_samples: 1,
+                results: Vec::new(),
             }
         } else {
             Criterion {
                 warm_up: Duration::from_millis(400),
                 measure: Duration::from_secs(2),
+                min_samples: 1,
+                results: Vec::new(),
             }
         }
     }
@@ -111,11 +139,34 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 impl Criterion {
+    /// Override the warm-up and measurement budgets, e.g. for harnesses
+    /// that want a fixed sample count rather than a time budget.
+    pub fn with_budget(mut self, warm_up: Duration, measure: Duration) -> Self {
+        self.warm_up = warm_up;
+        self.measure = measure;
+        self
+    }
+
+    /// Require at least `n` measured samples per benchmark even if the
+    /// measurement budget is already spent (capped at the global 100k
+    /// sample limit). Default is 1.
+    pub fn min_samples(mut self, n: usize) -> Self {
+        self.min_samples = n.max(1);
+        self
+    }
+
+    /// Statistics for every benchmark run so far on this handle, in
+    /// execution order.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
     /// Run one named benchmark and print its timing summary.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             warm_up: self.warm_up,
             measure: self.measure,
+            min_samples: self.min_samples,
             samples: Vec::new(),
         };
         f(&mut b);
@@ -127,6 +178,11 @@ impl Criterion {
         b.samples.sort();
         let total: Duration = b.samples.iter().sum();
         let mean = total / n as u32;
+        let median = if n % 2 == 1 {
+            b.samples[n / 2]
+        } else {
+            (b.samples[n / 2 - 1] + b.samples[n / 2]) / 2
+        };
         let p05 = b.samples[n * 5 / 100];
         let p95 = b.samples[(n * 95 / 100).min(n - 1)];
         println!(
@@ -135,6 +191,14 @@ impl Criterion {
             fmt_duration(mean),
             fmt_duration(p95),
         );
+        self.results.push(BenchStats {
+            name: name.to_string(),
+            samples: n,
+            mean_ns: mean.as_nanos() as f64,
+            median_ns: median.as_nanos() as f64,
+            p05_ns: p05.as_nanos() as f64,
+            p95_ns: p95.as_nanos() as f64,
+        });
         self
     }
 
@@ -177,6 +241,8 @@ mod tests {
         let mut c = Criterion {
             warm_up: Duration::from_millis(1),
             measure: Duration::from_millis(5),
+            min_samples: 1,
+            results: Vec::new(),
         };
         let mut ran = 0u64;
         c.bench_function("smoke", |b| {
@@ -189,10 +255,31 @@ mod tests {
     }
 
     #[test]
+    fn results_record_stats_per_benchmark() {
+        let mut c = Criterion::default()
+            .with_budget(Duration::ZERO, Duration::ZERO)
+            .min_samples(11);
+        c.bench_function("first", |b| b.iter(|| 1 + 1));
+        c.bench_function("second", |b| b.iter(|| 2 + 2));
+        let stats = c.results();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "first");
+        assert_eq!(stats[1].name, "second");
+        for s in stats {
+            assert_eq!(s.samples, 11);
+            assert!(s.p05_ns <= s.median_ns && s.median_ns <= s.p95_ns);
+            assert!(s.mean_ns > 0.0);
+            assert!((s.median_ms() - s.median_ns / 1e6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn iter_batched_excludes_setup() {
         let mut c = Criterion {
             warm_up: Duration::from_millis(1),
             measure: Duration::from_millis(5),
+            min_samples: 1,
+            results: Vec::new(),
         };
         c.bench_function("batched", |b| {
             b.iter_batched(

@@ -1,0 +1,462 @@
+//! Parallel-iterator plumbing over index-chunkable sources.
+//!
+//! Everything funnels through the [`Chunked`] trait: a source knows its
+//! length and can split itself into contiguous chunks, each an ordinary
+//! sequential iterator tagged with its starting index. Adapters
+//! ([`Map`], [`Enumerate`]) wrap the chunks; terminals (`for_each`,
+//! `collect`) hand the chunk list to the pool's injector and — for
+//! `collect` — gather per-chunk outputs into **index-keyed slots**,
+//! stitching them in chunk order afterwards. That makes every
+//! `.collect()` byte-identical to the sequential run regardless of
+//! thread count or scheduling: worker identity can never reorder
+//! results.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::pool;
+
+/// A splittable, exactly-sized source of `Send` items.
+pub trait Chunked: Send + Sized {
+    /// Item produced by the source.
+    type Item: Send;
+    /// Sequential iterator over one contiguous chunk.
+    type Chunk: Iterator<Item = Self::Item> + Send;
+
+    /// Total number of items.
+    fn total_len(&self) -> usize;
+
+    /// Split into at most `n` contiguous chunks, in index order; each
+    /// entry is `(start_index, chunk)`.
+    fn split(self, n: usize) -> Vec<(usize, Self::Chunk)>;
+}
+
+/// Balanced contiguous index ranges: first `len % n` ranges get one
+/// extra element. Deterministic in `len` and `n` only.
+fn chunk_ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, len.max(1));
+    let base = len / n;
+    let rem = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let sz = base + usize::from(i < rem);
+        if sz == 0 {
+            break;
+        }
+        out.push((start, start + sz));
+        start += sz;
+    }
+    out
+}
+
+/// How many chunks a terminal should split into: enough oversplit that
+/// chunk stealing balances uneven item costs, without per-item cursor
+/// traffic.
+fn chunk_count(len: usize, threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        len.min(threads.saturating_mul(4))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `par_iter` over a slice.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> Chunked for SliceSource<'a, T> {
+    type Item = &'a T;
+    type Chunk = std::slice::Iter<'a, T>;
+
+    fn total_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self, n: usize) -> Vec<(usize, Self::Chunk)> {
+        chunk_ranges(self.slice.len(), n)
+            .into_iter()
+            .map(|(s, e)| (s, self.slice[s..e].iter()))
+            .collect()
+    }
+}
+
+/// `par_iter_mut` over a slice.
+pub struct SliceMutSource<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send + 'a> Chunked for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    type Chunk = std::slice::IterMut<'a, T>;
+
+    fn total_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self, n: usize) -> Vec<(usize, Self::Chunk)> {
+        let ranges = chunk_ranges(self.slice.len(), n);
+        let mut rest = self.slice;
+        let mut out = Vec::with_capacity(ranges.len());
+        for (s, e) in ranges {
+            let (head, tail) = rest.split_at_mut(e - s);
+            out.push((s, head.iter_mut()));
+            rest = tail;
+        }
+        out
+    }
+}
+
+/// Owning source: `into_par_iter` over a `Vec` (also the backbone for
+/// `par_chunks_mut` and `HashMap` iteration, which pre-collect their
+/// items).
+pub struct VecSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Chunked for VecSource<T> {
+    type Item = T;
+    type Chunk = std::vec::IntoIter<T>;
+
+    fn total_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split(self, n: usize) -> Vec<(usize, Self::Chunk)> {
+        let ranges = chunk_ranges(self.items.len(), n);
+        let mut items = self.items;
+        // Peel chunks off the back so each `split_off` moves only one
+        // chunk's elements (O(len) total).
+        let mut out: Vec<(usize, Self::Chunk)> = Vec::with_capacity(ranges.len());
+        for &(s, _) in ranges.iter().rev() {
+            let tail = items.split_off(s);
+            out.push((s, tail.into_iter()));
+        }
+        out.reverse();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Chunk iterator applying a shared mapping closure.
+pub struct MapChunk<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, O, F> Iterator for MapChunk<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> O,
+{
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Lazy `map` over a chunked source.
+pub struct Map<C, F> {
+    base: C,
+    f: Arc<F>,
+}
+
+impl<C, O, F> Chunked for Map<C, F>
+where
+    C: Chunked,
+    O: Send,
+    F: Fn(C::Item) -> O + Send + Sync,
+{
+    type Item = O;
+    type Chunk = MapChunk<C::Chunk, F>;
+
+    fn total_len(&self) -> usize {
+        self.base.total_len()
+    }
+
+    fn split(self, n: usize) -> Vec<(usize, Self::Chunk)> {
+        let f = self.f;
+        self.base
+            .split(n)
+            .into_iter()
+            .map(|(s, chunk)| {
+                (
+                    s,
+                    MapChunk {
+                        inner: chunk,
+                        f: Arc::clone(&f),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Chunk iterator pairing items with their global index.
+pub struct EnumerateChunk<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateChunk<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Lazy `enumerate` over a chunked source; indices are global (chunk
+/// start + offset), independent of the split.
+pub struct Enumerate<C> {
+    base: C,
+}
+
+impl<C: Chunked> Chunked for Enumerate<C> {
+    type Item = (usize, C::Item);
+    type Chunk = EnumerateChunk<C::Chunk>;
+
+    fn total_len(&self) -> usize {
+        self.base.total_len()
+    }
+
+    fn split(self, n: usize) -> Vec<(usize, Self::Chunk)> {
+        self.base
+            .split(n)
+            .into_iter()
+            .map(|(s, chunk)| {
+                (
+                    s,
+                    EnumerateChunk {
+                        inner: chunk,
+                        next: s,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ParallelIterator interface
+// ---------------------------------------------------------------------------
+
+/// Consumer/adapter methods available on every chunked source, mirroring
+/// the `rayon::prelude::ParallelIterator` subset this workspace uses.
+pub trait ParallelIterator: Chunked {
+    /// Number of items this iterator will produce.
+    fn len(&self) -> usize {
+        self.total_len()
+    }
+
+    /// True when there are no items.
+    fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Apply `f` to every item.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair every item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run `f` on every item, in parallel across chunks.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let n_chunks = chunk_count(self.total_len(), pool::current_num_threads());
+        let chunks = self.split(n_chunks);
+        pool::run_chunks(chunks, |_idx, (_start, chunk)| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+
+    /// Collect all items, **in source order**, into any `FromIterator`
+    /// collection. Per-chunk outputs land in index-keyed slots and are
+    /// stitched sequentially, so the result is identical to the
+    /// sequential collect for every thread count.
+    fn collect<B>(self) -> B
+    where
+        B: FromIterator<Self::Item>,
+    {
+        let n_chunks = chunk_count(self.total_len(), pool::current_num_threads());
+        let chunks = self.split(n_chunks);
+        if chunks.len() <= 1 || pool::current_num_threads() <= 1 {
+            return chunks.into_iter().flat_map(|(_, c)| c).collect();
+        }
+        let slots: Vec<Mutex<Option<Vec<Self::Item>>>> =
+            (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+        pool::run_chunks(chunks, |idx, (_start, chunk)| {
+            let gathered: Vec<Self::Item> = chunk.collect();
+            *slots[idx].lock().expect("collect slot poisoned") = Some(gathered);
+        });
+        slots
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .expect("collect slot poisoned")
+                    .expect("chunk result missing")
+            })
+            .collect()
+    }
+
+    /// Per-chunk partial sums folded in chunk order: deterministic for
+    /// floats too, since fold order never depends on scheduling.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let n_chunks = chunk_count(self.total_len(), pool::current_num_threads());
+        let chunks = self.split(n_chunks);
+        let slots: Vec<Mutex<Option<S>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+        pool::run_chunks(chunks, |idx, (_start, chunk)| {
+            *slots[idx].lock().expect("sum slot poisoned") = Some(chunk.sum());
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("sum slot poisoned").expect("missing"))
+            .sum()
+    }
+}
+
+impl<C: Chunked> ParallelIterator for C {}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (rayon::prelude surface)
+// ---------------------------------------------------------------------------
+
+/// `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `collection.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The mutably-borrowed item type.
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `slice.par_chunks_mut(n)`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable `chunk_size`
+    /// sub-slices (last one may be shorter), in slice order.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> VecSource<&mut [T]>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceSource { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceSource { slice: self }
+    }
+}
+
+impl<'a, K, V, S> IntoParallelRefIterator<'a> for HashMap<K, V, S>
+where
+    K: Sync + 'a,
+    V: Sync + 'a,
+{
+    type Item = (&'a K, &'a V);
+    type Iter = VecSource<(&'a K, &'a V)>;
+    /// Items are snapshotted in the map's current iteration order; the
+    /// parallel split preserves that order for ordered terminals.
+    fn par_iter(&'a self) -> Self::Iter {
+        VecSource {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = SliceMutSource<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceMutSource { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceMutSource<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceMutSource { slice: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecSource<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecSource { items: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> VecSource<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        VecSource {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The execution core: a scoped fork-join pool with a chunked injector
+//! queue.
+//!
+//! Every parallel region (a `join`, `for_each`, or `collect`) splits its
+//! work into contiguous chunks, publishes them in a shared injector
+//! (slot vector + atomic cursor), and lets the calling thread plus a set
+//! of helper threads *steal* chunks in index order until the injector is
+//! drained. The calling thread always participates, so a region makes
+//! progress even when no helper can be spawned, and `num_threads = 1`
+//! degenerates to exactly the sequential loop.
+//!
+//! Helpers are `std::thread::scope` threads, so borrowed data flows into
+//! workers without any `unsafe`: the scope guarantees every helper has
+//! exited before the region returns. A global helper budget
+//! ([`MAX_LIVE_HELPERS`]) caps the total number of live helpers across
+//! nested regions; a region that cannot reserve helpers simply runs on
+//! the calling thread.
+//!
+//! Determinism contract: chunk *results* are written into index-keyed
+//! slots and stitched in index order by the caller, so which thread ran
+//! which chunk never influences observable output. Nothing in this
+//! module reads the clock or any RNG.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard cap on concurrently-live helper threads across all regions,
+/// nested ones included. Scoped helpers only exist while their region
+/// runs, so this is a backstop against nested fan-out explosions, not a
+/// steady-state pool size.
+const MAX_LIVE_HELPERS: usize = 64;
+
+static LIVE_HELPERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread count of the global pool installed via
+/// [`ThreadPoolBuilder::build_global`], if any.
+static GLOBAL_POOL: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Thread-count override for the current region: set by
+    /// [`ThreadPool::install`] on the calling thread and inherited by
+    /// every helper the region spawns.
+    static REGION_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Worker-thread count parallel regions started from this thread will
+/// use. Resolution order: an installed [`ThreadPool`] region override,
+/// then the global pool from [`ThreadPoolBuilder::build_global`], then
+/// `RAYON_NUM_THREADS`, then the hardware thread count.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = REGION_THREADS.with(Cell::get) {
+        return n;
+    }
+    if let Some(&n) = GLOBAL_POOL.get() {
+        return n;
+    }
+    env_threads().unwrap_or_else(hardware_threads)
+}
+
+/// Releases reserved helper slots even if the region unwinds.
+struct HelperLease(usize);
+
+impl HelperLease {
+    fn reserve(want: usize) -> HelperLease {
+        let mut cur = LIVE_HELPERS.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(MAX_LIVE_HELPERS.saturating_sub(cur));
+            if take == 0 {
+                return HelperLease(0);
+            }
+            match LIVE_HELPERS.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return HelperLease(take),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Drop for HelperLease {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            LIVE_HELPERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Run `job(0..n_jobs)` to completion, stealing jobs from a shared
+/// cursor with up to `current_num_threads() - 1` helper threads. Jobs
+/// are claimed in index order; each runs exactly once.
+pub(crate) fn run_region<F>(n_jobs: usize, job: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n_jobs == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(n_jobs);
+    if threads <= 1 {
+        for i in 0..n_jobs {
+            job(i);
+        }
+        return;
+    }
+    let lease = HelperLease::reserve(threads - 1);
+    if lease.0 == 0 {
+        for i in 0..n_jobs {
+            job(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let work = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n_jobs {
+            break;
+        }
+        job(i);
+    };
+    std::thread::scope(|s| {
+        for _ in 0..lease.0 {
+            s.spawn(|| {
+                // Helpers belong to the region: nested parallel calls
+                // they make see the same thread budget as the caller.
+                REGION_THREADS.with(|c| c.set(Some(threads)));
+                work();
+            });
+        }
+        work();
+    });
+}
+
+/// Drain `chunks` (index-keyed payloads) across the pool, applying
+/// `sink(chunk_index, payload)` exactly once per chunk. The payloads
+/// move to whichever worker claims them; result ordering is the
+/// caller's job (key by `chunk_index`).
+pub(crate) fn run_chunks<T, F>(chunks: Vec<T>, sink: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    if chunks.len() <= 1 || current_num_threads() <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            sink(i, c);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<T>>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    run_region(slots.len(), |i| {
+        let payload = slots[i]
+            .lock()
+            .expect("chunk slot poisoned")
+            .take()
+            .expect("chunk claimed twice");
+        sink(i, payload);
+    });
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. Falls back to sequential `(a(), b())` when the pool has one
+/// thread or the helper budget is exhausted.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return (oper_a(), oper_b());
+    }
+    let lease = HelperLease::reserve(1);
+    if lease.0 == 0 {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || {
+            REGION_THREADS.with(|c| c.set(Some(threads)));
+            oper_b()
+        });
+        let ra = oper_a();
+        match handle.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] /
+/// [`ThreadPoolBuilder::build_global`] (mirrors rayon's).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (environment-driven) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request `n` worker threads; `0` keeps the default resolution
+    /// (env var, then hardware count), as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    fn resolved(&self) -> usize {
+        self.num_threads
+            .or_else(env_threads)
+            .unwrap_or_else(hardware_threads)
+    }
+
+    /// Build a pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.resolved(),
+        })
+    }
+
+    /// Install the thread count as the process-global default. Like
+    /// rayon, this may only be done once.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = self.resolved();
+        GLOBAL_POOL.set(threads).map_err(|_| ThreadPoolBuildError {
+            msg: "the global thread pool has already been initialized",
+        })
+    }
+}
+
+/// A handle fixing the worker-thread count for regions run under
+/// [`ThreadPool::install`]. Threads are not pinned to the handle:
+/// workers are scoped to each parallel region, so any number of pools
+/// can coexist and the handle is freely shareable (`Sync`) and cheap.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker-thread count regions under this pool will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's thread count governing every parallel
+    /// region `op` enters (restored afterwards, panic-safe).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                REGION_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = REGION_THREADS.with(|c| c.replace(Some(self.threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// `join` under this pool's thread count.
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(oper_a, oper_b))
+    }
+}
