@@ -52,7 +52,7 @@ fn main() {
             "Ablation (features): {label} ({} dims/server)...",
             features.len()
         );
-        let (_, _, report) = train_and_evaluate(&spec, &tcfg, 42);
+        let (_, _, report) = train_and_evaluate(&spec, &tcfg, 42).expect("pipeline trains");
         reports.push((label, report));
     }
 

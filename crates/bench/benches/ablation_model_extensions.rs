@@ -109,7 +109,7 @@ fn main() {
         spec.n_runs()
     );
     let t0 = std::time::Instant::now();
-    let gen = generate(&spec);
+    let gen = generate(&spec).expect("dataset generates");
     let labels = gen.bins.labels();
     let epochs = if small { 20 } else { 40 };
 

@@ -26,7 +26,7 @@ fn main() {
             window: SimDuration::from_millis(ms),
         };
         println!("Ablation (window): {ms} ms windows...");
-        let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 42);
+        let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 42).expect("pipeline trains");
         reports.push((format!("{ms} ms"), report, gen.data.len()));
     }
 

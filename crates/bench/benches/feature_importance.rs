@@ -17,14 +17,15 @@ fn main() {
         spec.n_runs()
     );
     let t0 = std::time::Instant::now();
-    let gen = generate(&spec);
+    let gen = generate(&spec).expect("dataset generates");
     let (train_set, test_set) = gen.data.split(0.2, 42);
     let tcfg = TrainConfig {
         epochs: if small { 20 } else { 40 },
         ..TrainConfig::default()
     };
     let mut model = qi_ml::train::train(&train_set, &tcfg);
-    let imp = permutation_importance(&mut model, &test_set, spec.features, 7, 3);
+    let imp = permutation_importance(&mut model, &test_set, spec.features, 7, 3)
+        .expect("importance computes");
     println!(
         "base F1 {:.3} on {} test windows; permutation importance (top 15):\n",
         imp.base_f1,

@@ -23,7 +23,7 @@ fn main() {
     let t0 = std::time::Instant::now();
 
     println!("Figure 1(a) — Enzo per-op I/O time vs write-noise intensity");
-    let a = fig_one_a(&cfg, 3);
+    let a = fig_one_a(&cfg, 3).expect("fig 1a generates");
     for s in &a {
         println!(
             "  {:<24} mean op time {:>9.3} ms",
@@ -66,7 +66,7 @@ fn main() {
     series_table(&a).write_csv(&path_a).expect("write CSV");
 
     println!("\nFigure 1(b) — Enzo per-op I/O time, data vs metadata noise");
-    let b = fig_one_b(&cfg, 3);
+    let b = fig_one_b(&cfg, 3).expect("fig 1b generates");
     for s in &b {
         println!(
             "  {:<38} mean op time {:>9.3} ms",

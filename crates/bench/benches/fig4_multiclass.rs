@@ -24,7 +24,7 @@ fn main() {
         spec.n_runs()
     );
     let t0 = std::time::Instant::now();
-    let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 42);
+    let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 42).expect("pipeline trains");
     print_report(
         "Fig. 4 — 3-class model, IO500 (bins at 2x and 5x)",
         &gen,

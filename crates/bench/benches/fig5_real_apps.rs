@@ -31,7 +31,7 @@ fn main() {
             app.name(),
             spec.n_runs()
         );
-        let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 42);
+        let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 42).expect("pipeline trains");
         print_report(
             &format!("Fig. 5 — binary model, {}", app.name()),
             &gen,

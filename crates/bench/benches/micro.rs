@@ -111,7 +111,11 @@ fn small_cluster_run() -> RunTrace {
             })
         }
     }
-    let mut cl = Cluster::new(ClusterConfig::small(), 1);
+    let mut cl = Cluster::builder()
+        .config(ClusterConfig::small())
+        .seed(1)
+        .build()
+        .expect("valid test cluster");
     let file = FileKey {
         app: AppId(0),
         num: 1,

@@ -31,7 +31,7 @@ fn main() {
         epochs: if small { 15 } else { 40 },
         ..TrainConfig::default()
     };
-    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 42);
+    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 42).expect("pipeline trains");
     println!("model F1 = {:.3}\n", report.headline_f1());
 
     let cases: Vec<(WorkloadKind, WorkloadKind, u32)> = vec![
@@ -62,7 +62,8 @@ fn main() {
             instances,
             ranks: if small { 2 } else { spec.noise_ranks },
         });
-        let outcome = prediction_guided_throttling(&scenario, &mut predictor, 1);
+        let outcome = prediction_guided_throttling(&scenario, &mut predictor, 1)
+            .expect("guided throttling runs");
         table.add_row(vec![
             format!("{} (guided)", target.name()),
             noise.name().to_string(),
@@ -75,7 +76,7 @@ fn main() {
         ]);
         // The paper's "uniform treatment" strawman: a blanket server-side
         // token-bucket filter on every interfering app, all the time.
-        let uniform = uniform_tbf_throttling(&scenario, 20.0e6);
+        let uniform = uniform_tbf_throttling(&scenario, 20.0e6).expect("uniform throttling runs");
         table.add_row(vec![
             format!("{} (uniform TBF)", target.name()),
             noise.name().to_string(),

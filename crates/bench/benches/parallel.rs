@@ -119,21 +119,26 @@ fn main() {
     let reference = {
         let p = pool(1);
         (
-            dataset_fingerprint(&generate_on(&p, &spec)),
+            dataset_fingerprint(&generate_on(&p, &spec).expect("sweep runs")),
             p.install(|| a.matmul(&b)),
         )
     };
     for &n in &counts {
         let p = pool(n);
         assert_eq!(
-            dataset_fingerprint(&generate_on(&p, &spec)),
+            dataset_fingerprint(&generate_on(&p, &spec).expect("sweep runs")),
             reference.0,
             "dataset output diverged at {n} threads"
         );
         let prod = p.install(|| a.matmul(&b));
         assert_eq!(
             prod.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            reference.1.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference
+                .1
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
             "matmul output diverged at {n} threads"
         );
     }
@@ -147,7 +152,7 @@ fn main() {
     for &n in &counts {
         let p = pool(n);
         c.bench_function(&format!("dataset_generate_smoke/{n}t"), |bench| {
-            bench.iter(|| generate_on(&p, &spec))
+            bench.iter(|| generate_on(&p, &spec).expect("sweep runs"))
         });
         c.bench_function(&format!("matmul_{matmul_n}/{n}t"), |bench| {
             bench.iter(|| p.install(|| a.matmul(&b)))

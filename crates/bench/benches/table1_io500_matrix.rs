@@ -24,7 +24,7 @@ fn main() {
         if is_smoke() { "smoke" } else { "paper" }
     );
     let t0 = std::time::Instant::now();
-    let table = table_one(&cfg);
+    let table = table_one(&cfg).expect("table generates");
     println!("{}", table.render());
     println!("generated in {:.1?}", t0.elapsed());
 

@@ -6,15 +6,17 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
+use qi_faults::{FaultEvent, FaultPlan};
 use qi_ml::data::Dataset;
 use qi_monitor::client::client_windows;
-use qi_monitor::features::{server_vector, FeatureConfig};
+use qi_monitor::features::{server_vector_masked, FeatureConfig, Imputation, N_SERVER};
 use qi_monitor::server::server_windows;
 use qi_monitor::window::WindowConfig;
 use qi_pfs::config::ClusterConfig;
 use qi_pfs::ids::{AppId, DeviceId};
 use qi_pfs::ops::RunTrace;
-use qi_simkit::time::SimDuration;
+use qi_simkit::error::QiError;
+use qi_simkit::time::{SimDuration, SimTime};
 use qi_workloads::registry::WorkloadKind;
 
 use crate::labeling::{window_degradation, BaselineIndex, Bins};
@@ -29,6 +31,27 @@ pub fn window_vectors(
     fcfg: FeatureConfig,
     n_devices: u32,
 ) -> HashMap<u64, Vec<f32>> {
+    window_vectors_with(trace, target, wcfg, fcfg, n_devices, Imputation::Zero)
+}
+
+/// Like [`window_vectors`], but with an explicit [`Imputation`] policy
+/// for feature cells whose monitor data is missing.
+///
+/// Under `Imputation::Zero` the output is byte-identical to the
+/// historical behaviour (missing blocks become zeros). Under
+/// `Imputation::DeviceMean`, a window whose *server* block is missing
+/// for some device (its monitor dropped out — e.g. under an injected
+/// fault) is back-filled with that device's mean server block over the
+/// windows that do have data; client blocks are never imputed, because
+/// an absent client window genuinely means "no client activity".
+pub fn window_vectors_with(
+    trace: &RunTrace,
+    target: AppId,
+    wcfg: WindowConfig,
+    fcfg: FeatureConfig,
+    n_devices: u32,
+    imputation: Imputation,
+) -> HashMap<u64, Vec<f32>> {
     let cw = client_windows(trace, wcfg, n_devices);
     let sw = server_windows(&trace.samples, wcfg);
     let windows: Vec<u64> = cw
@@ -36,18 +59,143 @@ pub fn window_vectors(
         .filter(|(app, _)| *app == target)
         .map(|&(_, w)| w)
         .collect();
+    let flen = fcfg.len();
     let mut out = HashMap::with_capacity(windows.len());
+    // (window, device index) pairs whose server block was missing.
+    let mut holes: Vec<(u64, usize)> = Vec::new();
     for w in windows {
         let client = cw.get(&(target, w));
-        let mut block = Vec::with_capacity(n_devices as usize * fcfg.len());
+        let mut block = Vec::with_capacity(n_devices as usize * flen);
         for d in 0..n_devices {
             let dev = DeviceId(d);
             let server = sw.get(&(dev, w));
-            block.extend(server_vector(fcfg, client, server, dev, wcfg.window));
+            let (v, avail) = server_vector_masked(fcfg, client, server, dev, wcfg.window);
+            if fcfg.server && !avail.server {
+                holes.push((w, d as usize));
+            }
+            block.extend(v);
         }
         out.insert(w, block);
     }
+    if imputation == Imputation::DeviceMean && !holes.is_empty() {
+        impute_device_means(&mut out, &holes, n_devices as usize, flen);
+    }
     out
+}
+
+/// Back-fill missing server blocks with per-device means. The server
+/// block occupies the last [`N_SERVER`] cells of each per-device slice;
+/// only windows/devices listed in `holes` are rewritten, and only from
+/// windows *not* listed there (so imputed zeros never feed the means).
+fn impute_device_means(
+    blocks: &mut HashMap<u64, Vec<f32>>,
+    holes: &[(u64, usize)],
+    n_devices: usize,
+    flen: usize,
+) {
+    let hole_set: std::collections::HashSet<(u64, usize)> = holes.iter().copied().collect();
+    let srv_off = flen - N_SERVER;
+    for d in 0..n_devices {
+        let mut sum = vec![0.0f64; N_SERVER];
+        let mut n = 0u64;
+        for (&w, block) in blocks.iter() {
+            if hole_set.contains(&(w, d)) {
+                continue;
+            }
+            let base = d * flen + srv_off;
+            for (acc, &x) in sum.iter_mut().zip(&block[base..base + N_SERVER]) {
+                *acc += x as f64;
+            }
+            n += 1;
+        }
+        if n == 0 {
+            continue; // no donor windows: leave the zeros in place
+        }
+        let mean: Vec<f32> = sum.iter().map(|&s| (s / n as f64) as f32).collect();
+        for &(w, hd) in holes {
+            if hd != d {
+                continue;
+            }
+            if let Some(block) = blocks.get_mut(&w) {
+                let base = d * flen + srv_off;
+                block[base..base + N_SERVER].copy_from_slice(&mean);
+            }
+        }
+    }
+}
+
+/// A server-degradation condition swept as a dataset dimension, so
+/// Table-I-style grids also cover runs on degraded hardware. Each spec
+/// expands to a [`FaultPlan`] sized for the cluster it runs on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Healthy hardware (no fault plan).
+    Healthy,
+    /// Every OST device serves `factor`× slower during the window
+    /// `[from_s, from_s + dur_s)` seconds.
+    SlowOsts {
+        /// Service-time multiplier (≥ 1.0).
+        factor: f64,
+        /// Window start, seconds into the run.
+        from_s: u64,
+        /// Window length, seconds.
+        dur_s: u64,
+    },
+    /// One OST device serves `factor`× slower during the window.
+    SlowOst {
+        /// Degraded device index.
+        dev: u32,
+        /// Service-time multiplier (≥ 1.0).
+        factor: f64,
+        /// Window start, seconds into the run.
+        from_s: u64,
+        /// Window length, seconds.
+        dur_s: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Expand to the fault plan for `cluster` (`None` for `Healthy`).
+    pub fn plan(&self, cluster: &ClusterConfig) -> Option<FaultPlan> {
+        let window = |from_s: u64, dur_s: u64| {
+            let from = SimTime::ZERO + SimDuration::from_secs(from_s);
+            (from, from + SimDuration::from_secs(dur_s))
+        };
+        match *self {
+            FaultSpec::Healthy => None,
+            FaultSpec::SlowOsts {
+                factor,
+                from_s,
+                dur_s,
+            } => {
+                let (from, until) = window(from_s, dur_s);
+                let mut plan = FaultPlan::new();
+                for dev in 0..cluster.n_osts() {
+                    plan.push(FaultEvent::SlowDisk {
+                        dev,
+                        factor,
+                        from,
+                        until,
+                    });
+                }
+                Some(plan)
+            }
+            FaultSpec::SlowOst {
+                dev,
+                factor,
+                from_s,
+                dur_s,
+            } => {
+                let (from, until) = window(from_s, dur_s);
+                Some(FaultPlan::new().with(FaultEvent::SlowDisk {
+                    dev,
+                    factor,
+                    from,
+                    until,
+                }))
+            }
+        }
+    }
 }
 
 /// Where a sample came from (kept alongside the dataset for analysis).
@@ -57,6 +205,8 @@ pub struct SampleMeta {
     pub target: WorkloadKind,
     /// Interference source and instance count (`None` = baseline run).
     pub noise: Option<(WorkloadKind, u32)>,
+    /// Server-degradation condition the run executed under.
+    pub fault: FaultSpec,
     /// Scenario seed.
     pub seed: u64,
     /// Window index within the run.
@@ -66,6 +216,7 @@ pub struct SampleMeta {
 }
 
 /// A generated dataset plus its provenance.
+#[derive(Debug)]
 pub struct GeneratedDataset {
     /// Feature/label data ready for `qi_ml::train`.
     pub data: Dataset,
@@ -116,6 +267,11 @@ pub struct DatasetSpec {
     /// Also emit the baseline runs' windows (labelled by self-comparison,
     /// i.e. level 1.0 → the lowest bin) as extra negatives.
     pub include_baseline_windows: bool,
+    /// Server-degradation conditions; every grid combo runs once per
+    /// entry. `[Healthy]` reproduces the fault-free grid exactly.
+    pub faults: Vec<FaultSpec>,
+    /// How to fill feature cells whose monitor data went missing.
+    pub imputation: Imputation,
 }
 
 impl DatasetSpec {
@@ -136,6 +292,8 @@ impl DatasetSpec {
             small: true,
             deadline: SimDuration::from_secs(900),
             include_baseline_windows: true,
+            faults: vec![FaultSpec::Healthy],
+            imputation: Imputation::Zero,
         }
     }
 
@@ -154,12 +312,17 @@ impl DatasetSpec {
                 SimDuration::from_secs(6)
             },
             noise_throttle: None,
+            fault_plan: None,
         }
     }
 
     /// Number of interfered runs the grid will execute.
     pub fn n_runs(&self) -> usize {
-        self.targets.len() * self.noise_kinds.len() * self.intensities.len() * self.seeds.len()
+        self.targets.len()
+            * self.noise_kinds.len()
+            * self.intensities.len()
+            * self.seeds.len()
+            * self.faults.len()
     }
 }
 
@@ -177,7 +340,10 @@ struct KeyHarvest {
 /// Run the grid on an explicit pool handle (shared with the caller's
 /// other parallel work) and build the labelled dataset. Output is
 /// byte-identical for every thread count — see [`generate`].
-pub fn generate_on(pool: &rayon::ThreadPool, spec: &DatasetSpec) -> GeneratedDataset {
+pub fn generate_on(
+    pool: &rayon::ThreadPool,
+    spec: &DatasetSpec,
+) -> Result<GeneratedDataset, QiError> {
     pool.install(|| generate(spec))
 }
 
@@ -188,10 +354,17 @@ pub fn generate_on(pool: &rayon::ThreadPool, spec: &DatasetSpec) -> GeneratedDat
 /// jobs, so baselines and interfered runs of *different* keys overlap
 /// instead of serialising phase-by-phase behind a grid-wide barrier.
 /// Samples are stitched in the canonical grid order (targets × noises ×
-/// intensities × seeds, then baseline windows per key), which keeps the
-/// output byte-identical to the sequential run at any thread count.
-pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
+/// intensities × seeds × faults, then baseline windows per key), which
+/// keeps the output byte-identical to the sequential run at any thread
+/// count. Baselines always run healthy: a faulted combo's labels
+/// measure its slowdown against fault-free hardware.
+pub fn generate(spec: &DatasetSpec) -> Result<GeneratedDataset, QiError> {
     let n_devices = spec.cluster.n_devices();
+    if spec.faults.is_empty() {
+        return Err(QiError::Config(
+            "dataset spec has no fault conditions; use [FaultSpec::Healthy]".into(),
+        ));
+    }
 
     let base_keys: Vec<(WorkloadKind, u64)> = spec
         .targets
@@ -199,30 +372,35 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         .flat_map(|&t| spec.seeds.iter().map(move |&s| (t, s)))
         .collect();
 
-    // The canonical combo order (the pre-parallel stitch order).
-    let mut combos: Vec<(WorkloadKind, WorkloadKind, u32, u64)> = Vec::new();
+    // The canonical combo order (the pre-parallel stitch order); the
+    // fault dimension is innermost, so `[Healthy]` reproduces the
+    // fault-free grid order exactly.
+    let mut combos: Vec<(WorkloadKind, WorkloadKind, u32, u64, FaultSpec)> = Vec::new();
     for &t in &spec.targets {
         for &n in &spec.noise_kinds {
             for &i in &spec.intensities {
                 for &s in &spec.seeds {
-                    combos.push((t, n, i, s));
+                    for &f in &spec.faults {
+                        combos.push((t, n, i, s, f));
+                    }
                 }
             }
         }
     }
     let mut combos_by_key: HashMap<(WorkloadKind, u64), Vec<usize>> = HashMap::new();
-    for (ci, &(t, _, _, s)) in combos.iter().enumerate() {
+    for (ci, &(t, _, _, s, _)) in combos.iter().enumerate() {
         combos_by_key.entry((t, s)).or_default().push(ci);
     }
 
     let harvests: Vec<KeyHarvest> = base_keys
         .par_iter()
-        .map(|&(target, seed)| {
-            let (app, trace) = spec.scenario(target, seed).run();
-            assert!(
-                trace.completion_of(app).is_some(),
-                "baseline {target} (seed {seed}) hit the deadline"
-            );
+        .map(|&(target, seed)| -> Result<KeyHarvest, QiError> {
+            let (app, trace) = spec.scenario(target, seed).run()?;
+            if trace.completion_of(app).is_none() {
+                return Err(QiError::Incomplete(format!(
+                    "baseline {target} (seed {seed}) hit the deadline"
+                )));
+            }
             let base = Arc::new(trace);
             let my_combos: &[usize] = combos_by_key
                 .get(&(target, seed))
@@ -230,16 +408,17 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
                 .unwrap_or(&[]);
             let combo_samples: Vec<(usize, RunSamples)> = my_combos
                 .par_iter()
-                .map(|&ci| {
-                    let (_, noise, intensity, _) = combos[ci];
-                    let scenario =
+                .map(|&ci| -> Result<(usize, RunSamples), QiError> {
+                    let (_, noise, intensity, _, fault) = combos[ci];
+                    let mut scenario =
                         spec.scenario(target, seed)
                             .with_interference(InterferenceSpec {
                                 kind: noise,
                                 instances: intensity,
                                 ranks: spec.noise_ranks,
                             });
-                    let (run_app, run_trace) = scenario.run();
+                    scenario.fault_plan = fault.plan(&spec.cluster);
+                    let (run_app, run_trace) = scenario.run()?;
                     debug_assert_eq!(run_app, app);
                     let idx = BaselineIndex::new(&base, run_app);
                     let samples = collect_samples(
@@ -250,21 +429,32 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
                         n_devices,
                         target,
                         Some((noise, intensity)),
+                        fault,
                         seed,
                     );
-                    (ci, samples)
+                    Ok((ci, samples))
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             let base_samples = spec.include_baseline_windows.then(|| {
                 let idx = BaselineIndex::new(&base, app);
-                collect_samples(spec, &base, app, &idx, n_devices, target, None, seed)
+                collect_samples(
+                    spec,
+                    &base,
+                    app,
+                    &idx,
+                    n_devices,
+                    target,
+                    None,
+                    FaultSpec::Healthy,
+                    seed,
+                )
             });
-            KeyHarvest {
+            Ok(KeyHarvest {
                 base_samples,
                 combo_samples,
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Stitch: interfered combos in canonical grid order first, then the
     // baseline windows in `base_keys` order — the exact order the old
@@ -284,22 +474,29 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let mut samples = Vec::new();
     let mut labels = Vec::new();
     let mut meta = Vec::new();
-    for run in per_combo
-        .into_iter()
-        .map(|r| r.expect("combo never harvested"))
-        .chain(base_runs)
-    {
-        let (s, l, m) = run;
+    for (ci, run) in per_combo.into_iter().enumerate() {
+        let Some((s, l, m)) = run else {
+            return Err(QiError::Pipeline(format!("combo {ci} was never harvested")));
+        };
         samples.extend(s);
         labels.extend(l);
         meta.extend(m);
     }
-    assert!(!samples.is_empty(), "dataset grid produced no samples");
-    GeneratedDataset {
+    for (s, l, m) in base_runs {
+        samples.extend(s);
+        labels.extend(l);
+        meta.extend(m);
+    }
+    if samples.is_empty() {
+        return Err(QiError::Pipeline(
+            "dataset grid produced no samples".into(),
+        ));
+    }
+    Ok(GeneratedDataset {
         data: Dataset::from_samples(samples, labels, n_devices as usize),
         meta,
         bins: spec.bins.clone(),
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -311,10 +508,18 @@ fn collect_samples(
     n_devices: u32,
     target: WorkloadKind,
     noise: Option<(WorkloadKind, u32)>,
+    fault: FaultSpec,
     seed: u64,
 ) -> RunSamples {
     let levels = window_degradation(baseline, trace, app, spec.window);
-    let vectors = window_vectors(trace, app, spec.window, spec.features, n_devices);
+    let vectors = window_vectors_with(
+        trace,
+        app,
+        spec.window,
+        spec.features,
+        n_devices,
+        spec.imputation,
+    );
     let mut windows: Vec<u64> = levels.keys().copied().collect();
     windows.sort_unstable();
     let mut xs = Vec::with_capacity(windows.len());
@@ -328,6 +533,7 @@ fn collect_samples(
         ms.push(SampleMeta {
             target,
             noise,
+            fault,
             seed,
             window: w,
             level,
@@ -343,7 +549,7 @@ mod tests {
     #[test]
     fn smoke_grid_generates_balanced_dataset() {
         let spec = DatasetSpec::smoke();
-        let gen = generate(&spec);
+        let gen = generate(&spec).expect("smoke grid generates");
         assert!(gen.data.len() >= 8, "only {} samples", gen.data.len());
         assert_eq!(gen.meta.len(), gen.data.len());
         assert_eq!(gen.data.n_servers, spec.cluster.n_devices() as usize);
@@ -361,19 +567,58 @@ mod tests {
         spec.noise_kinds = vec![];
         spec.intensities = vec![];
         spec.include_baseline_windows = true;
-        let gen = generate(&spec);
+        let gen = generate(&spec).expect("baseline-only grid generates");
         assert!(gen.data.y.iter().all(|&y| y == 0));
         assert!(gen
             .meta
             .iter()
             .all(|m| m.noise.is_none() && (m.level - 1.0).abs() < 0.2));
+        assert!(gen.meta.iter().all(|m| m.fault == FaultSpec::Healthy));
+    }
+
+    #[test]
+    fn empty_fault_dimension_is_rejected() {
+        let mut spec = DatasetSpec::smoke();
+        spec.faults = vec![];
+        let err = generate(&spec).expect_err("empty fault dimension");
+        assert!(matches!(err, qi_simkit::QiError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn fault_specs_expand_to_sized_plans() {
+        let cluster = ClusterConfig::small();
+        assert!(FaultSpec::Healthy.plan(&cluster).is_none());
+        let all = FaultSpec::SlowOsts {
+            factor: 4.0,
+            from_s: 2,
+            dur_s: 5,
+        }
+        .plan(&cluster)
+        .expect("plan");
+        assert_eq!(all.events().len(), cluster.n_osts() as usize);
+        assert!(all
+            .validate(
+                cluster.n_devices() as usize,
+                cluster.n_nodes() as usize,
+                cluster.oss_nodes as usize,
+            )
+            .is_ok());
+        let one = FaultSpec::SlowOst {
+            dev: 1,
+            factor: 8.0,
+            from_s: 0,
+            dur_s: 3,
+        }
+        .plan(&cluster)
+        .expect("plan");
+        assert_eq!(one.events().len(), 1);
     }
 
     #[test]
     fn window_vectors_align_with_degradation_windows() {
         let spec = DatasetSpec::smoke();
         let scenario = spec.scenario(WorkloadKind::IorEasyRead, 1);
-        let (app, trace) = scenario.run();
+        let (app, trace) = scenario.run().expect("scenario runs");
         let vecs = window_vectors(
             &trace,
             app,

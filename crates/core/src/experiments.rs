@@ -7,6 +7,7 @@ use rayon::prelude::*;
 use qi_pfs::config::ClusterConfig;
 use qi_pfs::ids::AppId;
 use qi_pfs::ops::RunTrace;
+use qi_simkit::error::QiError;
 use qi_simkit::stats::moving_average;
 use qi_simkit::table::{fmt_f64, AsciiTable};
 use qi_simkit::time::SimDuration;
@@ -132,12 +133,13 @@ fn scenario_for(cfg: &TableOneConfig, target: WorkloadKind, seed: u64) -> Scenar
         small: cfg.small,
         warmup: cfg.warmup,
         noise_throttle: None,
+        fault_plan: None,
     }
 }
 
 /// Regenerate Table I on an explicit pool handle (shared with the
 /// caller's other parallel work).
-pub fn table_one_on(pool: &rayon::ThreadPool, cfg: &TableOneConfig) -> TableOne {
+pub fn table_one_on(pool: &rayon::ThreadPool, cfg: &TableOneConfig) -> Result<TableOne, QiError> {
     pool.install(|| table_one(cfg))
 }
 
@@ -151,7 +153,7 @@ pub fn table_one_on(pool: &rayon::ThreadPool, cfg: &TableOneConfig) -> TableOne 
 /// serialising behind a matrix-wide barrier. Cell results are reduced
 /// in canonical `(row, col, seed)` order, so the matrix is identical at
 /// every thread count.
-pub fn table_one(cfg: &TableOneConfig) -> TableOne {
+pub fn table_one(cfg: &TableOneConfig) -> Result<TableOne, QiError> {
     let tasks = WorkloadKind::IO500.to_vec();
     let base_jobs: Vec<(usize, u64)> = (0..tasks.len())
         .flat_map(|t| cfg.seeds.iter().map(move |&s| (t, s)))
@@ -161,30 +163,31 @@ pub fn table_one(cfg: &TableOneConfig) -> TableOne {
     type RowResult = ((AppId, RunTrace), Vec<f64>);
     let per_key: Vec<RowResult> = base_jobs
         .par_iter()
-        .map(|&(t, s)| {
-            let (app, base) = scenario_for(cfg, tasks[t], s).run();
-            assert!(
-                base.completion_of(app).is_some(),
-                "baseline {} (seed {s}) hit deadline",
-                tasks[t]
-            );
+        .map(|&(t, s)| -> Result<RowResult, QiError> {
+            let (app, base) = scenario_for(cfg, tasks[t], s).run()?;
+            if base.completion_of(app).is_none() {
+                return Err(QiError::Incomplete(format!(
+                    "baseline {} (seed {s}) hit the deadline",
+                    tasks[t]
+                )));
+            }
             let cols: Vec<usize> = (0..tasks.len()).collect();
             let slowdowns: Vec<f64> = cols
                 .par_iter()
-                .map(|&c| {
+                .map(|&c| -> Result<f64, QiError> {
                     let scenario =
                         scenario_for(cfg, tasks[t], s).with_interference(InterferenceSpec {
                             kind: tasks[c],
                             instances: cfg.instances,
                             ranks: cfg.noise_ranks,
                         });
-                    let (cell_app, trace) = scenario.run();
-                    completion_slowdown(&base, &trace, cell_app).unwrap_or(f64::NAN)
+                    let (cell_app, trace) = scenario.run()?;
+                    Ok(completion_slowdown(&base, &trace, cell_app).unwrap_or(f64::NAN))
                 })
-                .collect();
-            ((app, base), slowdowns)
+                .collect::<Result<_, _>>()?;
+            Ok(((app, base), slowdowns))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Reduce in canonical (row, col, seed) order: for a fixed cell the
     // seed contributions sum in ascending-seed order, exactly as the
@@ -225,11 +228,11 @@ pub fn table_one(cfg: &TableOneConfig) -> TableOne {
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
         })
         .collect();
-    TableOne {
+    Ok(TableOne {
         tasks,
         matrix,
         baseline_secs,
-    }
+    })
 }
 
 /// One series of Figure 1: per-operation I/O times of the Enzo proxy's
@@ -306,13 +309,13 @@ fn rank0_series(trace: &RunTrace, app: AppId) -> Vec<f64> {
 /// Regenerate Figure 1(a): Enzo per-op I/O time under increasing
 /// amounts of `ior-easy-write` interference (baseline, then 1..=levels
 /// instances).
-pub fn fig_one_a(cfg: &FigOneConfig, levels: u32) -> Vec<EnzoSeries> {
+pub fn fig_one_a(cfg: &FigOneConfig, levels: u32) -> Result<Vec<EnzoSeries>, QiError> {
     let mut jobs: Vec<(String, u32)> = vec![("baseline".into(), 0)];
     for l in 1..=levels {
         jobs.push((format!("{l}x ior-easy-write"), l));
     }
     jobs.par_iter()
-        .map(|(label, instances)| {
+        .map(|(label, instances)| -> Result<EnzoSeries, QiError> {
             let mut s = Scenario {
                 target: WorkloadKind::Enzo,
                 target_ranks: cfg.target_ranks,
@@ -323,6 +326,7 @@ pub fn fig_one_a(cfg: &FigOneConfig, levels: u32) -> Vec<EnzoSeries> {
                 small: cfg.small,
                 warmup: cfg.warmup,
                 noise_throttle: None,
+                fault_plan: None,
             };
             if *instances > 0 {
                 s = s.with_interference(InterferenceSpec {
@@ -331,11 +335,11 @@ pub fn fig_one_a(cfg: &FigOneConfig, levels: u32) -> Vec<EnzoSeries> {
                     ranks: cfg.noise_ranks,
                 });
             }
-            let (app, trace) = s.run();
-            EnzoSeries {
+            let (app, trace) = s.run()?;
+            Ok(EnzoSeries {
                 label: label.clone(),
                 durations: moving_average(&rank0_series(&trace, app), cfg.smooth),
-            }
+            })
         })
         .collect()
 }
@@ -343,7 +347,7 @@ pub fn fig_one_a(cfg: &FigOneConfig, levels: u32) -> Vec<EnzoSeries> {
 /// Regenerate Figure 1(b): Enzo per-op I/O time under a data-intensive
 /// (`ior-easy-write`) vs a metadata-intensive (`mdt-easy-write`)
 /// background, plus the baseline.
-pub fn fig_one_b(cfg: &FigOneConfig, instances: u32) -> Vec<EnzoSeries> {
+pub fn fig_one_b(cfg: &FigOneConfig, instances: u32) -> Result<Vec<EnzoSeries>, QiError> {
     let jobs: Vec<(String, Option<WorkloadKind>)> = vec![
         ("baseline".into(), None),
         (
@@ -356,7 +360,7 @@ pub fn fig_one_b(cfg: &FigOneConfig, instances: u32) -> Vec<EnzoSeries> {
         ),
     ];
     jobs.par_iter()
-        .map(|(label, kind)| {
+        .map(|(label, kind)| -> Result<EnzoSeries, QiError> {
             let mut s = Scenario {
                 target: WorkloadKind::Enzo,
                 target_ranks: cfg.target_ranks,
@@ -367,6 +371,7 @@ pub fn fig_one_b(cfg: &FigOneConfig, instances: u32) -> Vec<EnzoSeries> {
                 small: cfg.small,
                 warmup: cfg.warmup,
                 noise_throttle: None,
+                fault_plan: None,
             };
             if let Some(k) = kind {
                 s = s.with_interference(InterferenceSpec {
@@ -375,11 +380,11 @@ pub fn fig_one_b(cfg: &FigOneConfig, instances: u32) -> Vec<EnzoSeries> {
                     ranks: cfg.noise_ranks,
                 });
             }
-            let (app, trace) = s.run();
-            EnzoSeries {
+            let (app, trace) = s.run()?;
+            Ok(EnzoSeries {
                 label: label.clone(),
                 durations: moving_average(&rank0_series(&trace, app), cfg.smooth),
-            }
+            })
         })
         .collect()
 }
@@ -457,19 +462,20 @@ pub fn fail_slow_probe(
     dev: qi_pfs::ids::DeviceId,
     at: qi_simkit::SimTime,
     factor: f64,
-) -> FailSlowReport {
-    assert!(
-        scenario.interference.is_empty(),
-        "the fail-slow probe isolates device failure from interference"
-    );
-    let (app, healthy) = scenario.run();
-    let (_, sick) = scenario.run_with(|cl| cl.inject_fail_slow(dev, at, factor));
+) -> Result<FailSlowReport, QiError> {
+    if !scenario.interference.is_empty() {
+        return Err(QiError::Config(
+            "the fail-slow probe isolates device failure from interference".into(),
+        ));
+    }
+    let (app, healthy) = scenario.run()?;
+    let (_, sick) = scenario.run_with(|cl| cl.inject_fail_slow(dev, at, factor))?;
     let idx = crate::labeling::BaselineIndex::new(&healthy, app);
     let wcfg = predictor.window_config();
     let levels = crate::labeling::window_degradation(&idx, &sick, app, wcfg);
     let bins = crate::labeling::Bins::binary();
     let predictions: std::collections::HashMap<u64, usize> =
-        predictor.predict_run(&sick, app).into_iter().collect();
+        predictor.predict_run(&sick, app)?.into_iter().collect();
     let mut degraded = 0;
     let mut flagged = 0;
     for (w, lv) in &levels {
@@ -480,11 +486,11 @@ pub fn fail_slow_probe(
             }
         }
     }
-    FailSlowReport {
+    Ok(FailSlowReport {
         degraded_windows: degraded,
         flagged_windows: flagged,
         total_windows: levels.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -497,7 +503,7 @@ mod tests {
         // full smoke table would be slow; instead run the full smoke
         // config once (it is the central experiment, worth the seconds).
         let cfg = TableOneConfig::smoke();
-        let t = table_one(&cfg);
+        let t = table_one(&cfg).expect("table one runs");
         assert_eq!(t.tasks.len(), 7);
         assert_eq!(t.matrix.len(), 7);
         // All cells present and >= ~1 (interference can't speed you up
@@ -524,7 +530,7 @@ mod tests {
     #[test]
     fn smoke_fig_one_a_shows_interference() {
         let cfg = FigOneConfig::smoke();
-        let series = fig_one_a(&cfg, 2);
+        let series = fig_one_a(&cfg, 2).expect("fig 1a runs");
         assert_eq!(series.len(), 3);
         assert_eq!(series[0].label, "baseline");
         let base = series_mean(&series[0]);
@@ -545,7 +551,8 @@ mod tests {
             epochs: 8,
             ..Default::default()
         };
-        let (_, mut predictor, _) = crate::predict::train_and_evaluate(&spec, &tcfg, 2);
+        let (_, mut predictor, _) =
+            crate::predict::train_and_evaluate(&spec, &tcfg, 2).expect("pipeline runs");
         let scenario = Scenario {
             cluster: qi_pfs::config::ClusterConfig::small(),
             small: true,
@@ -558,7 +565,8 @@ mod tests {
             qi_pfs::ids::DeviceId(0),
             qi_simkit::SimTime::ZERO,
             8.0,
-        );
+        )
+        .expect("probe runs");
         // An 8x fail-slow OST must degrade at least one window of a
         // reader whose files live partly on it.
         assert!(report.total_windows > 0);

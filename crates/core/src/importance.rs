@@ -12,6 +12,7 @@ use qi_ml::data::Dataset;
 use qi_ml::metrics::ConfusionMatrix;
 use qi_ml::train::TrainedModel;
 use qi_monitor::features::{feature_names, FeatureConfig};
+use qi_simkit::error::QiError;
 
 /// Per-feature importance scores.
 pub struct FeatureImportance {
@@ -33,7 +34,7 @@ impl FeatureImportance {
             .cloned()
             .zip(self.drops.iter().copied())
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite drops"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
 }
@@ -60,14 +61,20 @@ pub fn permutation_importance(
     fcfg: FeatureConfig,
     seed: u64,
     repeats: usize,
-) -> FeatureImportance {
-    assert!(repeats > 0);
+) -> Result<FeatureImportance, QiError> {
+    if repeats == 0 {
+        return Err(QiError::Config(
+            "permutation importance needs at least one repeat".into(),
+        ));
+    }
     let names = feature_names(fcfg);
-    assert_eq!(
-        names.len(),
-        data.n_features(),
-        "feature config does not match the dataset"
-    );
+    if names.len() != data.n_features() {
+        return Err(QiError::Shape {
+            what: "feature config vs dataset columns",
+            expected: names.len(),
+            got: data.n_features(),
+        });
+    }
     let base_f1 = f1_of(model, data);
     let rows = data.x.rows();
     let mut drops = Vec::with_capacity(names.len());
@@ -90,11 +97,11 @@ pub fn permutation_importance(
         }
         drops.push(total_drop / repeats as f64);
     }
-    FeatureImportance {
+    Ok(FeatureImportance {
         names,
         drops,
         base_f1,
-    }
+    })
 }
 
 #[cfg(test)]

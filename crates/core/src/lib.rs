@@ -18,13 +18,16 @@
 //! ```no_run
 //! use quanterference::prelude::*;
 //!
+//! # fn main() -> Result<(), QiError> {
 //! // Generate a small labelled dataset, train, evaluate (Fig. 3 shape).
 //! let spec = DatasetSpec::smoke();
 //! let tcfg = TrainConfig::default();
-//! let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 42);
+//! let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 42)?;
 //! println!("{}", report.render());
 //! println!("F1 = {:.3} on {} test windows", report.headline_f1(), report.test_size);
 //! # let _ = (dataset, predictor.bin_labels());
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod dataset;
@@ -36,10 +39,13 @@ pub mod predict;
 pub mod report;
 pub mod scenario;
 
-/// Common imports for framework users.
+/// Common imports for framework users: one stop for scenario running,
+/// cluster construction, fault injection, dataset generation, and the
+/// training/prediction pipeline.
 pub mod prelude {
     pub use crate::dataset::{
-        generate, generate_on, window_vectors, DatasetSpec, GeneratedDataset, SampleMeta,
+        generate, generate_on, window_vectors, window_vectors_with, DatasetSpec, FaultSpec,
+        GeneratedDataset, SampleMeta,
     };
     pub use crate::experiments::{fig_one_a, fig_one_b, table_one, FigOneConfig, TableOneConfig};
     pub use crate::importance::{permutation_importance, FeatureImportance};
@@ -50,9 +56,14 @@ pub mod prelude {
     pub use crate::predict::{family_spec, train_and_evaluate, EvalReport, Predictor};
     pub use crate::report::{summarize, RunReport};
     pub use crate::scenario::{completion_slowdown, target_duration, InterferenceSpec, Scenario};
+    pub use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
     pub use qi_ml::train::TrainConfig;
-    pub use qi_monitor::features::FeatureConfig;
+    pub use qi_monitor::features::{FeatureAvailability, FeatureConfig, Imputation};
     pub use qi_monitor::window::WindowConfig;
+    pub use qi_pfs::cluster::{Cluster, ClusterBuilder};
+    pub use qi_pfs::config::ClusterConfig;
+    pub use qi_pfs::ops::RunTrace;
+    pub use qi_simkit::QiError;
     pub use qi_workloads::registry::WorkloadKind;
 }
 

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use qi_pfs::ids::AppId;
 use qi_pfs::ops::RunTrace;
+use qi_simkit::error::QiError;
 use qi_workloads::common::ThrottleSchedule;
 
 use crate::predict::Predictor;
@@ -69,23 +70,20 @@ pub fn prediction_guided_throttling(
     scenario: &Scenario,
     predictor: &mut Predictor,
     min_bin: usize,
-) -> MitigationOutcome {
-    assert!(
-        !scenario.interference.is_empty(),
-        "mitigation needs interference to mitigate"
-    );
+) -> Result<MitigationOutcome, QiError> {
+    if scenario.interference.is_empty() {
+        return Err(QiError::Config(
+            "mitigation needs interference to mitigate".into(),
+        ));
+    }
     // Ideal and unmitigated executions.
-    let (app, baseline) = scenario.run_baseline();
-    let (_, unmitigated) = scenario.run();
-    let baseline_s = target_duration(&baseline, app)
-        .expect("baseline completed")
-        .as_secs_f64();
-    let unmitigated_s = target_duration(&unmitigated, app)
-        .expect("target completed")
-        .as_secs_f64();
+    let (app, baseline) = scenario.run_baseline()?;
+    let (_, unmitigated) = scenario.run()?;
+    let baseline_s = duration_of(&baseline, app, "baseline")?;
+    let unmitigated_s = duration_of(&unmitigated, app, "unmitigated target")?;
 
     // Predict per window and build the throttle plan.
-    let predictions = predictor.predict_run(&unmitigated, app);
+    let predictions = predictor.predict_run(&unmitigated, app)?;
     let throttled_windows: HashSet<u64> = predictions
         .iter()
         .filter(|(_, bin)| *bin >= min_bin)
@@ -98,19 +96,25 @@ pub fn prediction_guided_throttling(
         predictor.window_config().window,
         throttled_windows.clone(),
     )));
-    let (_, mitigated) = mitigated_scenario.run();
-    let mitigated_s = target_duration(&mitigated, app)
-        .expect("mitigated target completed")
-        .as_secs_f64();
+    let (_, mitigated) = mitigated_scenario.run()?;
+    let mitigated_s = duration_of(&mitigated, app, "mitigated target")?;
 
-    MitigationOutcome {
+    Ok(MitigationOutcome {
         baseline_s,
         unmitigated_s,
         mitigated_s,
         throttled_windows,
         noise_ops_unmitigated: noise_ops(&unmitigated, app),
         noise_ops_mitigated: noise_ops(&mitigated, app),
-    }
+    })
+}
+
+/// Target duration in seconds, or [`QiError::Incomplete`] if `what`
+/// never finished.
+fn duration_of(trace: &RunTrace, app: AppId, what: &str) -> Result<f64, QiError> {
+    target_duration(trace, app)
+        .map(|d| d.as_secs_f64())
+        .ok_or_else(|| QiError::Incomplete(format!("{what} run hit the deadline")))
 }
 
 /// Uniform server-side TBF baseline: rate-limit every interference
@@ -118,33 +122,34 @@ pub fn prediction_guided_throttling(
 /// "uniform treatment" the paper calls inefficient (§II-A). Returns the
 /// same outcome shape as the prediction-guided loop so the two can be
 /// compared directly.
-pub fn uniform_tbf_throttling(scenario: &Scenario, bytes_per_sec: f64) -> MitigationOutcome {
-    assert!(!scenario.interference.is_empty());
-    let (app, baseline) = scenario.run_baseline();
-    let (_, unmitigated) = scenario.run();
-    let baseline_s = target_duration(&baseline, app)
-        .expect("baseline completed")
-        .as_secs_f64();
-    let unmitigated_s = target_duration(&unmitigated, app)
-        .expect("target completed")
-        .as_secs_f64();
+pub fn uniform_tbf_throttling(
+    scenario: &Scenario,
+    bytes_per_sec: f64,
+) -> Result<MitigationOutcome, QiError> {
+    if scenario.interference.is_empty() {
+        return Err(QiError::Config(
+            "mitigation needs interference to mitigate".into(),
+        ));
+    }
+    let (app, baseline) = scenario.run_baseline()?;
+    let (_, unmitigated) = scenario.run()?;
+    let baseline_s = duration_of(&baseline, app, "baseline")?;
+    let unmitigated_s = duration_of(&unmitigated, app, "unmitigated target")?;
     let n_noise_apps: u32 = scenario.interference.iter().map(|i| i.instances).sum();
     let (_, mitigated) = scenario.run_with(|cl| {
         for a in 1..=n_noise_apps {
             cl.set_app_rate_limit(qi_pfs::ids::AppId(a), bytes_per_sec);
         }
-    });
-    let mitigated_s = target_duration(&mitigated, app)
-        .expect("mitigated target completed")
-        .as_secs_f64();
-    MitigationOutcome {
+    })?;
+    let mitigated_s = duration_of(&mitigated, app, "mitigated target")?;
+    Ok(MitigationOutcome {
         baseline_s,
         unmitigated_s,
         mitigated_s,
         throttled_windows: HashSet::new(),
         noise_ops_unmitigated: noise_ops(&unmitigated, app),
         noise_ops_mitigated: noise_ops(&mitigated, app),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +170,7 @@ mod tests {
             epochs: 15,
             ..TrainConfig::default()
         };
-        let (_, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 3);
+        let (_, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 3).expect("pipeline runs");
 
         // A read-vs-read scenario where mitigation has room to help.
         let scenario = Scenario {
@@ -179,7 +184,8 @@ mod tests {
             instances: 2,
             ranks: 2,
         });
-        let outcome = prediction_guided_throttling(&scenario, &mut predictor, 1);
+        let outcome =
+            prediction_guided_throttling(&scenario, &mut predictor, 1).expect("mitigation runs");
         assert!(outcome.unmitigated_s > outcome.baseline_s);
         // Whatever the model flags, the mitigated run must not be slower
         // than the unmitigated one (throttling can only help the target).
@@ -209,7 +215,7 @@ mod tests {
             instances: 2,
             ranks: 2,
         });
-        let outcome = uniform_tbf_throttling(&scenario, 5.0e6);
+        let outcome = uniform_tbf_throttling(&scenario, 5.0e6).expect("mitigation runs");
         assert!(outcome.unmitigated_s > outcome.baseline_s);
         assert!(
             outcome.mitigated_s < outcome.unmitigated_s,
@@ -237,8 +243,8 @@ mod tests {
             instances: 2,
             ranks: 2,
         });
-        let (app, baseline) = scenario.run_baseline();
-        let (_, unmitigated) = scenario.run();
+        let (app, baseline) = scenario.run_baseline().expect("baseline runs");
+        let (_, unmitigated) = scenario.run().expect("interfered run");
         let base = target_duration(&baseline, app).expect("done").as_secs_f64();
         let hurt = target_duration(&unmitigated, app)
             .expect("done")
@@ -250,7 +256,7 @@ mod tests {
             qi_simkit::SimDuration::from_secs(1),
             (0..10_000u64).collect(),
         )));
-        let (_, mitigated) = all.run();
+        let (_, mitigated) = all.run().expect("throttled run");
         let fixed = target_duration(&mitigated, app)
             .expect("done")
             .as_secs_f64();

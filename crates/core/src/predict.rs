@@ -11,6 +11,7 @@ use qi_monitor::features::FeatureConfig;
 use qi_monitor::window::WindowConfig;
 use qi_pfs::ids::AppId;
 use qi_pfs::ops::RunTrace;
+use qi_simkit::error::QiError;
 use qi_telemetry::{MetricValue, MetricsSnapshot};
 use qi_workloads::registry::WorkloadKind;
 
@@ -56,23 +57,35 @@ impl Predictor {
     }
 
     /// Predict the severity bin for one assembled feature block
-    /// (`n_devices × n_features`, flattened row-major).
-    pub fn predict_block(&mut self, block: &[f32]) -> usize {
+    /// (`n_devices × n_features`, flattened row-major). Fails with
+    /// [`QiError::Shape`] when the block has the wrong element count.
+    pub fn predict_block(&mut self, block: &[f32]) -> Result<usize, QiError> {
         let f = self.features.len();
-        assert_eq!(block.len(), self.n_devices as usize * f, "block shape");
+        let expected = self.n_devices as usize * f;
+        if block.len() != expected {
+            return Err(QiError::Shape {
+                what: "feature block floats",
+                expected,
+                got: block.len(),
+            });
+        }
         let m = Matrix::from_vec(self.n_devices as usize, f, block.to_vec());
-        self.model.predict_one(&m)
+        Ok(self.model.predict_one(&m))
     }
 
     /// Predict every window of a finished run's target application.
     /// Returns `window index → predicted bin`, sorted by window.
-    pub fn predict_run(&mut self, trace: &RunTrace, target: AppId) -> Vec<(u64, usize)> {
+    pub fn predict_run(
+        &mut self,
+        trace: &RunTrace,
+        target: AppId,
+    ) -> Result<Vec<(u64, usize)>, QiError> {
         let vectors = window_vectors(trace, target, self.window, self.features, self.n_devices);
         let mut windows: Vec<u64> = vectors.keys().copied().collect();
         windows.sort_unstable();
         windows
             .into_iter()
-            .map(|w| (w, self.predict_block(&vectors[&w])))
+            .map(|w| Ok((w, self.predict_block(&vectors[&w])?)))
             .collect()
     }
 
@@ -83,11 +96,12 @@ impl Predictor {
         trace: &RunTrace,
         target: AppId,
         truth: &HashMap<u64, f64>,
-    ) -> Vec<(u64, usize, usize)> {
-        self.predict_run(trace, target)
+    ) -> Result<Vec<(u64, usize, usize)>, QiError> {
+        Ok(self
+            .predict_run(trace, target)?
             .into_iter()
             .filter_map(|(w, pred)| truth.get(&w).map(|&lv| (w, pred, self.bins.classify(lv))))
-            .collect()
+            .collect())
     }
 }
 
@@ -135,8 +149,8 @@ pub fn train_and_evaluate(
     spec: &DatasetSpec,
     tcfg: &qi_ml::train::TrainConfig,
     split_seed: u64,
-) -> (GeneratedDataset, Predictor, EvalReport) {
-    let gen = generate(spec);
+) -> Result<(GeneratedDataset, Predictor, EvalReport), QiError> {
+    let gen = generate(spec)?;
     let (train_set, test_set) = gen.data.split(0.2, split_seed);
     let mut tcfg = tcfg.clone();
     tcfg.n_classes = spec.bins.n_classes();
@@ -182,7 +196,7 @@ pub fn train_and_evaluate(
         spec.cluster.n_devices(),
         spec.bins.clone(),
     );
-    (gen, predictor, report)
+    Ok((gen, predictor, report))
 }
 
 /// Convenience: the dataset spec used for one paper figure's family.
@@ -230,7 +244,8 @@ mod tests {
             epochs: 8,
             ..Default::default()
         };
-        let (gen, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 9);
+        let (gen, mut predictor, report) =
+            train_and_evaluate(&spec, &tcfg, 9).expect("pipeline runs");
         assert_eq!(report.train_size + report.test_size, gen.data.len());
         assert!(report.cm.total() as usize == report.test_size);
         assert!(report.headline_f1() >= 0.0);
@@ -251,24 +266,34 @@ mod tests {
             small: true,
             warmup: qi_simkit::time::SimDuration::from_secs(3),
             noise_throttle: None,
+            fault_plan: None,
         };
-        let (app, base) = scenario.run_baseline();
-        let (_, noisy) = scenario.run();
+        let (app, base) = scenario.run_baseline().expect("baseline runs");
+        let (_, noisy) = scenario.run().expect("interfered run");
         let idx = BaselineIndex::new(&base, app);
         let truth = crate::labeling::window_degradation(&idx, &noisy, app, spec.window);
-        let scored = predictor.score_run(&noisy, app, &truth);
+        let scored = predictor.score_run(&noisy, app, &truth).expect("scores");
         assert!(!scored.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "block shape")]
-    fn wrong_block_shape_panics() {
+    fn wrong_block_shape_is_an_error() {
         let spec = DatasetSpec::smoke();
         let tcfg = qi_ml::train::TrainConfig {
             epochs: 2,
             ..Default::default()
         };
-        let (_, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 1);
-        predictor.predict_block(&[0.0; 3]);
+        let (_, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 1).expect("pipeline runs");
+        let err = predictor.predict_block(&[0.0; 3]).expect_err("bad shape");
+        match err {
+            qi_simkit::QiError::Shape { expected, got, .. } => {
+                assert_eq!(got, 3);
+                assert_eq!(
+                    expected,
+                    spec.cluster.n_devices() as usize * spec.features.len()
+                );
+            }
+            other => panic!("expected Shape error, got {other}"),
+        }
     }
 }

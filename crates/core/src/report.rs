@@ -183,7 +183,7 @@ mod tests {
             target_ranks: 2,
             ..Scenario::baseline(WorkloadKind::IorEasyWrite, 4)
         };
-        s.run()
+        s.run().expect("small scenario runs")
     }
 
     #[test]

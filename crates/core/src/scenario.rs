@@ -4,10 +4,12 @@
 //! (§III-D: "interference workloads always run on separate nodes from
 //! the original application").
 
+use qi_faults::FaultPlan;
 use qi_pfs::cluster::Cluster;
 use qi_pfs::config::ClusterConfig;
 use qi_pfs::ids::{AppId, NodeId};
 use qi_pfs::ops::RunTrace;
+use qi_simkit::error::QiError;
 use qi_simkit::time::{SimDuration, SimTime};
 use qi_workloads::common::{deploy_delayed, deploy_full, ThrottleSchedule};
 use qi_workloads::registry::WorkloadKind;
@@ -48,6 +50,11 @@ pub struct Scenario {
     /// Optional mitigation plan rate-limiting the interference (see
     /// `quanterference::mitigation`). `None` = unmitigated.
     pub noise_throttle: Option<std::sync::Arc<ThrottleSchedule>>,
+    /// Optional fault plan injected into the cluster (degraded servers,
+    /// lossy links, …). `None` = healthy hardware. The baseline variant
+    /// strips it, so degradation labels measure the faulted run against
+    /// healthy hardware.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -63,6 +70,7 @@ impl Scenario {
             small: false,
             warmup: SimDuration::from_secs(6),
             noise_throttle: None,
+            fault_plan: None,
         }
     }
 
@@ -72,10 +80,18 @@ impl Scenario {
         self
     }
 
-    /// The baseline variant of this scenario (interference stripped).
+    /// Same scenario with a fault plan injected.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The baseline variant of this scenario (interference and faults
+    /// stripped: the reference execution is alone on healthy hardware).
     pub fn as_baseline(&self) -> Scenario {
         Scenario {
             interference: Vec::new(),
+            fault_plan: None,
             ..self.clone()
         }
     }
@@ -105,15 +121,23 @@ impl Scenario {
     /// Execute the scenario. Returns the target's [`AppId`] and the trace.
     ///
     /// The run stops when the target completes (or at the deadline).
-    pub fn run(&self) -> (AppId, RunTrace) {
+    /// Fails if the cluster configuration or fault plan is invalid.
+    pub fn run(&self) -> Result<(AppId, RunTrace), QiError> {
         self.run_with(|_| {})
     }
 
     /// Like [`Scenario::run`], but lets the caller adjust the freshly
     /// built cluster (e.g. inject a fail-slow device) after the
     /// applications are deployed and before the event loop starts.
-    pub fn run_with(&self, prepare: impl FnOnce(&mut Cluster)) -> (AppId, RunTrace) {
-        let mut cl = Cluster::new(self.cluster.clone(), self.seed);
+    pub fn run_with(
+        &self,
+        prepare: impl FnOnce(&mut Cluster),
+    ) -> Result<(AppId, RunTrace), QiError> {
+        let mut builder = Cluster::builder().config(self.cluster.clone()).seed(self.seed);
+        if let Some(plan) = &self.fault_plan {
+            builder = builder.fault_plan(plan.clone());
+        }
+        let mut cl = builder.build()?;
         let target_nodes = self.target_nodes();
         let noise_nodes = self.noise_nodes();
         let target_w = self.build_workload(self.target);
@@ -157,11 +181,11 @@ impl Scenario {
         prepare(&mut cl);
         let deadline = SimTime::ZERO + warmup + self.deadline;
         let trace = cl.run_until_app(target, deadline);
-        (target, trace)
+        Ok((target, trace))
     }
 
     /// Execute the baseline variant.
-    pub fn run_baseline(&self) -> (AppId, RunTrace) {
+    pub fn run_baseline(&self) -> Result<(AppId, RunTrace), QiError> {
         self.as_baseline().run()
     }
 }
@@ -219,8 +243,8 @@ mod tests {
     #[test]
     fn baseline_completes_and_matches_rerun() {
         let s = small(WorkloadKind::IorEasyRead, 3);
-        let (app, a) = s.run_baseline();
-        let (_, b) = s.run_baseline();
+        let (app, a) = s.run_baseline().expect("baseline runs");
+        let (_, b) = s.run_baseline().expect("baseline runs");
         assert!(a.completion_of(app).is_some());
         assert_eq!(a.completion_of(app), b.completion_of(app));
         assert_eq!(a.ops.len(), b.ops.len());
@@ -233,8 +257,8 @@ mod tests {
             instances: 3,
             ranks: 2,
         });
-        let (app, base) = s.run_baseline();
-        let (_, noisy) = s.run();
+        let (app, base) = s.run_baseline().expect("baseline runs");
+        let (_, noisy) = s.run().expect("interfered run");
         let slow = completion_slowdown(&base, &noisy, app).expect("both completed");
         assert!(slow > 1.3, "read-vs-read slowdown only {slow:.2}x");
     }
@@ -246,8 +270,8 @@ mod tests {
             instances: 2,
             ranks: 2,
         });
-        let (app, base) = s.run_baseline();
-        let (_, noisy) = s.run();
+        let (app, base) = s.run_baseline().expect("baseline runs");
+        let (_, noisy) = s.run().expect("interfered run");
         let base_tokens: Vec<_> = base
             .ops_of(app)
             .map(|o| (o.token, o.kind, o.bytes))

@@ -101,6 +101,40 @@ pub fn feature_names(cfg: FeatureConfig) -> Vec<String> {
     names
 }
 
+/// Which feature blocks were actually backed by monitor data in one
+/// per-server vector. Under an injected fault (or a monitoring gap) a
+/// window can lose its client block, its server block, or both; this
+/// mask makes that explicit instead of silently encoding "no data" and
+/// "measured zero" the same way.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeatureAvailability {
+    /// The client window existed (blocks 1 and 2 are measurements).
+    pub client: bool,
+    /// The server window existed (block 3 is a measurement).
+    pub server: bool,
+}
+
+impl FeatureAvailability {
+    /// True when every enabled block was backed by data.
+    pub fn is_complete(&self, cfg: FeatureConfig) -> bool {
+        (!cfg.client || self.client) && (!cfg.server || self.server)
+    }
+}
+
+/// How to fill feature cells whose monitor data is missing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Imputation {
+    /// Missing blocks become zeros (the historical behaviour).
+    #[default]
+    Zero,
+    /// Missing *server* blocks are imputed from the per-device mean of
+    /// the windows that do have server data (client blocks still zero:
+    /// a missing client window genuinely means "no client activity
+    /// observed"). Applied by the dataset assembly layer, which owns the
+    /// cross-window view needed to compute the means.
+    DeviceMean,
+}
+
 /// Build the feature vector for one server, given the application's
 /// client window (if it had any activity) and the server's window (if
 /// any samples landed there). Missing cells contribute zeros.
@@ -111,6 +145,24 @@ pub fn server_vector(
     dev: DeviceId,
     window: SimDuration,
 ) -> Vec<f32> {
+    server_vector_masked(cfg, client, server, dev, window).0
+}
+
+/// Like [`server_vector`], but also report which blocks were backed by
+/// real monitor data — callers that need to degrade gracefully (fault
+/// plans, monitoring gaps) use the mask to distinguish measured zeros
+/// from absent data and to drive [`Imputation`].
+pub fn server_vector_masked(
+    cfg: FeatureConfig,
+    client: Option<&ClientWindow>,
+    server: Option<&ServerWindow>,
+    dev: DeviceId,
+    window: SimDuration,
+) -> (Vec<f32>, FeatureAvailability) {
+    let avail = FeatureAvailability {
+        client: client.is_some(),
+        server: server.is_some(),
+    };
     let mut v = Vec::with_capacity(cfg.len());
     if cfg.client {
         match client {
@@ -148,7 +200,7 @@ pub fn server_vector(
         }
     }
     debug_assert_eq!(v.len(), cfg.len());
-    v
+    (v, avail)
 }
 
 #[cfg(test)]
@@ -225,6 +277,32 @@ mod tests {
         assert_eq!(v[base], 11.0);
         assert_eq!(v[base + 1], 5.5);
         assert_eq!(v[base + 2], 1.5);
+    }
+
+    #[test]
+    fn availability_mask_tracks_missing_blocks() {
+        let cfg = FeatureConfig::default();
+        let w = SimDuration::from_secs(1);
+        let (_, a) = server_vector_masked(cfg, None, None, DeviceId(0), w);
+        assert_eq!(
+            a,
+            FeatureAvailability {
+                client: false,
+                server: false
+            }
+        );
+        assert!(!a.is_complete(cfg));
+        let cw = ClientWindow::default();
+        let (_, a) = server_vector_masked(cfg, Some(&cw), None, DeviceId(0), w);
+        assert!(a.client && !a.server);
+        // A disabled block cannot make a vector incomplete.
+        assert!(a.is_complete(FeatureConfig {
+            client: true,
+            server: false
+        }));
+        let sw = ServerWindow::default();
+        let (_, a) = server_vector_masked(cfg, Some(&cw), Some(&sw), DeviceId(0), w);
+        assert!(a.is_complete(cfg));
     }
 
     #[test]

@@ -16,11 +16,35 @@ use qi_pfs::ops::{OpRecord, RpcRecord, ServerSample};
 use crate::client::{ClientWindow, DevTargeting};
 use crate::server::{ServerWindow, N_SERVER_SERIES};
 use crate::window::WindowConfig;
+use qi_simkit::error::QiError;
 use qi_simkit::stats::OnlineStats;
 use qi_simkit::time::SimTime;
 use qi_telemetry::{MetricValue, MetricsSnapshot};
 
+/// An event arrived behind the monitor's watermark. Surfaced as the
+/// `source()` of the [`QiError::Monitor`] the push methods return.
+#[derive(Debug)]
+pub struct OutOfOrder {
+    /// The offending event time.
+    pub t: SimTime,
+    /// The watermark it fell behind.
+    pub watermark: SimTime,
+}
+
+impl std::fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event at {:?} arrived out of order behind watermark {:?}",
+            self.t, self.watermark
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
+
 /// A fully assembled window emitted by the streaming monitor.
+#[derive(Debug)]
 pub struct EmittedWindow {
     /// Window index.
     pub window: u64,
@@ -97,13 +121,18 @@ impl StreamingMonitor {
         snap
     }
 
-    fn check_order(&mut self, t: SimTime) {
-        assert!(
-            t >= self.watermark,
-            "streaming monitor fed out of order: {t:?} < {:?}",
-            self.watermark
-        );
+    fn check_order(&mut self, t: SimTime) -> Result<(), QiError> {
+        if t < self.watermark {
+            return Err(QiError::monitor(
+                "ingesting a window event",
+                OutOfOrder {
+                    t,
+                    watermark: self.watermark,
+                },
+            ));
+        }
         self.watermark = t;
+        Ok(())
     }
 
     /// Advance to `t`'s window, emitting every completed window before it.
@@ -148,9 +177,9 @@ impl StreamingMonitor {
     }
 
     /// Feed one completed client operation. Returns any windows that
-    /// became final.
-    pub fn push_op(&mut self, op: &OpRecord) -> Vec<EmittedWindow> {
-        self.check_order(op.completed);
+    /// became final; fails if the event is behind the watermark.
+    pub fn push_op(&mut self, op: &OpRecord) -> Result<Vec<EmittedWindow>, QiError> {
+        self.check_order(op.completed)?;
         self.ops_ingested += 1;
         let mut out = Vec::new();
         self.roll_to(op.completed, &mut out);
@@ -175,12 +204,12 @@ impl StreamingMonitor {
         }
         cell.io_time += op.duration();
         cell.ops.push((op.token, op.kind, op.duration()));
-        out
+        Ok(out)
     }
 
     /// Feed one issued RPC (attributes per-server targeting).
-    pub fn push_rpc(&mut self, rpc: &RpcRecord) -> Vec<EmittedWindow> {
-        self.check_order(rpc.issued);
+    pub fn push_rpc(&mut self, rpc: &RpcRecord) -> Result<Vec<EmittedWindow>, QiError> {
+        self.check_order(rpc.issued)?;
         self.rpcs_ingested += 1;
         let mut out = Vec::new();
         self.roll_to(rpc.issued, &mut out);
@@ -201,12 +230,12 @@ impl StreamingMonitor {
             }
             _ => d.meta_reqs += 1,
         }
-        out
+        Ok(out)
     }
 
     /// Feed one per-second server sample.
-    pub fn push_sample(&mut self, sample: &ServerSample) -> Vec<EmittedWindow> {
-        self.check_order(sample.time);
+    pub fn push_sample(&mut self, sample: &ServerSample) -> Result<Vec<EmittedWindow>, QiError> {
+        self.check_order(sample.time)?;
         self.samples_ingested += 1;
         let mut out = Vec::new();
         // The interval (prev, cur] belongs to the window holding its end.
@@ -221,7 +250,7 @@ impl StreamingMonitor {
             }
         }
         self.last_sample.insert(sample.dev, *sample);
-        out
+        Ok(out)
     }
 
     /// Signal end-of-stream: flush the final (partial) window.
@@ -257,10 +286,10 @@ mod tests {
     #[test]
     fn windows_emit_when_complete() {
         let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
-        assert!(m.push_op(&op(0, 0, 100)).is_empty());
-        assert!(m.push_op(&op(0, 1, 900)).is_empty());
+        assert!(m.push_op(&op(0, 0, 100)).expect("in order").is_empty());
+        assert!(m.push_op(&op(0, 1, 900)).expect("in order").is_empty());
         // Crossing into window 2 finalises windows 0 and 1.
-        let emitted = m.push_op(&op(0, 2, 2100));
+        let emitted = m.push_op(&op(0, 2, 2100)).expect("in order");
         assert_eq!(emitted.len(), 2);
         assert_eq!(emitted[0].window, 0);
         assert_eq!(emitted[0].clients[&AppId(0)].reads, 2);
@@ -275,9 +304,9 @@ mod tests {
     #[test]
     fn telemetry_counts_ingest_emits_and_drops() {
         let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
-        m.push_op(&op(0, 0, 100));
+        m.push_op(&op(0, 0, 100)).expect("in order");
         // Jumping to second 5 flushes windows 0..=4; 1..=4 are empty.
-        let emitted = m.push_op(&op(0, 1, 5_100));
+        let emitted = m.push_op(&op(0, 1, 5_100)).expect("in order");
         assert_eq!(emitted.len(), 5);
         let snap = m.metrics_snapshot();
         assert_eq!(snap.counter("monitor.ops_ingested"), Some(2));
@@ -290,11 +319,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of order")]
-    fn out_of_order_input_panics() {
+    fn out_of_order_input_is_an_error() {
         let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
-        m.push_op(&op(0, 0, 500));
-        m.push_op(&op(0, 1, 400));
+        m.push_op(&op(0, 0, 500)).expect("in order");
+        let err = m.push_op(&op(0, 1, 400)).expect_err("behind watermark");
+        assert!(err.to_string().contains("out of order"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
@@ -311,7 +341,7 @@ mod tests {
         let mut m = StreamingMonitor::new(cfg, 4);
         let mut emitted = Vec::new();
         for o in &trace.ops {
-            emitted.extend(m.push_op(o));
+            emitted.extend(m.push_op(o).expect("in order"));
         }
         emitted.extend(m.finish());
 
@@ -343,10 +373,10 @@ mod tests {
         };
         let mut m = StreamingMonitor::new(WindowConfig::seconds(2), 1);
         let mut emitted = Vec::new();
-        emitted.extend(m.push_sample(&mk(1, 10)));
-        emitted.extend(m.push_sample(&mk(2, 30)));
-        emitted.extend(m.push_sample(&mk(3, 60))); // finalises window 0
-        emitted.extend(m.push_sample(&mk(5, 100))); // finalises window 1
+        emitted.extend(m.push_sample(&mk(1, 10)).expect("in order"));
+        emitted.extend(m.push_sample(&mk(2, 30)).expect("in order"));
+        emitted.extend(m.push_sample(&mk(3, 60)).expect("in order")); // finalises window 0
+        emitted.extend(m.push_sample(&mk(5, 100)).expect("in order")); // finalises window 1
         assert_eq!(emitted.len(), 2);
         assert_eq!(emitted[0].window, 0);
         let w0 = &emitted[0].servers[&DeviceId(0)];

@@ -11,6 +11,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
+use qi_simkit::error::QiError;
 use qi_simkit::event::EventQueue;
 use qi_simkit::ratelimit::TokenBucket;
 use qi_simkit::rng::SimRng;
@@ -23,7 +25,7 @@ use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
 use crate::disk::Disk;
 use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
 use crate::layout::{chunks, ExtentMap, FileLayout, ObjKey};
-use crate::net::Network;
+use crate::net::{LinkFate, LinkFault, LinkFaultKind, Network};
 use crate::ops::{
     IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
 };
@@ -80,7 +82,9 @@ struct ChunkPending {
     touched: Option<(ObjKey, u64)>,
 }
 
-/// Messages travelling the simulated network.
+/// Messages travelling the simulated network. Cloneable so the retry
+/// layer can stash a copy of a dropped request for resending.
+#[derive(Clone)]
 enum Msg {
     ReadReq {
         dev: DeviceId,
@@ -108,6 +112,7 @@ enum Msg {
 }
 
 /// Metadata request payloads.
+#[derive(Clone)]
 enum MetaOp {
     /// open/stat: namespace lookup, maybe an MDT inode read.
     Lookup { file: FileKey },
@@ -155,6 +160,28 @@ enum Ev {
     Sample,
     /// A scheduled fail-slow injection fires on a device.
     FailSlow { dev: u32, factor: f64 },
+    /// A `DiskStall` fault begins: the device's queue freezes until the
+    /// given instant.
+    DiskStall { dev: u32, until: SimTime },
+    /// An `OssThreadCrash` (or its restart) changes an OSS node's
+    /// effective CPU cost multiplier.
+    OssFactor { oss: u32, factor: f64 },
+    /// A client's wait for a reply to a (dropped) request expired.
+    RpcTimeout { seq: u64 },
+    /// A client's retry backoff elapsed; resend the stored request.
+    RpcResend { seq: u64 },
+}
+
+/// A dropped client request awaiting retry, keyed by a monotonically
+/// increasing sequence number.
+struct RetryState {
+    msg: Msg,
+    src: NodeId,
+    dst: NodeId,
+    payload: u64,
+    token: OpToken,
+    /// Resends performed so far.
+    attempt: u32,
 }
 
 /// Per-directory metadata lock with FIFO waiters (each remembers when it
@@ -184,6 +211,22 @@ struct ClusterTelemetry {
     lookup_cache_misses: u64,
     /// Server-side monitor sampling ticks taken.
     samples_taken: u64,
+    /// Client requests lost in transit (injected `RpcDrop` faults).
+    rpc_dropped: u64,
+    /// Client requests delivered late (injected `RpcDelay` faults).
+    rpc_delayed: u64,
+    /// Client-side reply waits that expired.
+    rpc_timeouts: u64,
+    /// Requests resent after a timeout.
+    rpc_retries: u64,
+    /// Operations abandoned because the retry budget ran out.
+    rpc_failed_ops: u64,
+    /// Operations abandoned because their per-op deadline passed.
+    rpc_deadline_exceeded: u64,
+    /// Injected `DiskStall` events that fired.
+    disk_stalls: u64,
+    /// Lock revocations forced by an `MdsLockStorm` window.
+    lock_storm_revocations: u64,
 }
 
 impl ClusterTelemetry {
@@ -194,6 +237,14 @@ impl ClusterTelemetry {
             lookup_cache_hits: 0,
             lookup_cache_misses: 0,
             samples_taken: 0,
+            rpc_dropped: 0,
+            rpc_delayed: 0,
+            rpc_timeouts: 0,
+            rpc_retries: 0,
+            rpc_failed_ops: 0,
+            rpc_deadline_exceeded: 0,
+            disk_stalls: 0,
+            lock_storm_revocations: 0,
         }
     }
 }
@@ -217,6 +268,9 @@ struct RankState {
     outstanding: u32,
     cur: Option<(OpToken, OpKind, u64, SimTime)>,
     done: bool,
+    /// Set when any chunk of the current op was abandoned by the retry
+    /// layer; the op is recorded as failed once every chunk resolves.
+    failed: bool,
 }
 
 /// One application instance.
@@ -252,6 +306,22 @@ pub struct Cluster {
     trace: RunTrace,
     rng: SimRng,
     tele: ClusterTelemetry,
+    /// The validated fault schedule; realised as events when a run starts.
+    fault_plan: FaultPlan,
+    /// Client retry/timeout/backoff policy for lost requests.
+    retry: RetryPolicy,
+    /// Dedicated RNG substream for fault decisions (drop rolls, backoff
+    /// jitter). Healthy runs never draw from it, so adding a fault plan
+    /// cannot perturb the main RNG's value stream.
+    fault_rng: SimRng,
+    /// Per-OSS CPU cost multiplier (1.0 = healthy; `OssThreadCrash`
+    /// raises it, restart resets it).
+    oss_cpu_factor: Vec<f64>,
+    /// Active `MdsLockStorm` windows: (from, until, revoke_factor).
+    lock_storms: Vec<(SimTime, SimTime, f64)>,
+    /// Dropped requests awaiting timeout/retry, by sequence number.
+    retry_states: HashMap<u64, RetryState>,
+    next_retry_seq: u64,
 }
 
 /// Deterministic 64-bit mix of a file key, used for placement and inode
@@ -268,10 +338,114 @@ fn file_hash(file: FileKey) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Fluent constructor for [`Cluster`], and the only supported way to
+/// build one: validates the configuration and the fault plan up front
+/// and returns `Result` instead of panicking mid-run.
+///
+/// ```
+/// use qi_pfs::prelude::*;
+///
+/// let cluster = Cluster::builder()
+///     .config(ClusterConfig::small())
+///     .seed(42)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cluster.config().n_osts(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+    seed: u64,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
+}
+
+impl ClusterBuilder {
+    /// Start from the default (paper-testbed) configuration, seed 0, no
+    /// faults, and the default retry policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use this cluster configuration.
+    pub fn config(mut self, cfg: ClusterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Seed for all internal randomness (MDS cache hits, fault rolls,
+    /// retry jitter).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Install a fault plan; validated against the configuration at
+    /// [`ClusterBuilder::build`] time.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the client retry/timeout/backoff policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Validate and construct the cluster.
+    pub fn build(self) -> Result<Cluster, QiError> {
+        let cfg = &self.cfg;
+        if cfg.client_nodes == 0 {
+            return Err(QiError::Config(
+                "cluster needs at least one client node".into(),
+            ));
+        }
+        if cfg.oss_nodes == 0 || cfg.osts_per_oss == 0 {
+            return Err(QiError::Config(
+                "cluster needs at least one OSS with at least one OST".into(),
+            ));
+        }
+        if cfg.net.bandwidth <= 0.0 || cfg.net.bandwidth.is_nan() {
+            return Err(QiError::Config(format!(
+                "network bandwidth must be positive, got {}",
+                cfg.net.bandwidth
+            )));
+        }
+        if cfg.sample_interval == SimDuration::ZERO {
+            return Err(QiError::Config("sample_interval must be non-zero".into()));
+        }
+        self.fault_plan.validate(
+            cfg.n_devices() as usize,
+            cfg.n_nodes() as usize,
+            cfg.oss_nodes as usize,
+        )?;
+        Ok(Cluster::construct(
+            self.cfg,
+            self.seed,
+            self.fault_plan,
+            self.retry,
+        ))
+    }
+}
+
 impl Cluster {
+    /// Start building a cluster. See [`ClusterBuilder`].
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
     /// Build an idle cluster from `cfg`, seeding all internal randomness
     /// (MDS cache hits) from `seed`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Cluster::builder().config(cfg).seed(seed).build() instead"
+    )]
     pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        Cluster::construct(cfg, seed, FaultPlan::new(), RetryPolicy::default())
+    }
+
+    fn construct(cfg: ClusterConfig, seed: u64, fault_plan: FaultPlan, retry: RetryPolicy) -> Self {
         let n_osts = cfg.n_osts() as usize;
         let mut devices = Vec::with_capacity(n_osts + 1);
         let mut extents = Vec::with_capacity(n_osts);
@@ -309,6 +483,7 @@ impl Cluster {
             inode_sectors: (cfg.mdt_disk.capacity_sectors - journal_base - journal_sectors) / 2,
         };
         let rng = SimRng::new(seed).substream(0xC10D);
+        let fault_rng = SimRng::new(seed).substream(0xFA17);
         let read_cache = (0..n_osts)
             .map(|_| SmallObjectCache::new(cfg.cache.small_object_max, cfg.cache.read_cache_budget))
             .collect();
@@ -334,6 +509,13 @@ impl Cluster {
             trace: RunTrace::default(),
             rng,
             tele: ClusterTelemetry::new(),
+            fault_plan,
+            retry,
+            fault_rng,
+            oss_cpu_factor: vec![1.0; cfg.oss_nodes as usize],
+            lock_storms: Vec::new(),
+            retry_states: HashMap::new(),
+            next_retry_seq: 0,
             cfg,
         }
     }
@@ -385,6 +567,7 @@ impl Cluster {
                     outstanding: 0,
                     cur: None,
                     done: false,
+                    failed: false,
                 })
                 .collect(),
             ranks_left: nranks as u32,
@@ -500,6 +683,135 @@ impl Cluster {
         self.events.schedule(deliver, Ev::Deliver(msg));
     }
 
+    /// Send a client request, subject to the active link-fault rules.
+    ///
+    /// The drop fate of a round trip is decided here, at request-send
+    /// time: a dropped request occupies both NICs (it is lost in
+    /// transit), never reaches the server, and the client recovers via
+    /// its [`RetryPolicy`]. Server→client replies always deliver — a
+    /// deliberate simplification that keeps at-most-once server
+    /// execution without duplicate-request bookkeeping.
+    fn send_request(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+        msg: Msg,
+        token: OpToken,
+    ) {
+        if !self.net.has_faults() {
+            self.send(now, src, dst, payload, msg);
+            return;
+        }
+        match self.net.fate(now, src, dst, &mut self.fault_rng) {
+            LinkFate::Deliver(extra) => {
+                if extra > SimDuration::ZERO {
+                    self.tele.rpc_delayed += 1;
+                }
+                let deliver = self.net.send(now, src, dst, payload);
+                self.events.schedule(deliver + extra, Ev::Deliver(msg));
+            }
+            LinkFate::Dropped => {
+                self.tele.rpc_dropped += 1;
+                // The transfer still occupies both NICs.
+                let _ = self.net.send(now, src, dst, payload);
+                let seq = self.next_retry_seq;
+                self.next_retry_seq += 1;
+                self.retry_states.insert(
+                    seq,
+                    RetryState {
+                        msg,
+                        src,
+                        dst,
+                        payload,
+                        token,
+                        attempt: 0,
+                    },
+                );
+                self.events
+                    .schedule(now + self.retry.rpc_timeout, Ev::RpcTimeout { seq });
+            }
+        }
+    }
+
+    /// Realise the fault plan: schedule its one-shot events and install
+    /// its window rules. Called once when a run starts.
+    fn schedule_fault_plan(&mut self) {
+        let plan = std::mem::take(&mut self.fault_plan);
+        for ev in plan.events() {
+            match *ev {
+                FaultEvent::SlowDisk {
+                    dev,
+                    factor,
+                    from,
+                    until,
+                } => {
+                    self.events.schedule(from, Ev::FailSlow { dev, factor });
+                    self.events
+                        .schedule(until, Ev::FailSlow { dev, factor: 1.0 });
+                }
+                FaultEvent::DiskStall { dev, at, duration } => {
+                    self.events.schedule(
+                        at,
+                        Ev::DiskStall {
+                            dev,
+                            until: at + duration,
+                        },
+                    );
+                }
+                FaultEvent::RpcDrop {
+                    src,
+                    dst,
+                    prob,
+                    from,
+                    until,
+                } => self.net.add_fault(LinkFault {
+                    src: src.map(NodeId),
+                    dst: dst.map(NodeId),
+                    from,
+                    until,
+                    kind: LinkFaultKind::Drop { prob },
+                }),
+                FaultEvent::RpcDelay {
+                    src,
+                    dst,
+                    delay,
+                    from,
+                    until,
+                } => self.net.add_fault(LinkFault {
+                    src: src.map(NodeId),
+                    dst: dst.map(NodeId),
+                    from,
+                    until,
+                    kind: LinkFaultKind::Delay { delay },
+                }),
+                FaultEvent::OssThreadCrash {
+                    oss,
+                    at,
+                    restart,
+                    remaining,
+                } => {
+                    self.events.schedule(
+                        at,
+                        Ev::OssFactor {
+                            oss,
+                            factor: 1.0 / remaining,
+                        },
+                    );
+                    if let Some(r) = restart {
+                        self.events.schedule(r, Ev::OssFactor { oss, factor: 1.0 });
+                    }
+                }
+                FaultEvent::MdsLockStorm {
+                    from,
+                    until,
+                    revoke_factor,
+                } => self.lock_storms.push((from, until, revoke_factor)),
+            }
+        }
+    }
+
     /// Run until `deadline` (or until no events remain). Consumes the
     /// cluster and returns its trace.
     pub fn run(self, deadline: SimTime) -> RunTrace {
@@ -514,6 +826,7 @@ impl Cluster {
     }
 
     fn run_inner(mut self, deadline: SimTime, stop_app: Option<AppId>) -> RunTrace {
+        self.schedule_fault_plan();
         // Kick every rank and the sampler.
         for a in 0..self.apps.len() {
             for r in 0..self.apps[a].ranks.len() {
@@ -591,10 +904,7 @@ impl Cluster {
                 &format!("{label}.bytes"),
                 MetricValue::Counter(self.net.nic_bytes(node)),
             );
-            snap.put(
-                &format!("{label}.busy_us"),
-                MetricValue::Gauge(busy * 1e6),
-            );
+            snap.put(&format!("{label}.busy_us"), MetricValue::Gauge(busy * 1e6));
             let util = if elapsed > 0.0 { busy / elapsed } else { 0.0 };
             snap.put(&format!("{label}.util"), MetricValue::Gauge(util));
         };
@@ -623,6 +933,27 @@ impl Cluster {
         snap.put(
             "pfs.sampler.samples",
             MetricValue::Counter(self.tele.samples_taken),
+        );
+        // Fault/retry counters are emitted unconditionally (zero on
+        // healthy runs) so snapshots keep a stable key set whether or
+        // not a plan was installed.
+        for (field, v) in [
+            ("deadline_exceeded", self.tele.rpc_deadline_exceeded),
+            ("delayed", self.tele.rpc_delayed),
+            ("dropped", self.tele.rpc_dropped),
+            ("failed_ops", self.tele.rpc_failed_ops),
+            ("retries", self.tele.rpc_retries),
+            ("timeouts", self.tele.rpc_timeouts),
+        ] {
+            snap.put(&format!("pfs.rpc.{field}"), MetricValue::Counter(v));
+        }
+        snap.put(
+            "pfs.faults.disk_stalls",
+            MetricValue::Counter(self.tele.disk_stalls),
+        );
+        snap.put(
+            "pfs.faults.lock_storm_revocations",
+            MetricValue::Counter(self.tele.lock_storm_revocations),
         );
         snap
     }
@@ -656,7 +987,104 @@ impl Cluster {
             Ev::FailSlow { dev, factor } => {
                 self.devices[dev as usize].disk_mut().set_fail_slow(factor);
             }
+            Ev::DiskStall { dev, until } => {
+                self.tele.disk_stalls += 1;
+                let d = self.devices[dev as usize].stall(now, until);
+                self.handle_dispatch(now, dev, d);
+            }
+            Ev::OssFactor { oss, factor } => {
+                self.oss_cpu_factor[oss as usize] = factor;
+            }
+            Ev::RpcTimeout { seq } => self.rpc_timeout(now, seq),
+            Ev::RpcResend { seq } => self.rpc_resend(now, seq),
         }
+    }
+
+    // ------------------------------------------------------ RPC retries
+
+    /// True while `token` is still the rank's current operation.
+    fn op_is_current(&self, token: OpToken) -> bool {
+        let st = &self.apps[token.app.0 as usize].ranks[token.rank as usize];
+        matches!(st.cur, Some((t, _, _, _)) if t == token)
+    }
+
+    /// A reply wait expired: retry with backoff, or give up when the
+    /// retry budget or the per-op deadline is exhausted.
+    fn rpc_timeout(&mut self, now: SimTime, seq: u64) {
+        let Some(state) = self.retry_states.get(&seq) else {
+            return;
+        };
+        let token = state.token;
+        if !self.op_is_current(token) {
+            self.retry_states.remove(&seq);
+            return;
+        }
+        self.tele.rpc_timeouts += 1;
+        let issued = self.apps[token.app.0 as usize].ranks[token.rank as usize]
+            .cur
+            .expect("current op")
+            .3;
+        let deadline_hit = self.retry.op_deadline.is_some_and(|dl| now >= issued + dl);
+        let exhausted = state.attempt >= self.retry.max_retries;
+        if deadline_hit || exhausted {
+            if deadline_hit {
+                self.tele.rpc_deadline_exceeded += 1;
+            }
+            self.retry_states.remove(&seq);
+            self.fail_op_part(now, token);
+            return;
+        }
+        let attempt = {
+            let state = self
+                .retry_states
+                .get_mut(&seq)
+                .expect("retry state present");
+            state.attempt += 1;
+            state.attempt
+        };
+        self.tele.rpc_retries += 1;
+        let backoff = self.retry.backoff(attempt, &mut self.fault_rng);
+        self.events.schedule(now + backoff, Ev::RpcResend { seq });
+    }
+
+    /// Backoff elapsed: resend the stored request, consulting the link
+    /// fate afresh (the resend may be dropped again).
+    fn rpc_resend(&mut self, now: SimTime, seq: u64) {
+        let Some(state) = self.retry_states.get(&seq) else {
+            return;
+        };
+        if !self.op_is_current(state.token) {
+            self.retry_states.remove(&seq);
+            return;
+        }
+        let (src, dst, payload) = (state.src, state.dst, state.payload);
+        match self.net.fate(now, src, dst, &mut self.fault_rng) {
+            LinkFate::Dropped => {
+                self.tele.rpc_dropped += 1;
+                let _ = self.net.send(now, src, dst, payload);
+                self.events
+                    .schedule(now + self.retry.rpc_timeout, Ev::RpcTimeout { seq });
+            }
+            LinkFate::Deliver(extra) => {
+                if extra > SimDuration::ZERO {
+                    self.tele.rpc_delayed += 1;
+                }
+                let state = self.retry_states.remove(&seq).expect("retry state present");
+                let deliver = self.net.send(now, src, dst, payload);
+                self.events
+                    .schedule(deliver + extra, Ev::Deliver(state.msg));
+            }
+        }
+    }
+
+    /// Abandon one chunk of an operation. The op is recorded as failed
+    /// (and the rank moves on) once every outstanding chunk resolves.
+    fn fail_op_part(&mut self, now: SimTime, token: OpToken) {
+        if !self.op_is_current(token) {
+            return;
+        }
+        self.apps[token.app.0 as usize].ranks[token.rank as usize].failed = true;
+        self.op_part_done(now, token);
     }
 
     // ---------------------------------------------------------- clients
@@ -749,7 +1177,7 @@ impl Cluster {
                             },
                         )
                     };
-                    self.send(issued, client, dst, payload, msg);
+                    self.send_request(issued, client, dst, payload, msg, token);
                 }
             }
             meta => {
@@ -777,7 +1205,7 @@ impl Cluster {
                     issued,
                 });
                 let dst = self.dev_node[mdt.index()];
-                self.send(
+                self.send_request(
                     issued,
                     client,
                     dst,
@@ -787,6 +1215,7 @@ impl Cluster {
                         token,
                         client,
                     },
+                    token,
                 );
             }
         }
@@ -803,13 +1232,21 @@ impl Cluster {
         st.outstanding -= 1;
         if st.outstanding == 0 {
             st.cur = None;
-            self.trace.ops.push(OpRecord {
-                token,
-                kind,
-                bytes,
-                issued,
-                completed: now,
-            });
+            if st.failed {
+                // At least one chunk was abandoned by the retry layer:
+                // the op failed, but the rank still makes progress.
+                st.failed = false;
+                self.tele.rpc_failed_ops += 1;
+                self.trace.failed_ops.push(token);
+            } else {
+                self.trace.ops.push(OpRecord {
+                    token,
+                    kind,
+                    bytes,
+                    issued,
+                    completed: now,
+                });
+            }
             self.events.schedule(
                 now,
                 Ev::RankNext {
@@ -895,7 +1332,16 @@ impl Cluster {
         };
         let oss = (dev.0 / self.cfg.osts_per_oss) as usize;
         let start = now.max(self.oss_cpu_free[oss]);
-        let done = start + self.cfg.oss.cpu_per_rpc;
+        // `OssThreadCrash`: fewer service threads → each RPC costs more
+        // CPU time. Skip the f64 roundtrip entirely when healthy so the
+        // event stream is bit-identical to pre-fault builds.
+        let factor = self.oss_cpu_factor[oss];
+        let cost = if factor != 1.0 {
+            SimDuration::from_secs_f64(self.cfg.oss.cpu_per_rpc.as_secs_f64() * factor)
+        } else {
+            self.cfg.oss.cpu_per_rpc
+        };
+        let done = start + cost;
         self.oss_cpu_free[oss] = done;
         self.events.schedule(done, Ev::OssProcess(msg));
     }
@@ -1073,12 +1519,31 @@ impl Cluster {
     /// round-trip first when the lock last belonged to a different
     /// client, then journal the change.
     fn run_under_dir_lock(&mut self, now: SimTime, token: OpToken, client: NodeId, dir: DirKey) {
+        // `MdsLockStorm`: inside a storm window every acquisition pays a
+        // (possibly lengthened) revocation, as if lock ownership were
+        // thrashing across the whole client population.
+        let storm = self
+            .lock_storms
+            .iter()
+            .find(|&&(from, until, _)| now >= from && now < until)
+            .map(|&(_, _, f)| f);
         let lock = self.mds.dirs.get_mut(&dir).expect("locked dir");
-        let switch = lock.last_client != Some(client);
+        let switch = lock.last_client != Some(client) || storm.is_some();
         lock.last_client = Some(client);
         if switch {
             self.tele.lock_revocations += 1;
-            let at = now + self.cfg.mds.lock_revoke;
+            let revoke = match storm {
+                Some(f) => {
+                    self.tele.lock_storm_revocations += 1;
+                    if f != 1.0 {
+                        SimDuration::from_secs_f64(self.cfg.mds.lock_revoke.as_secs_f64() * f)
+                    } else {
+                        self.cfg.mds.lock_revoke
+                    }
+                }
+                None => self.cfg.mds.lock_revoke,
+            };
+            let at = now + revoke;
             self.events
                 .schedule(at, Ev::MdsLockRun { token, client, dir });
         } else {
@@ -1272,6 +1737,14 @@ mod tests {
         FileKey { app: AppId(0), num }
     }
 
+    fn cluster(cfg: ClusterConfig, seed: u64) -> Cluster {
+        Cluster::builder()
+            .config(cfg)
+            .seed(seed)
+            .build()
+            .expect("valid test cluster")
+    }
+
     /// A program issuing a fixed list of ops, then finishing.
     struct Script {
         ops: Vec<IoOp>,
@@ -1294,7 +1767,7 @@ mod tests {
 
     #[test]
     fn single_write_completes_and_is_traced() {
-        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let mut cl = cluster(ClusterConfig::small(), 1);
         let app = cl.add_app(
             "w",
             vec![script(vec![IoOp::Write {
@@ -1319,7 +1792,7 @@ mod tests {
 
     #[test]
     fn read_takes_disk_time() {
-        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let mut cl = cluster(ClusterConfig::small(), 1);
         cl.precreate_file(file(1), 16 * 1024 * 1024, None);
         let app = cl.add_app(
             "r",
@@ -1340,7 +1813,7 @@ mod tests {
 
     #[test]
     fn ops_run_in_sequence_per_rank() {
-        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let mut cl = cluster(ClusterConfig::small(), 1);
         let ops: Vec<IoOp> = (0..10)
             .map(|i| IoOp::Write {
                 file: file(1),
@@ -1362,7 +1835,7 @@ mod tests {
         // Two ranks creating in the SAME dir must take longer than two
         // ranks creating in SEPARATE dirs.
         let run = |shared: bool| -> f64 {
-            let mut cl = Cluster::new(ClusterConfig::small(), 1);
+            let mut cl = cluster(ClusterConfig::small(), 1);
             let mk = |rank: u64| -> Box<dyn RankProgram> {
                 let dir = DirKey {
                     app: AppId(0),
@@ -1394,7 +1867,7 @@ mod tests {
 
     #[test]
     fn samples_cover_run_duration() {
-        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let mut cl = cluster(ClusterConfig::small(), 1);
         let _app = cl.add_app(
             "w",
             vec![script(vec![IoOp::Write {
@@ -1415,7 +1888,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_trace() {
         let build = || {
-            let mut cl = Cluster::new(ClusterConfig::small(), 7);
+            let mut cl = cluster(ClusterConfig::small(), 7);
             cl.precreate_file(file(1), 64 * 1024 * 1024, None);
             let ops: Vec<IoOp> = (0..20)
                 .map(|i| {
@@ -1449,7 +1922,7 @@ mod tests {
         // The headline mechanism: a reader slows down when another app
         // reads from the same OSTs.
         let run = |with_noise: bool| -> f64 {
-            let mut cl = Cluster::new(ClusterConfig::small(), 3);
+            let mut cl = cluster(ClusterConfig::small(), 3);
             // Everything on OST 0 so the streams genuinely share a disk.
             let ost0 = vec![cl.ost(0)];
             cl.precreate_file_on(file(1), 64 * 1024 * 1024, 1024 * 1024, ost0.clone());
@@ -1503,7 +1976,7 @@ mod tests {
         let run = |with_bulk: bool| -> f64 {
             let mut cfg = ClusterConfig::small();
             cfg.cache.dirty_limit = 16 * 1024 * 1024;
-            let mut cl = Cluster::new(cfg, 9);
+            let mut cl = cluster(cfg, 9);
             let ost0 = vec![cl.ost(0)];
             // Tiny-writer target: 60 x 3901-byte files on OST 0.
             cl.precreate_file_on(file(1), 4096, 512, ost0.clone());
@@ -1552,7 +2025,7 @@ mod tests {
         // streaming reader barely notices a concurrent bulk writer on
         // the same OST.
         let run = |with_bulk: bool| -> f64 {
-            let mut cl = Cluster::new(ClusterConfig::small(), 10);
+            let mut cl = cluster(ClusterConfig::small(), 10);
             let ost0 = vec![cl.ost(0)];
             cl.precreate_file_on(file(1), 64 * 1024 * 1024, 1024 * 1024, ost0.clone());
             let ops: Vec<IoOp> = (0..32)
@@ -1598,7 +2071,7 @@ mod tests {
     fn small_files_are_served_from_the_page_cache() {
         // A precreated small file's reads never hit the disk: re-reads
         // are orders of magnitude faster than a cold large-file read.
-        let mut cl = Cluster::new(ClusterConfig::small(), 2);
+        let mut cl = cluster(ClusterConfig::small(), 2);
         cl.precreate_file(file(1), 3901, None); // small -> resident
         cl.precreate_file(file(2), 64 * 1024 * 1024, None); // large -> cold
         let ops = vec![
@@ -1630,7 +2103,7 @@ mod tests {
         let mut cfg = ClusterConfig::small();
         cfg.cache.dirty_limit = 8 * 1024 * 1024;
         cfg.sample_interval = SimDuration::from_millis(100);
-        let mut cl = Cluster::new(cfg, 3);
+        let mut cl = cluster(cfg, 3);
         let ost0 = vec![cl.ost(0)];
         cl.precreate_file_on(file(1), 256 * 1024 * 1024, 1024 * 1024, ost0);
         let ops: Vec<IoOp> = (0..128)
@@ -1662,7 +2135,7 @@ mod tests {
         // A writer limited to 10 MB/s must take ~10x longer than one
         // allowed to run free (cache-speed writes).
         let run = |limit: Option<f64>| -> f64 {
-            let mut cl = Cluster::new(ClusterConfig::small(), 6);
+            let mut cl = cluster(ClusterConfig::small(), 6);
             let ops: Vec<IoOp> = (0..64)
                 .map(|i| IoOp::Write {
                     file: file(1),
@@ -1691,7 +2164,7 @@ mod tests {
         // Two ranks on ONE client node share its NIC; spreading them over
         // two nodes must be faster for network-bound (cached) writes.
         let run = |colocated: bool| -> f64 {
-            let mut cl = Cluster::new(ClusterConfig::small(), 4);
+            let mut cl = cluster(ClusterConfig::small(), 4);
             let mk = |rank: u64| -> Box<dyn RankProgram> {
                 let ops: Vec<IoOp> = (0..32)
                     .map(|i| IoOp::Write {

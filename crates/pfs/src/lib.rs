@@ -19,7 +19,11 @@
 //! ```
 //! use qi_pfs::prelude::*;
 //!
-//! let mut cl = Cluster::new(ClusterConfig::small(), 42);
+//! let mut cl = Cluster::builder()
+//!     .config(ClusterConfig::small())
+//!     .seed(42)
+//!     .build()
+//!     .expect("valid configuration");
 //! let f = FileKey { app: AppId(0), num: 1 };
 //! cl.precreate_file(f, 8 * 1024 * 1024, None);
 //! let mut left = 8u64;
@@ -45,12 +49,14 @@ pub mod queue;
 
 /// Convenient glob-import surface for building and running clusters.
 pub mod prelude {
-    pub use crate::cluster::Cluster;
+    pub use crate::cluster::{Cluster, ClusterBuilder};
     pub use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
     pub use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
     pub use crate::ops::{
         IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
     };
+    pub use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
+    pub use qi_simkit::QiError;
 }
 
 pub use prelude::*;

@@ -6,10 +6,62 @@
 //! the receiver NIC serializes, fan-in to a storage server saturates at
 //! the NIC rate — the network-contention component of I/O interference.
 
+use qi_simkit::rng::SimRng;
 use qi_simkit::time::{SimDuration, SimTime};
 
 use crate::config::NetConfig;
 use crate::ids::NodeId;
+
+/// What a link fault does to matching transfers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkFaultKind {
+    /// Lose each matching request with this probability.
+    Drop {
+        /// Per-request loss probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Add fixed extra one-way latency to matching transfers.
+    Delay {
+        /// Extra latency per transfer.
+        delay: SimDuration,
+    },
+}
+
+/// A fault rule on the network: applies to transfers whose endpoints
+/// match the (optional) filters, within `[from, until)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Source filter (`None` matches any sender).
+    pub src: Option<NodeId>,
+    /// Destination filter (`None` matches any receiver).
+    pub dst: Option<NodeId>,
+    /// Active-window start.
+    pub from: SimTime,
+    /// Active-window end.
+    pub until: SimTime,
+    /// Loss or latency.
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFault {
+    fn matches(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        now >= self.from
+            && now < self.until
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// The fate of a request consulted against the active fault rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Delivered normally, with this much extra latency (zero when no
+    /// delay rule matched).
+    Deliver(SimDuration),
+    /// Lost in transit: the transfer still occupies both NICs, but the
+    /// message never arrives.
+    Dropped,
+}
 
 /// The cluster network: one NIC per node.
 pub struct Network {
@@ -19,6 +71,8 @@ pub struct Network {
     nic_bytes: Vec<u64>,
     /// Cumulative time each NIC spent occupied by a transfer.
     nic_busy: Vec<SimDuration>,
+    /// Fault rules from the active `FaultPlan`, in insertion order.
+    faults: Vec<LinkFault>,
 }
 
 impl Network {
@@ -29,7 +83,42 @@ impl Network {
             nic_free: vec![SimTime::ZERO; n_nodes as usize],
             nic_bytes: vec![0; n_nodes as usize],
             nic_busy: vec![SimDuration::ZERO; n_nodes as usize],
+            faults: Vec::new(),
         }
+    }
+
+    /// Install a fault rule (from the cluster's `FaultPlan`).
+    pub fn add_fault(&mut self, fault: LinkFault) {
+        self.faults.push(fault);
+    }
+
+    /// True when any fault rules are installed. When false, the RPC
+    /// layer skips fate consultation entirely, so healthy runs never
+    /// touch the fault RNG and stay byte-identical to pre-fault builds.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Decide what happens to a request sent `src → dst` at `now`. The
+    /// RNG is consulted only for matching `Drop` rules (in insertion
+    /// order), so the draw sequence depends only on which rules match —
+    /// not on unrelated traffic.
+    pub fn fate(&self, now: SimTime, src: NodeId, dst: NodeId, rng: &mut SimRng) -> LinkFate {
+        let mut extra = SimDuration::ZERO;
+        for f in &self.faults {
+            if !f.matches(now, src, dst) {
+                continue;
+            }
+            match f.kind {
+                LinkFaultKind::Drop { prob } => {
+                    if rng.chance(prob) {
+                        return LinkFate::Dropped;
+                    }
+                }
+                LinkFaultKind::Delay { delay } => extra += delay,
+            }
+        }
+        LinkFate::Deliver(extra)
     }
 
     /// The configured model parameters.
@@ -125,5 +214,73 @@ mod tests {
     fn loopback_is_rejected() {
         let mut n = net();
         n.send(SimTime::ZERO, NodeId(1), NodeId(1), 10);
+    }
+
+    #[test]
+    fn fate_is_deliver_without_rules() {
+        let n = net();
+        let mut rng = SimRng::new(1);
+        assert!(!n.has_faults());
+        assert_eq!(
+            n.fate(SimTime::ZERO, NodeId(0), NodeId(1), &mut rng),
+            LinkFate::Deliver(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn drop_rule_matches_window_and_endpoints() {
+        let mut n = net();
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        let t2 = SimTime::ZERO + SimDuration::from_secs(2);
+        n.add_fault(LinkFault {
+            src: None,
+            dst: Some(NodeId(3)),
+            from: t1,
+            until: t2,
+            kind: LinkFaultKind::Drop { prob: 1.0 },
+        });
+        assert!(n.has_faults());
+        let mut rng = SimRng::new(1);
+        // Outside the window: deliver.
+        assert_eq!(
+            n.fate(SimTime::ZERO, NodeId(0), NodeId(3), &mut rng),
+            LinkFate::Deliver(SimDuration::ZERO)
+        );
+        assert_eq!(
+            n.fate(t2, NodeId(0), NodeId(3), &mut rng),
+            LinkFate::Deliver(SimDuration::ZERO)
+        );
+        // Wrong destination: deliver.
+        assert_eq!(
+            n.fate(t1, NodeId(0), NodeId(2), &mut rng),
+            LinkFate::Deliver(SimDuration::ZERO)
+        );
+        // Matching: always dropped at prob 1.0.
+        assert_eq!(
+            n.fate(t1, NodeId(0), NodeId(3), &mut rng),
+            LinkFate::Dropped
+        );
+    }
+
+    #[test]
+    fn delay_rules_accumulate() {
+        let mut n = net();
+        let t0 = SimTime::ZERO;
+        let t9 = t0 + SimDuration::from_secs(9);
+        let d = SimDuration::from_micros(250);
+        for _ in 0..2 {
+            n.add_fault(LinkFault {
+                src: Some(NodeId(0)),
+                dst: None,
+                from: t0,
+                until: t9,
+                kind: LinkFaultKind::Delay { delay: d },
+            });
+        }
+        let mut rng = SimRng::new(1);
+        assert_eq!(
+            n.fate(t0, NodeId(0), NodeId(1), &mut rng),
+            LinkFate::Deliver(d + d)
+        );
     }
 }

@@ -238,6 +238,10 @@ pub struct RunTrace {
     pub samples: Vec<ServerSample>,
     /// Per-app completion time (set when every rank finished).
     pub app_completion: Vec<Option<SimTime>>,
+    /// Operations abandoned by the RPC retry layer (deadline exceeded or
+    /// retry budget exhausted under an injected fault plan). Empty on
+    /// healthy runs.
+    pub failed_ops: Vec<OpToken>,
     /// Simulation end time.
     pub end: SimTime,
     /// Cluster-wide telemetry snapshot taken when the run ended

@@ -138,6 +138,9 @@ pub struct BlockDevice<T> {
     /// While set, background work is deferred until this instant in the
     /// hope that another synchronous request arrives first.
     anticipate_until: Option<SimTime>,
+    /// Injected `DiskStall` fault: no new request dispatches before this
+    /// instant. In-flight requests finish normally.
+    stalled_until: Option<SimTime>,
     /// Queue depth (queued + in service) sampled at every submission.
     depth_stats: OnlineStats,
     /// Sector distance between the disk head and each dispatched request.
@@ -157,6 +160,7 @@ impl<T> BlockDevice<T> {
             counters: DeviceCounters::default(),
             last_depth_change: SimTime::ZERO,
             anticipate_until: None,
+            stalled_until: None,
             depth_stats: OnlineStats::new(),
             seek_stats: OnlineStats::new(),
         }
@@ -212,6 +216,39 @@ impl<T> BlockDevice<T> {
     /// Mutable access to the underlying disk (fail-slow injection).
     pub fn disk_mut(&mut self) -> &mut Disk {
         &mut self.disk
+    }
+
+    /// Inject a `DiskStall` fault: freeze dispatch until `until`. Any
+    /// request already in service finishes normally; queued and newly
+    /// submitted work waits. Returns what the caller should do next —
+    /// [`Dispatch::Anticipating`] asks for an [`BlockDevice::idle_check`]
+    /// when the stall lifts.
+    pub fn stall(&mut self, now: SimTime, until: SimTime) -> Dispatch {
+        if until <= now {
+            return Dispatch::Idle;
+        }
+        self.stalled_until = Some(until);
+        if self.in_service.is_some() {
+            // complete() will gate the next dispatch.
+            Dispatch::Idle
+        } else {
+            Dispatch::Anticipating(until)
+        }
+    }
+
+    /// Dispatch, unless a stall is in force — in which case report when
+    /// the stall lifts so the caller can re-check then.
+    fn gated_dispatch(&mut self, now: SimTime) -> Dispatch {
+        if let Some(until) = self.stalled_until {
+            if now < until {
+                return Dispatch::Anticipating(until);
+            }
+            self.stalled_until = None;
+        }
+        match self.dispatch(now) {
+            Some(d) => Dispatch::Started(d),
+            None => Dispatch::Idle,
+        }
     }
 
     fn advance_depth_integral(&mut self, now: SimTime) {
@@ -301,25 +338,16 @@ impl<T> BlockDevice<T> {
         if foreground {
             // A synchronous arrival ends any anticipation immediately.
             self.anticipate_until = None;
-            match self.dispatch(now) {
-                Some(d) => Dispatch::Started(d),
-                None => Dispatch::Idle,
-            }
+            self.gated_dispatch(now)
         } else if let Some(until) = self.anticipate_until {
             if now >= until {
                 self.anticipate_until = None;
-                match self.dispatch(now) {
-                    Some(d) => Dispatch::Started(d),
-                    None => Dispatch::Idle,
-                }
+                self.gated_dispatch(now)
             } else {
                 Dispatch::Anticipating(until)
             }
         } else {
-            match self.dispatch(now) {
-                Some(d) => Dispatch::Started(d),
-                None => Dispatch::Idle,
-            }
+            self.gated_dispatch(now)
         }
     }
 
@@ -336,10 +364,7 @@ impl<T> BlockDevice<T> {
             }
             self.anticipate_until = None;
         }
-        match self.dispatch(now) {
-            Some(d) => Dispatch::Started(d),
-            None => Dispatch::Idle,
-        }
+        self.gated_dispatch(now)
     }
 
     /// Pick the next background request C-SCAN style: the nearest
@@ -451,8 +476,11 @@ impl<T> BlockDevice<T> {
         };
         // Anticipation: a synchronous request just finished, nothing
         // synchronous is queued, and background work is waiting — hold
-        // the disk briefly for the next synchronous request.
-        let next = if done.foreground
+        // the disk briefly for the next synchronous request. An injected
+        // stall takes precedence over anticipation.
+        let next = if self.stalled_until.is_some() {
+            self.gated_dispatch(now)
+        } else if done.foreground
             && self.fg.is_empty()
             && !self.bg.is_empty()
             && self.cfg.idle_wait > SimDuration::ZERO
@@ -461,10 +489,7 @@ impl<T> BlockDevice<T> {
             self.anticipate_until = Some(until);
             Dispatch::Anticipating(until)
         } else {
-            match self.dispatch(now) {
-                Some(d) => Dispatch::Started(d),
-                None => Dispatch::Idle,
-            }
+            self.gated_dispatch(now)
         };
         (done, next)
     }
@@ -721,5 +746,54 @@ mod tests {
     fn completing_idle_device_panics() {
         let mut d = dev();
         d.complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn stall_defers_dispatch_until_lifted() {
+        let mut d = dev();
+        let t0 = SimTime::ZERO;
+        let until = t0 + SimDuration::from_millis(10);
+        // Idle device: stall asks for an idle check when it lifts.
+        assert_eq!(d.stall(t0, until), Dispatch::Anticipating(until));
+        // A synchronous submit during the stall does not start service.
+        match d.submit(t0, ReqKind::Read, 0, 8, true, 1) {
+            Dispatch::Anticipating(u) => assert_eq!(u, until),
+            other => panic!("expected stalled dispatch, got {other:?}"),
+        }
+        assert!(!d.busy());
+        // The idle check at stall end starts the queued read.
+        let started = d.idle_check(until).started();
+        assert!(started.is_some(), "stall must lift at `until`");
+        assert!(d.busy());
+    }
+
+    #[test]
+    fn stall_lets_in_flight_request_finish() {
+        let mut d = dev();
+        let t0 = SimTime::ZERO;
+        let dur = d
+            .submit(t0, ReqKind::Read, 0, 8, true, 1)
+            .started()
+            .unwrap();
+        assert!(d.submit(t0, ReqKind::Read, 50_000, 8, true, 2).is_idle());
+        let until = t0 + dur + SimDuration::from_millis(5);
+        // Stall while busy: nothing to do now; complete() gates later.
+        assert_eq!(d.stall(t0, until), Dispatch::Idle);
+        let (done, next) = d.complete(t0 + dur);
+        assert_eq!(done.members[0].tag, 1);
+        // The queued read must wait for the stall, not start.
+        assert_eq!(next, Dispatch::Anticipating(until));
+        assert!(d.idle_check(until).started().is_some());
+    }
+
+    #[test]
+    fn expired_stall_is_a_no_op() {
+        let mut d = dev();
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(d.stall(now, now), Dispatch::Idle);
+        assert!(d
+            .submit(now, ReqKind::Read, 0, 8, true, 1)
+            .started()
+            .is_some());
     }
 }

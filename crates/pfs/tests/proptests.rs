@@ -237,7 +237,11 @@ proptest! {
     fn cluster_create_respects_stripe_bounds(count in 0u32..64) {
         use qi_pfs::cluster::Cluster;
         use qi_pfs::config::ClusterConfig;
-        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let mut cl = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(1)
+            .build()
+            .expect("valid test cluster");
         let f = FileKey { app: AppId(0), num: 1 };
         cl.precreate_file(
             f,

@@ -1,0 +1,121 @@
+//! The workspace-wide error type.
+//!
+//! Every public entry point that can fail — cluster construction,
+//! scenario execution, dataset generation, the training pipeline, the
+//! monitors — returns `Result<_, QiError>` instead of panicking, so
+//! callers embedding the framework can recover, report, or retry.
+//! Variants are grouped by the layer that raises them; [`QiError::Monitor`]
+//! wraps lower-level parse errors and surfaces them through
+//! [`std::error::Error::source`].
+
+use std::error::Error;
+use std::fmt;
+
+/// Unified error for the Quanterference workspace.
+#[derive(Debug)]
+pub enum QiError {
+    /// Invalid cluster/builder configuration (bad node counts, zero
+    /// devices, malformed knobs).
+    Config(String),
+    /// A fault plan failed validation or cannot apply to the cluster it
+    /// was given (device out of range, overlapping windows, bad
+    /// probability).
+    FaultPlan(String),
+    /// A run ended without the data the caller needs (an application
+    /// hit its deadline, a required completion is missing).
+    Incomplete(String),
+    /// A data-path API was handed a block of the wrong shape.
+    Shape {
+        /// What was being shaped (e.g. "feature block floats").
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        got: usize,
+    },
+    /// Dataset generation or the train/evaluate pipeline failed.
+    Pipeline(String),
+    /// A monitor-layer failure, wrapping the underlying error.
+    Monitor {
+        /// What the monitor was doing.
+        context: String,
+        /// The lower-level cause.
+        source: Box<dyn Error + Send + Sync>,
+    },
+}
+
+impl fmt::Display for QiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            QiError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            QiError::Incomplete(msg) => write!(f, "run incomplete: {msg}"),
+            QiError::Shape {
+                what,
+                expected,
+                got,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, got {got}"),
+            QiError::Pipeline(msg) => write!(f, "pipeline failure: {msg}"),
+            QiError::Monitor { context, source } => {
+                write!(f, "monitor failure while {context}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for QiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QiError::Monitor { source, .. } => Some(source.as_ref() as &(dyn Error + 'static)),
+            _ => None,
+        }
+    }
+}
+
+impl QiError {
+    /// Wrap a lower-level error as a monitor failure.
+    pub fn monitor(
+        context: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> Self {
+        QiError::Monitor {
+            context: context.into(),
+            source: Box::new(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Inner;
+    impl fmt::Display for Inner {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "inner cause")
+        }
+    }
+    impl Error for Inner {}
+
+    #[test]
+    fn display_is_informative() {
+        let e = QiError::Config("zero client nodes".into());
+        assert!(e.to_string().contains("zero client nodes"));
+        let e = QiError::Shape {
+            what: "feature block floats",
+            expected: 10,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 10"));
+        assert!(e.to_string().contains("got 3"));
+    }
+
+    #[test]
+    fn monitor_variant_exposes_source() {
+        let e = QiError::monitor("parsing a DXT trace", Inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("inner cause"));
+        assert!(QiError::Config("x".into()).source().is_none());
+    }
+}

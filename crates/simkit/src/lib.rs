@@ -4,6 +4,7 @@
 //! discrete-event simulation core plus the numeric utilities shared by the
 //! PFS simulator, the monitors, and the experiment harnesses.
 //!
+//! - [`error`] — the workspace-wide [`QiError`] type.
 //! - [`time`] — integer-nanosecond [`SimTime`]/[`SimDuration`].
 //! - [`event`] — the deterministic [`EventQueue`].
 //! - [`rng`] — seeded [`SimRng`] with substream derivation.
@@ -16,6 +17,7 @@
 //! (a) time is integral, (b) event ties break by insertion order, and
 //! (c) all randomness flows from [`SimRng`] substreams.
 
+pub mod error;
 pub mod event;
 pub mod ratelimit;
 pub mod rng;
@@ -23,6 +25,7 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use error::QiError;
 pub use event::EventQueue;
 pub use ratelimit::TokenBucket;
 pub use rng::SimRng;

@@ -364,7 +364,11 @@ mod tests {
             }),
         ];
         for w in workloads {
-            let mut cl = Cluster::new(ClusterConfig::small(), 8);
+            let mut cl = Cluster::builder()
+                .config(ClusterConfig::small())
+                .seed(8)
+                .build()
+                .expect("valid test cluster");
             let nodes = cl.client_nodes();
             let app = deploy(&mut cl, &w, 2, &nodes[..2], 5, false);
             let trace = cl.run_until_app(app, SimTime::from_secs(300));

@@ -412,7 +412,11 @@ mod tests {
 
     #[test]
     fn deploy_runs_target_to_completion() {
-        let mut cl = Cluster::new(ClusterConfig::small(), 5);
+        let mut cl = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(5)
+            .build()
+            .expect("valid test cluster");
         let w: Arc<dyn Workload> = Arc::new(TwoWrites);
         let nodes = cl.client_nodes();
         let app = deploy(&mut cl, &w, 2, &nodes[..2], 7, false);
@@ -423,7 +427,11 @@ mod tests {
 
     #[test]
     fn deploy_looping_never_completes() {
-        let mut cl = Cluster::new(ClusterConfig::small(), 5);
+        let mut cl = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(5)
+            .build()
+            .expect("valid test cluster");
         let w: Arc<dyn Workload> = Arc::new(TwoWrites);
         let nodes = cl.client_nodes();
         let app = deploy(&mut cl, &w, 1, &nodes[..1], 7, true);

@@ -350,7 +350,11 @@ mod tests {
                 ..DlioBert::default()
             }) as Arc<dyn Workload>,
         ] {
-            let mut cl = Cluster::new(ClusterConfig::small(), 2);
+            let mut cl = Cluster::builder()
+                .config(ClusterConfig::small())
+                .seed(2)
+                .build()
+                .expect("valid test cluster");
             let nodes = cl.client_nodes();
             let app = deploy(&mut cl, &w, 2, &nodes[..2], 5, false);
             let trace = cl.run_until_app(app, SimTime::from_secs(300));

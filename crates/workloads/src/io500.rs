@@ -492,7 +492,11 @@ mod tests {
     use std::sync::Arc;
 
     fn run_alone(w: Arc<dyn Workload>, ranks: u32) -> qi_pfs::ops::RunTrace {
-        let mut cl = Cluster::new(ClusterConfig::small(), 11);
+        let mut cl = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(11)
+            .build()
+            .expect("valid test cluster");
         let nodes = cl.client_nodes();
         let app = deploy(&mut cl, &w, ranks, &nodes[..2], 3, false);
         let trace = cl.run_until_app(app, SimTime::from_secs(600));

@@ -91,10 +91,7 @@ impl TraceReplay {
 
     /// Operations recorded for `rank`.
     pub fn ops_of_rank(&self, rank: u32) -> usize {
-        self.per_rank
-            .get(rank as usize)
-            .map(Vec::len)
-            .unwrap_or(0)
+        self.per_rank.get(rank as usize).map(Vec::len).unwrap_or(0)
     }
 }
 
@@ -139,11 +136,9 @@ impl Workload for TraceReplay {
             if let Some(prev) = prev_complete {
                 let gap = issued.saturating_since(prev);
                 if gap.as_nanos() > 0 && self.think_scale > 0.0 {
-                    steps.push(ScriptStep::Compute(
-                        qi_simkit::SimDuration::from_secs_f64(
-                            gap.as_secs_f64() * self.think_scale,
-                        ),
-                    ));
+                    steps.push(ScriptStep::Compute(qi_simkit::SimDuration::from_secs_f64(
+                        gap.as_secs_f64() * self.think_scale,
+                    )));
                 }
             }
             prev_complete = Some(completed);
@@ -194,7 +189,14 @@ mod tests {
     use qi_pfs::ids::OpToken;
     use std::sync::Arc;
 
-    fn record(rank: u32, seq: u64, kind: OpKind, bytes: u64, issue_ms: u64, dur_ms: u64) -> OpRecord {
+    fn record(
+        rank: u32,
+        seq: u64,
+        kind: OpKind,
+        bytes: u64,
+        issue_ms: u64,
+        dur_ms: u64,
+    ) -> OpRecord {
         OpRecord {
             token: OpToken {
                 app: AppId(0),
@@ -265,7 +267,11 @@ mod tests {
     #[test]
     fn replay_runs_on_a_cluster() {
         let replay: Arc<dyn Workload> = Arc::new(TraceReplay::from_records(&sample_records()));
-        let mut cl = Cluster::new(ClusterConfig::small(), 1);
+        let mut cl = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(1)
+            .build()
+            .expect("valid test cluster");
         let nodes = cl.client_nodes();
         let app = deploy(&mut cl, &replay, 2, &nodes[..2], 0, false);
         let trace = cl.run_until_app(app, SimTime::from_secs(30));
@@ -276,7 +282,11 @@ mod tests {
     #[test]
     fn dxt_round_trip_into_replay() {
         // Export a real run's trace and replay it.
-        let mut cl = Cluster::new(ClusterConfig::small(), 3);
+        let mut cl = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(3)
+            .build()
+            .expect("valid test cluster");
         let file = qi_pfs::ids::FileKey {
             app: AppId(0),
             num: 7,
@@ -298,9 +308,12 @@ mod tests {
         let trace = cl.run_until_app(app, SimTime::from_secs(30));
         let dxt = qi_monitor::dxt::export_dxt(&trace, app);
 
-        let replay: Arc<dyn Workload> =
-            Arc::new(TraceReplay::from_dxt(&dxt).expect("parse trace"));
-        let mut cl2 = Cluster::new(ClusterConfig::small(), 4);
+        let replay: Arc<dyn Workload> = Arc::new(TraceReplay::from_dxt(&dxt).expect("parse trace"));
+        let mut cl2 = Cluster::builder()
+            .config(ClusterConfig::small())
+            .seed(4)
+            .build()
+            .expect("valid test cluster");
         let nodes = cl2.client_nodes();
         let app2 = deploy(&mut cl2, &replay, 1, &nodes[..1], 0, false);
         let trace2 = cl2.run_until_app(app2, SimTime::from_secs(30));

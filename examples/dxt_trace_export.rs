@@ -9,9 +9,8 @@
 
 use quanterference_repro::framework::prelude::*;
 use quanterference_repro::monitor::{export_dxt, import_dxt};
-use quanterference_repro::pfs::config::ClusterConfig;
 
-fn main() {
+fn main() -> Result<(), QiError> {
     let scenario = Scenario {
         cluster: ClusterConfig::small(),
         small: true,
@@ -24,7 +23,7 @@ fn main() {
         ranks: 2,
     });
     println!("running the Enzo proxy under interference...");
-    let (app, trace) = scenario.run();
+    let (app, trace) = scenario.run()?;
     let n_ops = trace.ops_of(app).count();
     println!("captured {n_ops} operations");
 
@@ -55,4 +54,5 @@ fn main() {
         slowest.bytes,
         slowest.duration(),
     );
+    Ok(())
 }

@@ -9,6 +9,7 @@
 use quanterference_repro::framework::experiments::{
     fig_one_a, fig_one_b, series_mean, series_table, EnzoSeries, FigOneConfig,
 };
+use quanterference_repro::framework::prelude::QiError;
 
 fn spark(series: &EnzoSeries, max: f64) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -39,11 +40,11 @@ fn show(title: &str, series: &[EnzoSeries]) {
     println!();
 }
 
-fn main() {
+fn main() -> Result<(), QiError> {
     let cfg = FigOneConfig::paper();
 
     println!("Figure 1(a): Enzo per-op I/O time vs amount of ior-easy-write noise\n");
-    let a = fig_one_a(&cfg, 3);
+    let a = fig_one_a(&cfg, 3)?;
     show(
         "(x-axis: op index of rank 0, smoothed; bar height: op I/O time)",
         &a,
@@ -51,7 +52,7 @@ fn main() {
     let _ = series_table(&a).write_csv("results/fig1a_enzo_vs_write_levels.csv");
 
     println!("Figure 1(b): Enzo per-op I/O time, data- vs metadata-intensive noise\n");
-    let b = fig_one_b(&cfg, 3);
+    let b = fig_one_b(&cfg, 3)?;
     show(
         "(same op sequence; note different ops suffer under different noise)",
         &b,
@@ -59,4 +60,5 @@ fn main() {
     let _ = series_table(&b).write_csv("results/fig1b_enzo_noise_types.csv");
 
     println!("CSVs written to results/fig1a_*.csv and results/fig1b_*.csv");
+    Ok(())
 }

@@ -8,11 +8,9 @@
 //! cargo run --release --example guided_mitigation
 //! ```
 
-use quanterference_repro::framework::mitigation::prediction_guided_throttling;
 use quanterference_repro::framework::prelude::*;
-use quanterference_repro::pfs::config::ClusterConfig;
 
-fn main() {
+fn main() -> Result<(), QiError> {
     // 1. Train the predictor on the smoke IO500 grid.
     let mut spec = DatasetSpec::smoke();
     spec.seeds = (1..=5).collect();
@@ -22,7 +20,7 @@ fn main() {
         epochs: 25,
         ..TrainConfig::default()
     };
-    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 11);
+    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 11)?;
     println!("model F1 = {:.3}\n", report.headline_f1());
 
     // 2. A victim: bulk writer crushed by a concurrent small-write storm.
@@ -39,7 +37,7 @@ fn main() {
     });
 
     // 3. Predict, throttle, replay.
-    let outcome = prediction_guided_throttling(&scenario, &mut predictor, 1);
+    let outcome = prediction_guided_throttling(&scenario, &mut predictor, 1)?;
     println!("ideal (no interference):      {:.3} s", outcome.baseline_s);
     println!(
         "under interference:           {:.3} s",
@@ -65,4 +63,5 @@ fn main() {
         "\n(the throttle engages only in predicted >=2x windows — a uniform\n\
          rate limit would tax the background job during harmless windows too)"
     );
+    Ok(())
 }

@@ -8,8 +8,9 @@
 //! Pass `--smoke` for the reduced-scale variant used in tests.
 
 use quanterference_repro::framework::experiments::{table_one, TableOneConfig};
+use quanterference_repro::framework::prelude::QiError;
 
-fn main() {
+fn main() -> Result<(), QiError> {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cfg = if smoke {
         TableOneConfig::smoke()
@@ -27,7 +28,7 @@ fn main() {
         cfg.seeds.len()
     );
     let t0 = std::time::Instant::now();
-    let table = table_one(&cfg);
+    let table = table_one(&cfg)?;
     println!("{}", table.render());
     println!("(generated in {:.1?})", t0.elapsed());
 
@@ -35,4 +36,5 @@ fn main() {
     if table.to_table().write_csv(out).is_ok() {
         println!("CSV written to {}", out.display());
     }
+    Ok(())
 }

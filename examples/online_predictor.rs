@@ -8,9 +8,8 @@
 //! ```
 
 use quanterference_repro::framework::prelude::*;
-use quanterference_repro::pfs::config::ClusterConfig;
 
-fn main() {
+fn main() -> Result<(), QiError> {
     // Train on a small IO500 grid (reduced scale so the example runs in
     // seconds; the benches use the full grid).
     let mut spec = DatasetSpec::smoke();
@@ -28,7 +27,7 @@ fn main() {
         epochs: 30,
         ..TrainConfig::default()
     };
-    let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 99);
+    let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 99)?;
     println!(
         "dataset: {} windows, class counts {:?}",
         dataset.data.len(),
@@ -75,11 +74,11 @@ fn main() {
             instances,
             ranks: 2,
         });
-        let (app, base) = scenario.run_baseline();
-        let (_, noisy) = scenario.run();
+        let (app, base) = scenario.run_baseline()?;
+        let (_, noisy) = scenario.run()?;
         let idx = BaselineIndex::new(&base, app);
         let truth = window_degradation(&idx, &noisy, app, spec.window);
-        let scored = predictor.score_run(&noisy, app, &truth);
+        let scored = predictor.score_run(&noisy, app, &truth)?;
         let ok = scored.iter().filter(|(_, p, t)| p == t).count();
         println!(
             "{label:<22} target={:<15} noise={:<15} windows={:>3} correct={:>3}",
@@ -95,4 +94,5 @@ fn main() {
         "\nonline accuracy: {hits}/{total} = {:.1}%",
         100.0 * hits as f64 / total.max(1) as f64
     );
+    Ok(())
 }

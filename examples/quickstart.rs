@@ -6,9 +6,8 @@
 //! ```
 
 use quanterference_repro::framework::prelude::*;
-use quanterference_repro::pfs::config::ClusterConfig;
 
-fn main() {
+fn main() -> Result<(), QiError> {
     // ------------------------------------------------------------------
     // 1. A scenario: ior-easy-read measured while 2 looping instances of
     //    ior-easy-read run on the other client nodes (the paper's
@@ -27,12 +26,12 @@ fn main() {
     });
 
     println!("== running baseline (target alone) ==");
-    let (app, base) = scenario.run_baseline();
+    let (app, base) = scenario.run_baseline()?;
     let base_dur = target_duration(&base, app).expect("baseline finished");
     println!("baseline: {} ops in {}", base.ops_of(app).count(), base_dur);
 
     println!("\n== running with 2x ior-easy-read interference ==");
-    let (_, noisy) = scenario.run();
+    let (_, noisy) = scenario.run()?;
     let noisy_dur = target_duration(&noisy, app).expect("target finished");
     let slowdown = completion_slowdown(&base, &noisy, app).expect("both finished");
     println!("interfered: {noisy_dur} -> slowdown {slowdown:.2}x");
@@ -66,7 +65,7 @@ fn main() {
         epochs: 25,
         ..TrainConfig::default()
     };
-    let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 7);
+    let (dataset, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 7)?;
     println!(
         "dataset: {} windows ({:?} per class)",
         dataset.data.len(),
@@ -83,7 +82,7 @@ fn main() {
     // 4. Use the trained predictor on the fresh interfered run.
     // ------------------------------------------------------------------
     println!("\n== online prediction on the interfered run ==");
-    let scored = predictor.score_run(&noisy, app, &levels);
+    let scored = predictor.score_run(&noisy, app, &levels)?;
     let correct = scored.iter().filter(|(_, p, t)| p == t).count();
     println!(
         "predicted {} windows, {}/{} match the ground-truth bin",
@@ -91,4 +90,5 @@ fn main() {
         correct,
         scored.len()
     );
+    Ok(())
 }

@@ -10,10 +10,9 @@
 use quanterference_repro::framework::prelude::*;
 use quanterference_repro::monitor::features::server_vector;
 use quanterference_repro::monitor::{EmittedWindow, StreamingMonitor};
-use quanterference_repro::pfs::config::ClusterConfig;
 use quanterference_repro::pfs::ids::DeviceId;
 
-fn main() {
+fn main() -> Result<(), QiError> {
     // 1. Train a model offline.
     let mut spec = DatasetSpec::smoke();
     spec.seeds = (1..=4).collect();
@@ -23,7 +22,7 @@ fn main() {
         epochs: 25,
         ..TrainConfig::default()
     };
-    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 5);
+    let (_, mut predictor, report) = train_and_evaluate(&spec, &tcfg, 5)?;
     println!("offline F1 = {:.3}\n", report.headline_f1());
 
     // 2. A fresh run whose events we replay through the streaming path.
@@ -38,7 +37,7 @@ fn main() {
         instances: 2,
         ranks: 2,
     });
-    let (app, trace) = scenario.run();
+    let (app, trace) = scenario.run()?;
     let n_devices = scenario.cluster.n_devices();
 
     // 3. Merge the three event streams in time order and feed them in.
@@ -54,13 +53,13 @@ fn main() {
         let next = [t_op, t_rpc, t_smp].into_iter().flatten().min();
         let Some(next) = next else { break };
         if t_op == Some(next) {
-            emitted.extend(monitor.push_op(&trace.ops[oi]));
+            emitted.extend(monitor.push_op(&trace.ops[oi])?);
             oi += 1;
         } else if t_rpc == Some(next) {
-            emitted.extend(monitor.push_rpc(&trace.rpcs[ri]));
+            emitted.extend(monitor.push_rpc(&trace.rpcs[ri])?);
             ri += 1;
         } else {
-            emitted.extend(monitor.push_sample(&trace.samples[si]));
+            emitted.extend(monitor.push_sample(&trace.samples[si])?);
             si += 1;
         }
     }
@@ -90,7 +89,7 @@ fn main() {
                 spec.window.window,
             ));
         }
-        let bin = predictor.predict_block(&block);
+        let bin = predictor.predict_block(&block)?;
         println!(
             "  window {:>2}: {:>4} ops, {:>8} bytes -> predicted {}",
             w.window,
@@ -99,4 +98,5 @@ fn main() {
             predictor.bin_labels()[bin]
         );
     }
+    Ok(())
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Reproduce BENCH_parallel.json: build in release mode, run the parallel
-# execution bench at 1/2/N threads, and leave the JSON report at the
-# repository root.
+# Reproduce BENCH_parallel.json: build in release mode, run the
+# fault-injection smoke sweep (replay-determinism gate), then the
+# parallel execution bench at 1/2/N threads, and leave the JSON report
+# at the repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run (5 samples per point, 512^3 matmul)
@@ -10,11 +11,18 @@
 # Environment:
 #   QI_BENCH_THREADS=1,2,8   thread counts to sweep
 #   QI_BENCH_OUT=path.json   where to write the report
+#   QI_SKIP_FAULT_SWEEP=1    skip the fault smoke sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
     export QI_SMOKE=1
+fi
+
+# Fault-injection smoke sweep: exercises every fault event type plus the
+# retry path and exits non-zero if a faulted replay is not byte-identical.
+if [[ "${QI_SKIP_FAULT_SWEEP:-}" != "1" ]]; then
+    cargo run --release --example fault_sweep
 fi
 
 cargo bench -p qi-bench --bench parallel

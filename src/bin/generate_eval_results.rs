@@ -38,7 +38,7 @@ fn confusion_csv(report: &EvalReport) -> AsciiTable {
     t
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("QI_SMOKE").map(|v| v == "1").unwrap_or(false);
     let out = PathBuf::from("eval_results");
@@ -82,7 +82,7 @@ fn main() {
         spec.bins = bins;
         let mut cfg = tcfg.clone();
         cfg.n_classes = spec.bins.n_classes();
-        let (gen, _, report) = train_and_evaluate(&spec, &cfg, 42);
+        let (gen, _, report) = train_and_evaluate(&spec, &cfg, 42)?;
         println!("{}", report.render());
         println!("F1 = {:.3}\n", report.headline_f1());
         confusion_csv(&report)
@@ -115,10 +115,10 @@ fn main() {
     } else {
         FigOneConfig::paper()
     };
-    series_table(&fig_one_a(&fcfg, 3))
+    series_table(&fig_one_a(&fcfg, 3)?)
         .write_csv(out.join("fig1a_enzo_vs_write_levels.csv"))
         .expect("write CSV");
-    series_table(&fig_one_b(&fcfg, 3))
+    series_table(&fig_one_b(&fcfg, 3)?)
         .write_csv(out.join("fig1b_enzo_noise_types.csv"))
         .expect("write CSV");
 
@@ -131,4 +131,5 @@ fn main() {
         out.display(),
         t0.elapsed()
     );
+    Ok(())
 }

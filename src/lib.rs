@@ -7,6 +7,7 @@
 //! (`examples/`) and cross-crate integration tests (`tests/`). The parts:
 //!
 //! - [`simkit`] — deterministic discrete-event core and numeric utilities.
+//! - [`faults`] — deterministic fault plans (slow disks, lossy links, …).
 //! - [`pfs`] — the Lustre-like parallel file system simulator.
 //! - [`workloads`] — IO500 / DLIO / application-proxy workload generators.
 //! - [`monitor`] — client-side and server-side monitors (paper §III-A/B).
@@ -19,9 +20,10 @@
 //! ```
 //! use quanterference_repro::framework::prelude::*;
 //!
+//! # fn main() -> Result<(), QiError> {
 //! // How much does ior-easy-read suffer under 2 concurrent readers?
 //! let scenario = Scenario {
-//!     cluster: qi_pfs::config::ClusterConfig::small(),
+//!     cluster: ClusterConfig::small(),
 //!     small: true,
 //!     target_ranks: 2,
 //!     ..Scenario::baseline(WorkloadKind::IorEasyRead, 7)
@@ -31,12 +33,15 @@
 //!     instances: 2,
 //!     ranks: 2,
 //! });
-//! let (app, base) = scenario.run_baseline();
-//! let (_, noisy) = scenario.run();
+//! let (app, base) = scenario.run_baseline()?;
+//! let (_, noisy) = scenario.run()?;
 //! let slowdown = completion_slowdown(&base, &noisy, app).unwrap();
 //! assert!(slowdown > 1.0);
+//! # Ok(())
+//! # }
 //! ```
 
+pub use qi_faults as faults;
 pub use qi_ml as ml;
 pub use qi_monitor as monitor;
 pub use qi_pfs as pfs;

@@ -3,7 +3,6 @@
 
 use quanterference_repro::framework::prelude::*;
 use quanterference_repro::monitor::{client_windows, server_windows};
-use quanterference_repro::pfs::config::ClusterConfig;
 
 fn small_scenario(target: WorkloadKind, seed: u64) -> Scenario {
     Scenario {
@@ -21,8 +20,8 @@ fn baseline_and_interfered_runs_are_deterministic() {
         instances: 2,
         ranks: 2,
     });
-    let (app_a, a) = s.run();
-    let (app_b, b) = s.run();
+    let (app_a, a) = s.run().expect("first run");
+    let (app_b, b) = s.run().expect("second run");
     assert_eq!(app_a, app_b);
     assert_eq!(a.ops.len(), b.ops.len());
     for (x, y) in a.ops.iter().zip(b.ops.iter()) {
@@ -49,8 +48,8 @@ fn dataset_sweep_is_byte_identical_across_repeat_runs_and_thread_counts() {
     // equal to the sequential run regardless of execution interleaving.
     let mut spec = DatasetSpec::smoke();
     spec.include_baseline_windows = true;
-    let a = generate(&spec);
-    let b = generate(&spec);
+    let a = generate(&spec).expect("first sweep");
+    let b = generate(&spec).expect("second sweep");
     assert_eq!(a.data.y, b.data.y);
     assert_eq!(a.data.x.data(), b.data.x.data(), "feature bytes diverged");
     assert_eq!(a.meta.len(), b.meta.len());
@@ -66,7 +65,7 @@ fn dataset_sweep_is_byte_identical_across_repeat_runs_and_thread_counts() {
         assert_eq!(pool.current_num_threads(), threads);
         // The pool override is scoped: it must not leak into callers.
         let ambient = rayon::current_num_threads();
-        let c = generate_on(&pool, &spec);
+        let c = generate_on(&pool, &spec).expect("pooled sweep");
         assert_eq!(rayon::current_num_threads(), ambient);
         assert_eq!(a.data.y, c.data.y, "labels diverged at {threads} threads");
         assert_eq!(
@@ -88,8 +87,8 @@ fn interference_produces_positive_windows_and_baseline_does_not() {
         instances: 2,
         ranks: 2,
     });
-    let (app, base) = s.run_baseline();
-    let (_, noisy) = s.run();
+    let (app, base) = s.run_baseline().expect("baseline runs");
+    let (_, noisy) = s.run().expect("interfered run");
     let idx = BaselineIndex::new(&base, app);
     let wcfg = WindowConfig::seconds(1);
     // Self-comparison: every window degrades by exactly 1.0.
@@ -109,7 +108,7 @@ fn monitors_cover_every_active_window() {
     let mut s = small_scenario(WorkloadKind::DlioUnet3d, 9);
     // Sample fast enough that even a sub-second run yields server data.
     s.cluster.sample_interval = qi_simkit::SimDuration::from_millis(100);
-    let (app, trace) = s.run();
+    let (app, trace) = s.run().expect("scenario runs");
     assert!(trace.completion_of(app).is_some());
     let wcfg = WindowConfig::seconds(1);
     let n_dev = s.cluster.n_devices();
@@ -150,7 +149,7 @@ fn feature_blocks_have_stable_shape_across_runs() {
             instances: 1,
             ranks: 2,
         });
-    let (app, trace) = scenario.run();
+    let (app, trace) = scenario.run().expect("scenario runs");
     let vecs = window_vectors(
         &trace,
         app,
@@ -175,7 +174,7 @@ fn full_pipeline_beats_majority_class_at_smoke_scale() {
         epochs: 25,
         ..TrainConfig::default()
     };
-    let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 17);
+    let (gen, _, report) = train_and_evaluate(&spec, &tcfg, 17).expect("pipeline trains");
     let counts = gen.class_counts();
     assert!(
         counts[0] > 0 && counts[1] > 0,
@@ -203,11 +202,11 @@ fn predictor_round_trips_through_blocks() {
         epochs: 10,
         ..TrainConfig::default()
     };
-    let (gen, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 3);
+    let (gen, mut predictor, _) = train_and_evaluate(&spec, &tcfg, 3).expect("pipeline trains");
     // predict_block on a dataset row must equal the batch prediction.
     let sample = gen.data.sample_rows(0);
     let flat: Vec<f32> = sample.data().to_vec();
-    let via_block = predictor.predict_block(&flat);
+    let via_block = predictor.predict_block(&flat).expect("row has the right shape");
     assert!(via_block < 2);
 }
 
@@ -220,7 +219,7 @@ fn every_registered_workload_completes_on_the_small_cluster() {
         .chain(WorkloadKind::IO500_EXTENDED)
     {
         let s = small_scenario(kind, 23);
-        let (app, trace) = s.run();
+        let (app, trace) = s.run().expect("workload completes");
         assert!(
             trace.completion_of(app).is_some(),
             "{kind} did not complete"

@@ -1,0 +1,286 @@
+//! Integration tests for the deterministic fault-injection layer: the
+//! builder's validation surface, client retry/deadline behaviour under
+//! injected RPC loss, byte-exact replay of faulted runs (including
+//! telemetry JSON) across reruns and thread counts, and the end-to-end
+//! effect of a SlowDisk plan on the dataset's label distribution.
+
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::pfs::ids::{AppId, FileKey, NodeId};
+use quanterference_repro::pfs::ops::{IoOp, ProgramStep};
+use qi_simkit::{SimDuration, SimTime};
+
+fn t(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+#[test]
+fn builder_surfaces_config_and_plan_errors() {
+    // Malformed cluster shape -> QiError::Config at build time.
+    let mut cfg = ClusterConfig::small();
+    cfg.client_nodes = 0;
+    let err = match Cluster::builder().config(cfg).build() {
+        Ok(_) => panic!("zero client nodes must be rejected"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, QiError::Config(_)), "got {err:?}");
+    assert!(!err.to_string().is_empty());
+
+    // A plan referencing hardware the cluster doesn't have ->
+    // QiError::FaultPlan, not a mid-run panic.
+    let cfg = ClusterConfig::small();
+    let plan = FaultPlan::new().with(FaultEvent::SlowDisk {
+        dev: cfg.n_devices(),
+        factor: 2.0,
+        from: t(0),
+        until: t(5),
+    });
+    let err = match Cluster::builder().config(cfg).fault_plan(plan).build() {
+        Ok(_) => panic!("out-of-range device must be rejected"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, QiError::FaultPlan(_)), "got {err:?}");
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    // A healthy builder still works with both knobs exercised.
+    assert!(Cluster::builder()
+        .config(ClusterConfig::small())
+        .seed(3)
+        .fault_plan(FaultPlan::new())
+        .retry_policy(RetryPolicy::default())
+        .build()
+        .is_ok());
+}
+
+/// One rank issuing a single 1 MiB write, then finishing.
+fn one_write_program() -> Box<dyn quanterference_repro::pfs::ops::RankProgram> {
+    let mut issued = false;
+    Box::new(move |_now: SimTime| {
+        if issued {
+            ProgramStep::Finished
+        } else {
+            issued = true;
+            ProgramStep::Op(IoOp::Write {
+                file: FileKey {
+                    app: AppId(0),
+                    num: 1,
+                },
+                offset: 0,
+                len: 1024 * 1024,
+            })
+        }
+    })
+}
+
+#[test]
+fn op_deadline_is_exceeded_mid_retry_under_total_rpc_loss() {
+    // Every client request is lost; the op can only end via the retry
+    // machinery. With a per-op deadline shorter than the retry budget,
+    // the op must die on the deadline path, mid-retry.
+    let plan = FaultPlan::new().with(FaultEvent::RpcDrop {
+        src: None,
+        dst: None,
+        prob: 1.0,
+        from: t(0),
+        until: t(30),
+    });
+    let retry = RetryPolicy {
+        max_retries: 16,
+        rpc_timeout: SimDuration::from_millis(10),
+        backoff_base: SimDuration::from_millis(2),
+        backoff_cap: SimDuration::from_millis(8),
+        jitter_frac: 0.2,
+        op_deadline: Some(SimDuration::from_millis(35)),
+    };
+    let mut cl = match Cluster::builder()
+        .config(ClusterConfig::small())
+        .seed(5)
+        .fault_plan(plan)
+        .retry_policy(retry)
+        .build()
+    {
+        Ok(cl) => cl,
+        Err(e) => panic!("faulted cluster builds: {e}"),
+    };
+    let app = cl.add_app("doomed", vec![one_write_program()], &[NodeId(0)]);
+    let trace = cl.run(t(2));
+
+    assert!(
+        !trace.failed_ops.is_empty(),
+        "the write must be recorded as failed"
+    );
+    // The failed op never shows up as a completed operation.
+    assert!(
+        trace.ops_of(app).next().is_none(),
+        "no op can complete when every RPC is dropped"
+    );
+    let counter = |k: &str| trace.metrics.counter(k).unwrap_or(0);
+    assert!(counter("pfs.rpc.dropped") >= 2, "drops: {}", counter("pfs.rpc.dropped"));
+    assert!(counter("pfs.rpc.timeouts") >= 2, "timeouts: {}", counter("pfs.rpc.timeouts"));
+    assert!(
+        counter("pfs.rpc.retries") >= 1,
+        "the op must have been resent at least once before the deadline"
+    );
+    assert_eq!(
+        counter("pfs.rpc.deadline_exceeded"),
+        1,
+        "exactly the one op hits its deadline"
+    );
+    assert_eq!(counter("pfs.rpc.failed_ops"), trace.failed_ops.len() as u64);
+}
+
+/// A scenario that exercises every fault path at once: degraded disks,
+/// lossy links (and thus jittered retries), and an MDS lock storm.
+fn chaotic_scenario() -> Scenario {
+    let cluster = ClusterConfig::small();
+    let plan = FaultPlan::new()
+        .with(FaultEvent::SlowDisk {
+            dev: 0,
+            factor: 3.0,
+            from: t(1),
+            until: t(20),
+        })
+        .with(FaultEvent::RpcDrop {
+            src: None,
+            dst: None,
+            prob: 0.05,
+            from: t(0),
+            until: t(60),
+        })
+        .with(FaultEvent::MdsLockStorm {
+            from: t(2),
+            until: t(10),
+            revoke_factor: 3.0,
+        });
+    Scenario {
+        cluster,
+        small: true,
+        target_ranks: 2,
+        ..Scenario::baseline(WorkloadKind::IorEasyRead, 21)
+    }
+    .with_interference(InterferenceSpec {
+        kind: WorkloadKind::MdtHardWrite,
+        instances: 1,
+        ranks: 2,
+    })
+    .with_fault_plan(plan)
+}
+
+#[test]
+fn faulted_replay_is_byte_identical_across_reruns_and_thread_counts() {
+    // Retry jitter, drop rolls, and fault scheduling all come from the
+    // cluster's dedicated RNG substream, so an identical seed + plan
+    // must replay byte-for-byte — regardless of how many worker threads
+    // the ambient rayon pool happens to have.
+    let s = chaotic_scenario();
+    let (app_a, a) = s.run().expect("faulted scenario runs");
+    // The plan visibly did something, or this test proves nothing.
+    assert!(a.metrics.counter("pfs.rpc.dropped").unwrap_or(0) > 0);
+    assert!(a.metrics.counter("pfs.rpc.retries").unwrap_or(0) > 0);
+
+    let mut runs = vec![s.run().expect("rerun")];
+    for threads in [1, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("explicit thread counts always build");
+        runs.push(pool.install(|| s.run()).expect("pooled run"));
+    }
+    for (app_b, b) in &runs {
+        assert_eq!(app_a, *app_b);
+        assert_eq!(a.ops.len(), b.ops.len());
+        for (x, y) in a.ops.iter().zip(b.ops.iter()) {
+            assert_eq!(x.token, y.token);
+            assert_eq!(x.issued, y.issued);
+            assert_eq!(x.completed, y.completed);
+        }
+        assert_eq!(a.rpcs.len(), b.rpcs.len());
+        assert_eq!(a.failed_ops, b.failed_ops);
+        assert_eq!(a.end, b.end);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json(), "telemetry JSON diverged");
+    }
+}
+
+fn tiny_faulted_spec() -> DatasetSpec {
+    let mut spec = DatasetSpec::smoke();
+    spec.targets = vec![WorkloadKind::IorEasyRead];
+    spec.noise_kinds = vec![WorkloadKind::IorEasyWrite];
+    spec.intensities = vec![1];
+    spec.seeds = vec![1, 2];
+    spec.include_baseline_windows = false;
+    spec.faults = vec![
+        FaultSpec::Healthy,
+        FaultSpec::SlowOsts {
+            factor: 3.0,
+            from_s: 0,
+            dur_s: 60,
+        },
+    ];
+    spec
+}
+
+#[test]
+fn faulted_sweep_is_byte_identical_across_thread_counts() {
+    let spec = tiny_faulted_spec();
+    let a = generate(&spec).expect("first faulted sweep");
+    let b = generate(&spec).expect("second faulted sweep");
+    assert_eq!(a.data.y, b.data.y);
+    assert_eq!(a.data.x.data(), b.data.x.data(), "feature bytes diverged");
+    for threads in [1, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("explicit thread counts always build");
+        let c = generate_on(&pool, &spec).expect("pooled faulted sweep");
+        assert_eq!(a.data.y, c.data.y, "labels diverged at {threads} threads");
+        assert_eq!(
+            a.data.x.data(),
+            c.data.x.data(),
+            "feature bytes diverged at {threads} threads"
+        );
+        assert_eq!(a.meta.len(), c.meta.len());
+        for (ma, mc) in a.meta.iter().zip(c.meta.iter()) {
+            assert_eq!(
+                (ma.window, ma.seed, ma.fault),
+                (mc.window, mc.seed, mc.fault)
+            );
+        }
+    }
+    // Both fault conditions actually contributed samples.
+    assert!(a.meta.iter().any(|m| m.fault == FaultSpec::Healthy));
+    assert!(a
+        .meta
+        .iter()
+        .any(|m| matches!(m.fault, FaultSpec::SlowOsts { .. })));
+}
+
+#[test]
+fn slow_disk_plan_shifts_the_label_distribution() {
+    // Labels compare each (possibly faulted) run against a HEALTHY
+    // baseline of the same scenario, so degraded hardware must surface
+    // as a higher share of high-slowdown windows than the identical
+    // fault-free sweep.
+    let mut healthy = tiny_faulted_spec();
+    healthy.faults = vec![FaultSpec::Healthy];
+    let mut faulted = tiny_faulted_spec();
+    faulted.faults = vec![FaultSpec::SlowOsts {
+        factor: 6.0,
+        from_s: 0,
+        dur_s: 120,
+    }];
+
+    let frac_degraded = |spec: &DatasetSpec| -> f64 {
+        let gen = generate(spec).expect("sweep runs");
+        let counts = gen.class_counts();
+        let total: usize = counts.iter().sum();
+        assert!(total > 0, "sweep produced no windows");
+        let degraded: usize = counts[1..].iter().sum();
+        degraded as f64 / total as f64
+    };
+    let h = frac_degraded(&healthy);
+    let f = frac_degraded(&faulted);
+    assert!(
+        f > h + 0.15,
+        "slow disks should add degraded windows: healthy {h:.3} vs faulted {f:.3}"
+    );
+}

@@ -26,7 +26,7 @@ fn quick_run(
             ranks: 2,
         });
     }
-    let (app, trace) = s.run();
+    let (app, trace) = s.run().expect("scenario runs");
     (app, trace, s)
 }
 

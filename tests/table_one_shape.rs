@@ -6,7 +6,7 @@ use quanterference_repro::framework::WorkloadKind::*;
 
 #[test]
 fn table_one_reproduces_the_papers_shape() {
-    let table = table_one(&TableOneConfig::smoke());
+    let table = table_one(&TableOneConfig::smoke()).expect("smoke table generates");
     let cell = |a, b| table.cell(a, b).expect("cell exists");
 
     // 1. Streaming reads suffer from read noise, not from write noise.

@@ -17,7 +17,6 @@
 use std::path::PathBuf;
 
 use quanterference_repro::framework::prelude::*;
-use quanterference_repro::pfs::config::ClusterConfig;
 use quanterference_repro::telemetry::MetricsSnapshot;
 
 fn golden_dir() -> PathBuf {
@@ -76,7 +75,7 @@ fn interfered_scenario() -> Scenario {
 
 #[test]
 fn baseline_smoke_snapshot_matches_golden() {
-    let (_, trace) = golden_scenario().run();
+    let (_, trace) = golden_scenario().run().expect("golden scenario runs");
     let snap = &trace.metrics;
     // Sanity before comparing bytes: the pfs layer reported activity.
     assert!(snap.counter("pfs.ost0.enqueued").unwrap_or(0) > 0);
@@ -91,7 +90,7 @@ fn baseline_smoke_snapshot_matches_golden() {
 
 #[test]
 fn interfered_smoke_snapshot_matches_golden() {
-    let (_, trace) = interfered_scenario().run();
+    let (_, trace) = interfered_scenario().run().expect("interfered scenario runs");
     check_golden(
         "interfered_ior_easy_read_s11.metrics.json",
         &trace.metrics.to_json(),
@@ -119,8 +118,8 @@ fn interfered_run_shows_more_device_work_than_baseline() {
     // The snapshots differ in the direction interference predicts:
     // more requests enqueued across OSTs, and the diff is expressible
     // via MetricsSnapshot::diff without panicking.
-    let (_, base) = golden_scenario().run();
-    let (_, noisy) = interfered_scenario().run();
+    let (_, base) = golden_scenario().run().expect("baseline runs");
+    let (_, noisy) = interfered_scenario().run().expect("interfered run");
     let total = |s: &MetricsSnapshot| -> u64 {
         s.metrics
             .iter()
