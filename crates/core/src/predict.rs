@@ -56,6 +56,18 @@ impl Predictor {
         self.window
     }
 
+    /// The underlying trained model (e.g. to inspect its shape).
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Unwrap the trained model, discarding the monitoring binding —
+    /// the handoff point to the serving layer, whose `ModelRegistry`
+    /// re-validates the shape against the monitor's feature layout.
+    pub fn into_model(self) -> TrainedModel {
+        self.model
+    }
+
     /// Predict the severity bin for one assembled feature block
     /// (`n_devices × n_features`, flattened row-major). Fails with
     /// [`QiError::Shape`] when the block has the wrong element count.

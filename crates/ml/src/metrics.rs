@@ -2,6 +2,13 @@
 //!
 //! The paper reports its results as confusion matrices (Figures 3-5) and
 //! quotes "F1 scores exceeding 90%". [`ConfusionMatrix`] renders both.
+//!
+//! **Degenerate-input convention:** every score defined as a ratio
+//! returns `0.0` when its denominator is empty — an absent class has
+//! precision, recall, and F1 of 0; a matrix with no recorded pairs has
+//! accuracy 0. No metric ever returns `NaN`, so downstream aggregation
+//! (macro averages, telemetry gauges, report tables) never has to guard
+//! against it. This matches scikit-learn's `zero_division=0` behavior.
 
 use qi_simkit::table::AsciiTable;
 
@@ -45,7 +52,7 @@ impl ConfusionMatrix {
         self.counts.iter().sum()
     }
 
-    /// Overall accuracy.
+    /// Overall accuracy. `0.0` (not NaN) when nothing was recorded.
     pub fn accuracy(&self) -> f64 {
         let correct: u64 = (0..self.n).map(|i| self.get(i, i)).sum();
         let total = self.total();
@@ -56,7 +63,8 @@ impl ConfusionMatrix {
         }
     }
 
-    /// Precision of class `c`: TP / (TP + FP).
+    /// Precision of class `c`: TP / (TP + FP). `0.0` (not NaN) when the
+    /// class was never predicted.
     pub fn precision(&self, c: usize) -> f64 {
         let tp = self.get(c, c) as f64;
         let predicted: u64 = (0..self.n).map(|a| self.get(a, c)).sum();
@@ -67,7 +75,8 @@ impl ConfusionMatrix {
         }
     }
 
-    /// Recall of class `c`: TP / (TP + FN).
+    /// Recall of class `c`: TP / (TP + FN). `0.0` (not NaN) when the
+    /// class never actually occurred.
     pub fn recall(&self, c: usize) -> f64 {
         let tp = self.get(c, c) as f64;
         let actual: u64 = (0..self.n).map(|p| self.get(c, p)).sum();
@@ -78,7 +87,8 @@ impl ConfusionMatrix {
         }
     }
 
-    /// F1 of class `c`.
+    /// F1 of class `c`. `0.0` (not NaN) when precision and recall are
+    /// both zero (e.g. the class is absent from truth and predictions).
     pub fn f1(&self, c: usize) -> f64 {
         let p = self.precision(c);
         let r = self.recall(c);
@@ -89,7 +99,9 @@ impl ConfusionMatrix {
         }
     }
 
-    /// Unweighted mean F1 over classes.
+    /// Unweighted mean F1 over **all** classes, absent ones included
+    /// (each contributing an F1 of 0) — so a model that only ever sees
+    /// one class cannot score a perfect macro-F1. Never NaN.
     pub fn macro_f1(&self) -> f64 {
         (0..self.n).map(|c| self.f1(c)).sum::<f64>() / self.n as f64
     }
@@ -202,6 +214,59 @@ mod tests {
         assert!(s.contains("35"));
         assert!(s.contains("precision"));
         assert!(s.contains("acc 0.850"));
+    }
+
+    /// No recorded pairs at all: every score is exactly 0.0, nothing is
+    /// NaN, and rendering still works (the documented convention).
+    #[test]
+    fn empty_matrix_yields_zeros_not_nan() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        for c in 0..3 {
+            assert_eq!(cm.precision(c), 0.0);
+            assert_eq!(cm.recall(c), 0.0);
+            assert_eq!(cm.f1(c), 0.0);
+        }
+        assert_eq!(cm.macro_f1(), 0.0);
+        let rendered = cm.render(&["a", "b", "c"]);
+        assert!(!rendered.contains("NaN"), "{rendered}");
+    }
+
+    /// Only one class ever appears (in truth AND predictions): that
+    /// class scores perfectly, the absent class scores 0, and macro-F1
+    /// averages them instead of going NaN.
+    #[test]
+    fn single_class_stream_is_well_defined() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..7 {
+            cm.record(0, 0);
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(0), 1.0);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.f1(0), 1.0);
+        // The absent positive class contributes zeros, not NaN.
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1_positive(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.5);
+    }
+
+    /// A class that exists in truth but is never predicted has defined
+    /// precision 0 (never predicted) and recall 0 (never hit).
+    #[test]
+    fn never_predicted_class_scores_zero() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..4 {
+            cm.record(1, 0); // positives exist but all predicted negative
+            cm.record(0, 0);
+        }
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1_positive(), 0.0);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+        assert!(cm.macro_f1().is_finite());
     }
 
     #[test]

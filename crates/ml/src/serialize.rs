@@ -15,7 +15,14 @@
 //! std.std  3f800000 ...
 //! net.w 0 <hex...>      (layer index over kernel layers then head layers)
 //! net.b 0 <hex...>
+//! check 0123456789abcdef  (FNV-1a 64 over everything above)
 //! ```
+//!
+//! The trailing `check` line makes the file self-verifying: *any*
+//! truncation or bit flip in a stored model surfaces as a
+//! [`ModelParseError`] instead of silently deserializing different
+//! weights — this is the trust boundary the serving registry loads
+//! models across.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -59,6 +66,16 @@ fn floats_to_hex(v: &[f32]) -> String {
     out
 }
 
+/// FNV-1a 64-bit over the serialized body (all lines above `check`).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn hex_to_floats(s: &str) -> Result<Vec<f32>, ModelParseError> {
     s.split_whitespace()
         .map(|tok| {
@@ -100,12 +117,33 @@ pub fn model_to_text(model: &TrainedModel) -> String {
             idx += 1;
         }
     }
+    let sum = fnv1a(out.trim_end());
+    let _ = writeln!(out, "check {sum:016x}");
     out
 }
 
 /// Parse a model back from its text form.
 pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    // Integrity first: the last line must be a checksum over everything
+    // above it, so truncations and bit flips fail here instead of
+    // deserializing different weights.
+    let (body, check_line) = text
+        .trim_end()
+        .rsplit_once('\n')
+        .ok_or_else(|| err("missing checksum line"))?;
+    let stored = check_line
+        .trim()
+        .strip_prefix("check ")
+        .ok_or_else(|| err("missing checksum line"))?;
+    let stored = u64::from_str_radix(stored.trim(), 16)
+        .map_err(|_| err(format!("bad checksum {:?}", check_line.trim())))?;
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(err(format!(
+            "checksum mismatch: file says {stored:016x}, content hashes to {computed:016x}"
+        )));
+    }
+    let mut lines = body.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or_else(|| err("empty input"))?;
     if header.trim() != "QIMODEL v1" {
         return Err(err(format!("unknown header {header:?}")));

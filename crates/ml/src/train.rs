@@ -76,6 +76,32 @@ impl Default for TrainConfig {
     }
 }
 
+/// The input/output contract of a trained model: how many per-server
+/// vectors one sample holds, how wide each is, and how many classes
+/// come out. The serving registry compares this against the monitor's
+/// feature configuration before activating a model, so a model trained
+/// under a different cluster size or feature ablation cannot silently
+/// serve garbage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelShape {
+    /// Vectors per sample (OSTs + MDT).
+    pub n_servers: usize,
+    /// Features per vector.
+    pub n_features: usize,
+    /// Output classes.
+    pub n_classes: usize,
+}
+
+impl std::fmt::Display for ModelShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} servers x {} features -> {} classes",
+            self.n_servers, self.n_features, self.n_classes
+        )
+    }
+}
+
 /// A trained model: network + the standardiser fitted on its training
 /// data. Apply to raw (unstandardised) feature blocks.
 pub struct TrainedModel {
@@ -117,6 +143,49 @@ impl TrainedModel {
     /// Number of classes the model outputs.
     pub fn n_classes(&self) -> usize {
         self.net.n_classes()
+    }
+
+    /// Vectors per sample (OSTs + MDT) the model expects.
+    pub fn n_servers(&self) -> usize {
+        self.net.n_servers()
+    }
+
+    /// Feature width of each per-server vector.
+    pub fn n_features(&self) -> usize {
+        self.net.n_features()
+    }
+
+    /// The model's input/output shape, as the serving registry validates
+    /// it: every deployed model must agree with the monitor's feature
+    /// layout before it can be activated.
+    pub fn shape(&self) -> ModelShape {
+        ModelShape {
+            n_servers: self.net.n_servers(),
+            n_features: self.net.n_features(),
+            n_classes: self.net.n_classes(),
+        }
+    }
+
+    /// Predict class labels for `k` raw sample blocks stacked into one
+    /// `(k * n_servers) × n_features` matrix — the serving layer's
+    /// micro-batch forward pass. A batch of `k` produces one network
+    /// invocation instead of `k`, and because every kernel accumulates
+    /// in a fixed order the results are bit-identical to `k` calls of
+    /// [`TrainedModel::predict_one`] at any thread count.
+    pub fn predict_batch(&mut self, stacked: &Matrix) -> Vec<usize> {
+        let mut x = stacked.clone();
+        self.standardizer.transform(&mut x);
+        let logits = self.net.forward(&x);
+        (0..logits.rows())
+            .map(|r| {
+                let row = logits.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
     }
 
     /// Predict class labels for every sample of `data`.
@@ -382,6 +451,37 @@ mod tests {
         for i in [0, 13, 57] {
             assert_eq!(model.predict_one(&data.sample_rows(i)), batch[i]);
         }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_calls() {
+        let data = synth(90, 3, 13);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        let mut model = train(&data, &cfg);
+        assert_eq!(
+            model.shape(),
+            ModelShape {
+                n_servers: 3,
+                n_features: 6,
+                n_classes: 2
+            }
+        );
+        // Stack samples 4..12 into one micro-batch.
+        let idx: Vec<usize> = (4..12).collect();
+        let mut rows = Vec::new();
+        for &i in &idx {
+            rows.extend_from_slice(data.sample_rows(i).data());
+        }
+        let stacked = Matrix::from_vec(idx.len() * 3, 6, rows);
+        let batched = model.predict_batch(&stacked);
+        let singles: Vec<usize> = idx
+            .iter()
+            .map(|&i| model.predict_one(&data.sample_rows(i)))
+            .collect();
+        assert_eq!(batched, singles);
     }
 
     #[test]

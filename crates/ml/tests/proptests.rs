@@ -2,9 +2,51 @@
 
 use proptest::prelude::*;
 use qi_ml::data::{Dataset, Standardizer};
+use qi_ml::layers::{Dense, Mlp};
 use qi_ml::loss::{inverse_frequency_weights, softmax, softmax_cross_entropy};
 use qi_ml::matrix::Matrix;
 use qi_ml::metrics::ConfusionMatrix;
+use qi_ml::model::KernelNet;
+use qi_ml::serialize::{model_from_text, model_to_text};
+use qi_ml::train::TrainedModel;
+
+fn mlp_from(widths: &[usize], params: &mut impl Iterator<Item = f32>) -> Mlp {
+    let layers = widths
+        .windows(2)
+        .map(|p| {
+            let w: Vec<f32> = params.by_ref().take(p[0] * p[1]).collect();
+            let b: Vec<f32> = params.by_ref().take(p[1]).collect();
+            Dense::from_params(p[0], p[1], w, b)
+        })
+        .collect();
+    Mlp::from_layers(layers)
+}
+
+/// Any structurally valid `TrainedModel`: random architecture within the
+/// kernel-net family (kernel ends in one score, head starts at the
+/// server count) and random finite parameters.
+fn arb_model() -> impl Strategy<Value = TrainedModel> {
+    (2usize..5, 3usize..8, 2usize..6, 2usize..4).prop_flat_map(|(servers, feats, hidden, classes)| {
+        let n_params = |widths: &[usize]| -> usize {
+            widths.windows(2).map(|p| p[0] * p[1] + p[1]).sum()
+        };
+        let total = n_params(&[feats, hidden, 1]) + n_params(&[servers, hidden, classes]);
+        (
+            prop::collection::vec(-100.0f32..100.0, total),
+            prop::collection::vec(-10.0f32..10.0, feats),
+            prop::collection::vec(0.01f32..10.0, feats),
+        )
+            .prop_map(move |(net, mean, std)| {
+                let mut it = net.into_iter();
+                let kernel = mlp_from(&[feats, hidden, 1], &mut it);
+                let head = mlp_from(&[servers, hidden, classes], &mut it);
+                TrainedModel::from_parts(
+                    KernelNet::from_parts(kernel, head, servers),
+                    Standardizer::from_parts(mean, std),
+                )
+            })
+    })
+}
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-50.0f32..50.0, rows * cols)
@@ -180,5 +222,70 @@ proptest! {
         let mut orig: Vec<f32> = (0..n).map(|i| d.sample_rows(i).get(0, 0)).collect();
         orig.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         prop_assert_eq!(all, orig);
+    }
+
+    /// QIMODEL round trip is bit-identical for ANY valid model: the
+    /// re-serialized text matches byte for byte (hex bit patterns, so
+    /// parameter bits survive exactly) and predictions agree.
+    #[test]
+    fn serialized_model_round_trips_bit_identically(
+        model in arb_model(),
+        seed in 0u64..1_000,
+    ) {
+        let mut model = model;
+        let text = model_to_text(&model);
+        let mut back = model_from_text(&text).expect("own output parses");
+        prop_assert_eq!(model_to_text(&back), text.clone());
+        // Bit-identical predictions on a pseudo-random feature block.
+        let shape = model.shape();
+        let block: Vec<f32> = (0..shape.n_servers * shape.n_features)
+            .map(|j| {
+                let h = (j as u64 + 1).wrapping_mul(seed.wrapping_mul(2) + 1);
+                ((h >> 16) as u32 % 4_000) as f32 / 1_000.0 - 2.0
+            })
+            .collect();
+        let m = Matrix::from_vec(shape.n_servers, shape.n_features, block);
+        prop_assert_eq!(model.predict_one(&m), back.predict_one(&m));
+    }
+
+    /// Truncating a QIMODEL file anywhere inside its content always
+    /// yields a `ModelParseError` — never a panic, never a silently
+    /// different model. (The trailing checksum line guarantees this.)
+    #[test]
+    fn truncated_model_files_always_error(
+        model in arb_model(),
+        frac in 0.0f64..1.0,
+    ) {
+        let text = model_to_text(&model);
+        let content = text.trim_end().len();
+        let cut = ((frac * content as f64) as usize).min(content - 1);
+        prop_assert!(model_from_text(&text[..cut]).is_err());
+    }
+
+    /// Flipping any single bit of a QIMODEL file's content always yields
+    /// a `ModelParseError`: a flip in the body breaks the FNV-1a
+    /// checksum, a flip in the checksum line breaks its own syntax or
+    /// the match. Never a panic.
+    #[test]
+    fn bit_flipped_model_files_always_error(
+        model in arb_model(),
+        frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let text = model_to_text(&model);
+        let content = text.trim_end().len();
+        let mut bytes = text.into_bytes();
+        let i = ((frac * content as f64) as usize).min(content - 1);
+        bytes[i] ^= 1 << bit;
+        match String::from_utf8(bytes) {
+            // Invalid UTF-8 would already be rejected by any reader.
+            Err(_) => {}
+            Ok(corrupt) => prop_assert!(
+                model_from_text(&corrupt).is_err(),
+                "flip of bit {} at byte {} parsed successfully",
+                bit,
+                i
+            ),
+        }
     }
 }

@@ -14,6 +14,7 @@ use qi_pfs::ids::{AppId, DeviceId};
 use qi_pfs::ops::{OpRecord, RpcRecord, ServerSample};
 
 use crate::client::{ClientWindow, DevTargeting};
+use crate::features::{server_vector_masked, FeatureAvailability, FeatureConfig};
 use crate::server::{ServerWindow, N_SERVER_SERIES};
 use crate::window::WindowConfig;
 use qi_simkit::error::QiError;
@@ -52,6 +53,44 @@ pub struct EmittedWindow {
     pub clients: HashMap<AppId, ClientWindow>,
     /// Per-device server metrics.
     pub servers: HashMap<DeviceId, ServerWindow>,
+}
+
+impl EmittedWindow {
+    /// Assemble, for every application active in this window, the
+    /// flattened per-server feature block the predictor consumes
+    /// (`n_devices × cfg.len()`, row-major) together with its
+    /// availability mask — the online equivalent of
+    /// `dataset::window_vectors` for a single emitted window. The
+    /// serving layer turns each returned `(app, block)` pair into one
+    /// prediction request, so apps come back sorted by id to keep the
+    /// request order deterministic.
+    pub fn feature_blocks(
+        &self,
+        cfg: FeatureConfig,
+        n_devices: u32,
+        window: qi_simkit::time::SimDuration,
+    ) -> Vec<(AppId, Vec<f32>, FeatureAvailability)> {
+        let mut apps: Vec<AppId> = self.clients.keys().copied().collect();
+        apps.sort_unstable_by_key(|a| a.0);
+        apps.into_iter()
+            .map(|app| {
+                let client = self.clients.get(&app);
+                let mut block = Vec::with_capacity(n_devices as usize * cfg.len());
+                let mut avail = FeatureAvailability {
+                    client: client.is_some(),
+                    server: true,
+                };
+                for d in 0..n_devices {
+                    let dev = DeviceId(d);
+                    let (v, a) =
+                        server_vector_masked(cfg, client, self.servers.get(&dev), dev, window);
+                    avail.server &= a.server;
+                    block.extend(v);
+                }
+                (app, block, avail)
+            })
+            .collect()
+    }
 }
 
 /// Incremental window builder. All inputs must arrive in non-decreasing
@@ -268,6 +307,7 @@ mod tests {
     use super::*;
     use qi_pfs::ids::OpToken;
     use qi_pfs::ops::{OpKind, RunTrace};
+    use qi_simkit::time::SimDuration;
 
     fn op(app: u32, seq: u64, completed_ms: u64) -> OpRecord {
         OpRecord {
@@ -356,6 +396,86 @@ mod tests {
             }
         }
         assert_eq!(streamed, batch.len());
+    }
+
+    #[test]
+    fn event_exactly_at_the_watermark_is_accepted() {
+        // The watermark is the latest time seen; an event AT that time
+        // is in order (ties are legal), only strictly-behind is not.
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
+        m.push_op(&op(0, 0, 500)).expect("in order");
+        m.push_op(&op(1, 0, 500)).expect("tie at watermark accepted");
+        m.push_op(&op(0, 1, 500)).expect("repeated tie accepted");
+        let rest = m.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].clients[&AppId(0)].reads, 2);
+        assert_eq!(rest[0].clients[&AppId(1)].reads, 1);
+    }
+
+    #[test]
+    fn out_of_order_error_carries_the_exact_times() {
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
+        m.push_op(&op(0, 0, 750)).expect("in order");
+        let err = m.push_op(&op(0, 1, 749)).expect_err("behind watermark");
+        let src = std::error::Error::source(&err).expect("wraps OutOfOrder");
+        let ooo = src.downcast_ref::<OutOfOrder>().expect("OutOfOrder cause");
+        assert_eq!(ooo.t, SimTime::from_millis(749));
+        assert_eq!(ooo.watermark, SimTime::from_millis(750));
+        // The rejected event must not have been ingested.
+        assert_eq!(m.metrics_snapshot().counter("monitor.ops_ingested"), Some(1));
+    }
+
+    #[test]
+    fn far_ahead_event_flushes_each_cell_exactly_once() {
+        // Jump 10 windows ahead; every (app, window) cell must come out
+        // exactly once across the whole stream, including the final
+        // partial window from finish().
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 4);
+        m.push_op(&op(0, 0, 100)).expect("in order");
+        m.push_op(&op(1, 0, 200)).expect("in order");
+        let mut emitted = m.push_op(&op(0, 1, 10_500)).expect("far ahead");
+        assert_eq!(emitted.len(), 10, "windows 0..=9 finalised");
+        emitted.extend(m.finish());
+        let mut cells = std::collections::HashSet::new();
+        for ew in &emitted {
+            for app in ew.clients.keys() {
+                assert!(
+                    cells.insert((*app, ew.window)),
+                    "cell ({app:?}, {}) emitted twice",
+                    ew.window
+                );
+            }
+        }
+        assert_eq!(cells.len(), 3, "(0,0), (1,0) and (0,10)");
+        assert!(cells.contains(&(AppId(0), 0)));
+        assert!(cells.contains(&(AppId(1), 0)));
+        assert!(cells.contains(&(AppId(0), 10)));
+        // Window indices themselves are each emitted exactly once too.
+        let mut windows: Vec<u64> = emitted.iter().map(|e| e.window).collect();
+        windows.dedup();
+        assert_eq!(windows.len(), emitted.len());
+    }
+
+    #[test]
+    fn feature_blocks_cover_active_apps_in_id_order() {
+        use crate::features::FeatureConfig;
+        let mut m = StreamingMonitor::new(WindowConfig::seconds(1), 2);
+        m.push_op(&op(3, 0, 100)).expect("in order");
+        m.push_op(&op(1, 0, 200)).expect("in order");
+        let emitted = m.finish();
+        assert_eq!(emitted.len(), 1);
+        let cfg = FeatureConfig::default();
+        let blocks = emitted[0].feature_blocks(cfg, 2, SimDuration::from_secs(1));
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].0, AppId(1), "sorted by app id");
+        assert_eq!(blocks[1].0, AppId(3));
+        for (_, block, avail) in &blocks {
+            assert_eq!(block.len(), 2 * cfg.len());
+            assert!(avail.client, "client window present");
+            assert!(!avail.server, "no samples pushed: server block absent");
+        }
+        // cl_reads of app 1's block is the op count.
+        assert_eq!(blocks[0].1[0], 1.0);
     }
 
     #[test]

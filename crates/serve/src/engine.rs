@@ -1,0 +1,792 @@
+//! Micro-batching inference engine with admission control.
+//!
+//! One prediction request arrives per emitted `(app, window)` cell.
+//! Requests accumulate in a bounded queue and are flushed as a **single
+//! stacked forward pass** when either threshold trips:
+//!
+//! - **batch size** — the queue reached [`ServeConfig::max_batch`];
+//! - **batch delay** — the oldest queued request has waited
+//!   [`ServeConfig::max_delay`] (checked by [`ServeEngine::poll`], which
+//!   callers drive from simulated time).
+//!
+//! Ahead of the queue sits a [`TokenBucket`] admission controller and an
+//! explicit [`OverloadPolicy`]; behind it, the batched forward pass runs
+//! on the PR-2 work-stealing pool, whose kernels are bit-identical to
+//! sequential execution at any thread count. Inference cost is *modelled*
+//! (a deterministic affine function of batch size in simulated time), so
+//! latency telemetry is byte-stable across replays and across pools.
+//!
+//! Accounting invariant (asserted in tests): every submitted request is
+//! answered by inference, answered stale, shed, or still queued —
+//! `requests == answered + stale + shed + queue_depth`.
+
+use std::collections::HashMap;
+
+use qi_ml::matrix::Matrix;
+use qi_pfs::ids::AppId;
+use qi_simkit::error::QiError;
+use qi_simkit::ratelimit::TokenBucket;
+use qi_simkit::time::{SimDuration, SimTime};
+use qi_telemetry::{MetricId, MetricValue, MetricsSnapshot, Registry};
+use rayon::ThreadPool;
+
+use crate::registry::ModelRegistry;
+
+/// Modelled inference cost: fixed dispatch overhead per batch…
+const INFER_BASE_US: u64 = 150;
+/// …plus a per-sample cost. Batching amortises the base term — that is
+/// the whole point of micro-batching, and the bench measures the real
+/// (wall-clock) analogue of the same effect.
+const INFER_PER_SAMPLE_US: u64 = 40;
+
+/// What the service does when a request cannot be admitted (the token
+/// bucket is empty or the queue is at capacity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Drop the request and count it; the caller gets no answer.
+    /// Queue depth stays bounded by construction.
+    Shed,
+    /// Admit anyway: token debt delays the request's effective arrival
+    /// (the caller waits for admission), and a full queue forces an
+    /// immediate flush to make room. Latency absorbs the overload.
+    Block,
+    /// Answer immediately from the tenant's most recent prediction
+    /// (class 0 — "no interference" — before any answer exists) without
+    /// touching the queue or the model. Freshness absorbs the overload.
+    DegradeToStale,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Flush when this many requests are queued.
+    pub max_batch: usize,
+    /// Flush when the oldest queued request has waited this long.
+    pub max_delay: SimDuration,
+    /// Queue capacity; admission beyond it triggers the overload policy.
+    pub queue_cap: usize,
+    /// Optional token-bucket admission control `(rate_per_sec, burst)`.
+    pub admission: Option<(f64, f64)>,
+    /// What to do when admission fails.
+    pub overload: OverloadPolicy,
+    /// Tenants allowed to submit. Fixed up front so the per-tenant
+    /// telemetry key set is stable across scenarios.
+    pub tenants: Vec<AppId>,
+    /// Worker threads for the batched forward pass (`None` = ambient).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_delay: SimDuration::from_millis(200),
+            queue_cap: 32,
+            admission: None,
+            overload: OverloadPolicy::Shed,
+            tenants: Vec::new(),
+            threads: None,
+        }
+    }
+}
+
+/// One prediction request: the feature block of one `(app, window)`
+/// cell, as produced by `EmittedWindow::feature_blocks`.
+#[derive(Clone, Debug)]
+pub struct PredictRequest {
+    /// The application the prediction is for.
+    pub tenant: AppId,
+    /// The monitor window the block describes.
+    pub window: u64,
+    /// Flattened `n_servers × n_features` feature block.
+    pub block: Vec<f32>,
+}
+
+/// A completed prediction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// The application the prediction is for.
+    pub tenant: AppId,
+    /// The monitor window it describes.
+    pub window: u64,
+    /// Predicted severity bin.
+    pub class: usize,
+    /// Time spent queued (effective arrival → flush).
+    pub queued: SimDuration,
+    /// Size of the batch this prediction was flushed in.
+    pub batch: usize,
+    /// Instant the answer became available (flush + modelled cost).
+    pub done_at: SimTime,
+}
+
+/// What happened to a request at submission time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; its prediction arrives from a later flush.
+    Enqueued,
+    /// Answered immediately with a stale class (DegradeToStale).
+    Stale(usize),
+    /// Dropped (Shed); it will never be answered.
+    Shed,
+}
+
+struct TenantIds {
+    requests: MetricId,
+    answered: MetricId,
+    shed: MetricId,
+}
+
+struct QueuedRequest {
+    req: PredictRequest,
+    /// Effective arrival: submission time, pushed later by token debt
+    /// under [`OverloadPolicy::Block`].
+    arrival: SimTime,
+}
+
+/// The micro-batching prediction service.
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    registry: ModelRegistry,
+    bucket: Option<TokenBucket>,
+    pool: Option<ThreadPool>,
+    pending: Vec<QueuedRequest>,
+    last_answer: HashMap<AppId, usize>,
+    reg: Registry,
+    m_requests: MetricId,
+    m_answered: MetricId,
+    m_stale: MetricId,
+    m_shed: MetricId,
+    m_blocked: MetricId,
+    m_batches: MetricId,
+    m_batch_size: MetricId,
+    m_queue_depth: MetricId,
+    m_queue_wait: MetricId,
+    m_infer: MetricId,
+    m_admission_wait: MetricId,
+    tenant_ids: HashMap<AppId, TenantIds>,
+}
+
+impl ServeEngine {
+    /// Build an engine over a registry. Fails on a nonsensical config
+    /// (zero batch size, queue smaller than a batch, zero delay, bad
+    /// admission parameters).
+    pub fn new(cfg: ServeConfig, registry: ModelRegistry) -> Result<Self, QiError> {
+        if cfg.max_batch == 0 {
+            return Err(QiError::Serve("max_batch must be at least 1".into()));
+        }
+        if cfg.queue_cap < cfg.max_batch {
+            return Err(QiError::Serve(format!(
+                "queue_cap {} smaller than max_batch {}",
+                cfg.queue_cap, cfg.max_batch
+            )));
+        }
+        if cfg.max_delay.as_nanos() == 0 {
+            return Err(QiError::Serve("max_delay must be positive".into()));
+        }
+        if let Some((rate, burst)) = cfg.admission {
+            if rate <= 0.0 || burst <= 0.0 {
+                return Err(QiError::Serve(format!(
+                    "admission rate/burst must be positive, got ({rate}, {burst})"
+                )));
+            }
+        }
+        let bucket = cfg.admission.map(|(rate, burst)| TokenBucket::new(rate, burst));
+        let pool = match cfg.threads {
+            Some(n) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| QiError::Serve(format!("serving pool: {e}")))?,
+            ),
+            None => None,
+        };
+
+        let mut reg = Registry::new();
+        let m_requests = reg.counter("serve.requests");
+        let m_answered = reg.counter("serve.answered");
+        let m_stale = reg.counter("serve.stale");
+        let m_shed = reg.counter("serve.shed");
+        let m_blocked = reg.counter("serve.blocked");
+        let m_batches = reg.counter("serve.batches");
+        let m_batch_size = reg.stats("serve.batch_size");
+        let m_queue_depth = reg.stats("serve.queue_depth");
+        let m_queue_wait = reg.histogram("serve.queue_wait_us", 0.0, 2_000_000.0, 40);
+        let m_infer = reg.histogram("serve.infer_us", 0.0, 5_000.0, 50);
+        let m_admission_wait = reg.histogram("serve.admission_wait_us", 0.0, 2_000_000.0, 40);
+        let mut tenants = cfg.tenants.clone();
+        tenants.sort_unstable_by_key(|a| a.0);
+        tenants.dedup();
+        let tenant_ids = tenants
+            .iter()
+            .map(|&t| {
+                let ids = TenantIds {
+                    requests: reg.counter(&format!("serve.tenant.app{}.requests", t.0)),
+                    answered: reg.counter(&format!("serve.tenant.app{}.answered", t.0)),
+                    shed: reg.counter(&format!("serve.tenant.app{}.shed", t.0)),
+                };
+                (t, ids)
+            })
+            .collect();
+
+        Ok(ServeEngine {
+            cfg,
+            registry,
+            bucket,
+            pool,
+            pending: Vec::new(),
+            last_answer: HashMap::new(),
+            reg,
+            m_requests,
+            m_answered,
+            m_stale,
+            m_shed,
+            m_blocked,
+            m_batches,
+            m_batch_size,
+            m_queue_depth,
+            m_queue_wait,
+            m_infer,
+            m_admission_wait,
+            tenant_ids,
+        })
+    }
+
+    /// The model registry (inspection).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Load a serialized model into the registry under `version`.
+    pub fn load_model_text(&mut self, version: u64, text: &str) -> Result<(), QiError> {
+        self.registry.load_text(version, text)
+    }
+
+    /// Hot-swap the active model. Pending requests are flushed first so
+    /// the swap is atomic with respect to batches: no batch ever mixes
+    /// model versions. Returns the flushed predictions.
+    pub fn activate(&mut self, now: SimTime, version: u64) -> Result<Vec<Prediction>, QiError> {
+        let flushed = self.flush(now)?;
+        self.registry.activate(version)?;
+        Ok(flushed)
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit one request at simulated instant `now` (non-decreasing
+    /// across calls). Returns what happened to the request plus any
+    /// predictions that completed as a side effect (delay-expired
+    /// batches, a size-tripped flush, a forced flush under `Block`).
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        req: PredictRequest,
+    ) -> Result<(Admission, Vec<Prediction>), QiError> {
+        let shape = self.registry.expected_shape();
+        let expected = shape.n_servers * shape.n_features;
+        if req.block.len() != expected {
+            return Err(QiError::Shape {
+                what: "serve request block floats",
+                expected,
+                got: req.block.len(),
+            });
+        }
+        if !self.tenant_ids.contains_key(&req.tenant) {
+            return Err(QiError::Serve(format!(
+                "unknown tenant app{} (not in ServeConfig::tenants)",
+                req.tenant.0
+            )));
+        }
+
+        // Delay-expired batches flush before the new arrival is judged.
+        let mut completed = self.poll(now)?;
+
+        self.reg.inc(self.m_requests);
+        self.reg.inc(self.tenant_ids[&req.tenant].requests);
+
+        // Admission control: a request costs one token. The bucket is
+        // probed on a copy so a shed (or stale) request consumes nothing.
+        let mut arrival = now;
+        if let Some(bucket) = &self.bucket {
+            let mut probe = bucket.clone();
+            let grant = probe.earliest(now, 1.0);
+            if grant > now {
+                match self.cfg.overload {
+                    OverloadPolicy::Shed => {
+                        self.shed(req.tenant);
+                        return Ok((Admission::Shed, completed));
+                    }
+                    OverloadPolicy::DegradeToStale => {
+                        let class = self.stale_answer(req.tenant);
+                        return Ok((Admission::Stale(class), completed));
+                    }
+                    OverloadPolicy::Block => {
+                        // The caller waits for admission: the request's
+                        // effective arrival is the grant instant.
+                        self.bucket = Some(probe);
+                        self.reg.inc(self.m_blocked);
+                        self.reg.observe(
+                            self.m_admission_wait,
+                            grant.saturating_since(now).as_nanos() as f64 / 1_000.0,
+                        );
+                        arrival = grant;
+                    }
+                }
+            } else {
+                self.bucket = Some(probe);
+                self.reg.observe(self.m_admission_wait, 0.0);
+            }
+        }
+
+        // Bounded queue: a full queue is the other overload trigger.
+        if self.pending.len() >= self.cfg.queue_cap {
+            match self.cfg.overload {
+                OverloadPolicy::Shed => {
+                    self.shed(req.tenant);
+                    return Ok((Admission::Shed, completed));
+                }
+                OverloadPolicy::DegradeToStale => {
+                    let class = self.stale_answer(req.tenant);
+                    return Ok((Admission::Stale(class), completed));
+                }
+                OverloadPolicy::Block => {
+                    // Backpressure: drain the queue now to make room.
+                    completed.extend(self.flush(now)?);
+                }
+            }
+        }
+
+        self.pending.push(QueuedRequest { req, arrival });
+        self.reg
+            .observe(self.m_queue_depth, self.pending.len() as f64);
+        if self.pending.len() >= self.cfg.max_batch {
+            completed.extend(self.flush(now)?);
+        }
+        Ok((Admission::Enqueued, completed))
+    }
+
+    /// Flush any batch whose delay threshold expired by `now`. Callers
+    /// drive this from simulated time (e.g. once per emitted window).
+    pub fn poll(&mut self, now: SimTime) -> Result<Vec<Prediction>, QiError> {
+        let expired = self
+            .pending
+            .first()
+            .is_some_and(|p| p.arrival + self.cfg.max_delay <= now);
+        if expired {
+            self.flush(now)
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// End of stream: flush whatever is queued.
+    pub fn finish(&mut self, now: SimTime) -> Result<Vec<Prediction>, QiError> {
+        self.flush(now)
+    }
+
+    /// Run one stacked forward pass over everything queued.
+    fn flush(&mut self, now: SimTime) -> Result<Vec<Prediction>, QiError> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shape = self.registry.expected_shape();
+        let model = self
+            .registry
+            .active_model_mut()
+            .ok_or_else(|| QiError::Serve("no active model version".into()))?;
+        let batch = std::mem::take(&mut self.pending);
+        let k = batch.len();
+        let mut rows = Vec::with_capacity(k * shape.n_servers * shape.n_features);
+        for p in &batch {
+            rows.extend_from_slice(&p.req.block);
+        }
+        let stacked = Matrix::from_vec(k * shape.n_servers, shape.n_features, rows);
+        let classes = match &self.pool {
+            Some(p) => p.install(|| model.predict_batch(&stacked)),
+            None => model.predict_batch(&stacked),
+        };
+        debug_assert_eq!(classes.len(), k);
+
+        let cost = SimDuration::from_micros(INFER_BASE_US + INFER_PER_SAMPLE_US * k as u64);
+        let done_at = now + cost;
+        self.reg.inc(self.m_batches);
+        self.reg.observe(self.m_batch_size, k as f64);
+        self.reg
+            .observe(self.m_infer, cost.as_nanos() as f64 / 1_000.0);
+        let mut out = Vec::with_capacity(k);
+        for (p, class) in batch.into_iter().zip(classes) {
+            let queued = now.saturating_since(p.arrival);
+            self.reg
+                .observe(self.m_queue_wait, queued.as_nanos() as f64 / 1_000.0);
+            self.reg.inc(self.m_answered);
+            self.reg.inc(self.tenant_ids[&p.req.tenant].answered);
+            self.last_answer.insert(p.req.tenant, class);
+            out.push(Prediction {
+                tenant: p.req.tenant,
+                window: p.req.window,
+                class,
+                queued,
+                batch: k,
+                done_at,
+            });
+        }
+        Ok(out)
+    }
+
+    fn shed(&mut self, tenant: AppId) {
+        self.reg.inc(self.m_shed);
+        self.reg.inc(self.tenant_ids[&tenant].shed);
+    }
+
+    fn stale_answer(&mut self, tenant: AppId) -> usize {
+        self.reg.inc(self.m_stale);
+        *self.last_answer.get(&tenant).unwrap_or(&0)
+    }
+
+    /// Serving telemetry: the engine's counters/histograms, the derived
+    /// p50/p95/p99 latency gauges, and the registry state — every key
+    /// present from construction, so key sets are stable.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.reg.snapshot();
+        for name in ["serve.queue_wait_us", "serve.infer_us"] {
+            let h = snap.histogram(name).expect("registered in new()").clone();
+            for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                snap.put(
+                    &format!("{name}.{tag}"),
+                    MetricValue::Gauge(h.quantile(q)),
+                );
+            }
+        }
+        self.registry.metrics_into(&mut snap);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use qi_ml::data::Dataset;
+    use qi_ml::train::{train, TrainConfig, TrainedModel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const SERVERS: usize = 3;
+    const FEATS: usize = 4;
+
+    fn model(seed: u64) -> TrainedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let pos = i % 2 == 0;
+            let block: Vec<f32> = (0..SERVERS * FEATS)
+                .map(|_| {
+                    if pos {
+                        rng.gen_range(1.0..2.0)
+                    } else {
+                        rng.gen_range(-2.0..-1.0)
+                    }
+                })
+                .collect();
+            samples.push(block);
+            y.push(usize::from(pos));
+        }
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        };
+        train(&Dataset::from_samples(samples, y, SERVERS), &cfg)
+    }
+
+    fn engine(cfg: ServeConfig) -> ServeEngine {
+        let m = model(1);
+        let mut reg = ModelRegistry::new(m.shape());
+        reg.insert(1, m).expect("load");
+        reg.activate(1).expect("activate");
+        ServeEngine::new(cfg, reg).expect("valid config")
+    }
+
+    fn req(tenant: u32, window: u64, hot: bool) -> PredictRequest {
+        let v = if hot { 1.5 } else { -1.5 };
+        PredictRequest {
+            tenant: AppId(tenant),
+            window,
+            block: vec![v; SERVERS * FEATS],
+        }
+    }
+
+    fn t_ms(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn size_threshold_trips_a_batch() {
+        let mut e = engine(ServeConfig {
+            max_batch: 3,
+            tenants: vec![AppId(0)],
+            ..ServeConfig::default()
+        });
+        let (_, c1) = e.submit(t_ms(0), req(0, 0, true)).unwrap();
+        let (_, c2) = e.submit(t_ms(1), req(0, 1, false)).unwrap();
+        assert!(c1.is_empty() && c2.is_empty());
+        assert_eq!(e.queue_depth(), 2);
+        let (_, c3) = e.submit(t_ms(2), req(0, 2, true)).unwrap();
+        assert_eq!(c3.len(), 3, "size threshold flushed the batch");
+        assert_eq!(e.queue_depth(), 0);
+        assert!(c3.iter().all(|p| p.batch == 3));
+        // Batched answers equal the per-sample model output.
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("serve.answered"), Some(3));
+        assert_eq!(snap.counter("serve.batches"), Some(1));
+    }
+
+    #[test]
+    fn delay_threshold_trips_via_poll() {
+        let mut e = engine(ServeConfig {
+            max_batch: 8,
+            max_delay: SimDuration::from_millis(50),
+            tenants: vec![AppId(0)],
+            ..ServeConfig::default()
+        });
+        e.submit(t_ms(0), req(0, 0, true)).unwrap();
+        assert!(e.poll(t_ms(49)).unwrap().is_empty(), "not yet expired");
+        let out = e.poll(t_ms(50)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].queued, SimDuration::from_millis(50));
+        assert_eq!(out[0].done_at, t_ms(50) + SimDuration::from_micros(190));
+    }
+
+    #[test]
+    fn batched_equals_unbatched_classes() {
+        let mk = |max_batch| {
+            let mut e = engine(ServeConfig {
+                max_batch,
+                tenants: vec![AppId(0)],
+                ..ServeConfig::default()
+            });
+            let mut classes = Vec::new();
+            for w in 0..10u64 {
+                let (_, done) = e.submit(t_ms(w), req(0, w, w % 3 == 0)).unwrap();
+                classes.extend(done.into_iter().map(|p| (p.window, p.class)));
+            }
+            classes.extend(e.finish(t_ms(10)).unwrap().into_iter().map(|p| (p.window, p.class)));
+            classes.sort_unstable();
+            classes
+        };
+        assert_eq!(mk(1), mk(8), "batching must not change predictions");
+    }
+
+    #[test]
+    fn shed_policy_bounds_the_queue_and_counts_exactly() {
+        let mut e = engine(ServeConfig {
+            max_batch: 4,
+            queue_cap: 4,
+            admission: Some((10.0, 2.0)), // 2-token burst, 10/s refill
+            overload: OverloadPolicy::Shed,
+            tenants: vec![AppId(0)],
+            ..ServeConfig::default()
+        });
+        // 6 requests at the same instant: 2 admitted (burst), 4 shed.
+        let mut shed = 0;
+        let mut answered = 0;
+        for w in 0..6u64 {
+            let (adm, done) = e.submit(t_ms(0), req(0, w, true)).unwrap();
+            if adm == Admission::Shed {
+                shed += 1;
+            }
+            answered += done.len();
+        }
+        answered += e.finish(t_ms(1)).unwrap().len();
+        assert_eq!(shed, 4);
+        assert_eq!(answered, 2);
+        assert!(e.queue_depth() <= 4);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("serve.shed"), Some(4));
+        assert_eq!(snap.counter("serve.tenant.app0.shed"), Some(4));
+        assert_eq!(
+            snap.counter("serve.requests"),
+            Some(snap.counter("serve.answered").unwrap() + snap.counter("serve.shed").unwrap())
+        );
+    }
+
+    #[test]
+    fn block_policy_delays_instead_of_dropping() {
+        let mut e = engine(ServeConfig {
+            max_batch: 2,
+            admission: Some((10.0, 1.0)),
+            overload: OverloadPolicy::Block,
+            tenants: vec![AppId(0)],
+            ..ServeConfig::default()
+        });
+        let (a1, _) = e.submit(t_ms(0), req(0, 0, true)).unwrap();
+        let (a2, done) = e.submit(t_ms(0), req(0, 1, true)).unwrap();
+        assert_eq!(a1, Admission::Enqueued);
+        assert_eq!(a2, Admission::Enqueued, "blocked, not shed");
+        // Second request waited 100 ms for a token; flush at t=0 came
+        // from the size threshold, so its queue wait saturates at zero.
+        assert_eq!(done.len(), 2);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("serve.blocked"), Some(1));
+        assert_eq!(snap.counter("serve.shed"), Some(0));
+        assert_eq!(snap.counter("serve.answered"), Some(2));
+    }
+
+    #[test]
+    fn degrade_to_stale_reuses_the_last_answer() {
+        let mut e = engine(ServeConfig {
+            max_batch: 1, // every request flushes immediately when admitted
+            admission: Some((10.0, 1.0)),
+            overload: OverloadPolicy::DegradeToStale,
+            tenants: vec![AppId(0)],
+            ..ServeConfig::default()
+        });
+        let (a1, done) = e.submit(t_ms(0), req(0, 0, true)).unwrap();
+        assert_eq!(a1, Admission::Enqueued);
+        let fresh = done[0].class;
+        let (a2, _) = e.submit(t_ms(0), req(0, 1, false)).unwrap();
+        assert_eq!(a2, Admission::Stale(fresh), "last answer echoed");
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("serve.stale"), Some(1));
+    }
+
+    #[test]
+    fn hot_swap_flushes_between_batches() {
+        let m2 = model(2);
+        let mut e = engine(ServeConfig {
+            max_batch: 8,
+            tenants: vec![AppId(0)],
+            ..ServeConfig::default()
+        });
+        // Queue two requests, then activate a new version: the queued
+        // work must flush under the OLD version first.
+        e.submit(t_ms(0), req(0, 0, true)).unwrap();
+        e.submit(t_ms(1), req(0, 1, false)).unwrap();
+        let mut reg_snap = MetricsSnapshot::new();
+        e.registry().metrics_into(&mut reg_snap);
+        assert_eq!(reg_snap.gauge("serve.registry.active_version"), Some(1.0));
+        // (register v2 through the engine's registry access)
+        let text = qi_ml::serialize::model_to_text(&m2);
+        e.load_model_text(2, &text).unwrap();
+        let flushed = e.activate(t_ms(2), 2).unwrap();
+        assert_eq!(flushed.len(), 2, "pending work flushed before the swap");
+        assert_eq!(e.registry().active_version(), Some(2));
+    }
+
+    #[test]
+    fn config_and_request_validation() {
+        let m = model(1);
+        let shape = m.shape();
+        let mk_reg = || {
+            let mut r = ModelRegistry::new(shape);
+            r.insert(1, model(1)).unwrap();
+            r.activate(1).unwrap();
+            r
+        };
+        assert!(ServeEngine::new(
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            mk_reg()
+        )
+        .is_err());
+        assert!(ServeEngine::new(
+            ServeConfig {
+                max_batch: 8,
+                queue_cap: 4,
+                ..ServeConfig::default()
+            },
+            mk_reg()
+        )
+        .is_err());
+        assert!(ServeEngine::new(
+            ServeConfig {
+                admission: Some((0.0, 5.0)),
+                ..ServeConfig::default()
+            },
+            mk_reg()
+        )
+        .is_err());
+        let mut e = ServeEngine::new(
+            ServeConfig {
+                tenants: vec![AppId(0)],
+                ..ServeConfig::default()
+            },
+            mk_reg(),
+        )
+        .unwrap();
+        // Wrong block shape.
+        let bad = PredictRequest {
+            tenant: AppId(0),
+            window: 0,
+            block: vec![0.0; 3],
+        };
+        assert!(matches!(
+            e.submit(t_ms(0), bad),
+            Err(QiError::Shape { .. })
+        ));
+        // Unknown tenant.
+        assert!(e.submit(t_ms(0), req(9, 0, true)).is_err());
+        // No active model: flushing errors, but only when work exists.
+        let mut r = ModelRegistry::new(shape);
+        r.insert(1, model(1)).unwrap();
+        let mut e2 = ServeEngine::new(
+            ServeConfig {
+                max_batch: 1,
+                tenants: vec![AppId(0)],
+                ..ServeConfig::default()
+            },
+            r,
+        )
+        .unwrap();
+        assert!(e2.finish(t_ms(0)).unwrap().is_empty());
+        assert!(e2.submit(t_ms(0), req(0, 0, true)).is_err());
+    }
+
+    #[test]
+    fn telemetry_key_set_is_stable_and_quantiles_present() {
+        let e = engine(ServeConfig {
+            tenants: vec![AppId(0), AppId(3)],
+            ..ServeConfig::default()
+        });
+        let snap = e.metrics_snapshot();
+        for key in [
+            "serve.requests",
+            "serve.answered",
+            "serve.stale",
+            "serve.shed",
+            "serve.blocked",
+            "serve.batches",
+            "serve.tenant.app0.requests",
+            "serve.tenant.app3.shed",
+            "serve.registry.models_loaded",
+            "serve.registry.active_version",
+        ] {
+            assert!(snap.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(snap.gauge("serve.queue_wait_us.p50"), Some(0.0));
+        assert_eq!(snap.gauge("serve.infer_us.p99"), Some(0.0));
+        assert!(snap.histogram("serve.queue_wait_us").is_some());
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let run = || {
+            let mut e = engine(ServeConfig {
+                max_batch: 4,
+                admission: Some((100.0, 8.0)),
+                tenants: vec![AppId(0), AppId(1)],
+                ..ServeConfig::default()
+            });
+            for w in 0..20u64 {
+                let _ = e.submit(t_ms(w * 10), req((w % 2) as u32, w, w % 3 == 0));
+            }
+            e.finish(t_ms(200)).unwrap();
+            e.metrics_snapshot().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+}

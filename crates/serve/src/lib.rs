@@ -1,0 +1,46 @@
+//! # qi-serve
+//!
+//! The online half of the paper's two-phase framework (Fig. 2, §III-C):
+//! train offline, then *predict at runtime, per time window, while the
+//! applications run*. This crate turns a [`qi_ml::train::TrainedModel`]
+//! into a production-style prediction service with the machinery a real
+//! deployment needs — and keeps every bit of it deterministic, because
+//! it is driven entirely from **simulated time**:
+//!
+//! - [`registry`] — a versioned model registry over `qi_ml::serialize`:
+//!   load/validate/activate `QIMODEL` files by version, hot-swap the
+//!   active model between batches, reject models whose shape does not
+//!   match the monitor's feature layout.
+//! - [`engine`] — a micro-batching inference engine: prediction requests
+//!   (one per emitted `(app, window)` cell) accumulate in a bounded
+//!   queue and are flushed as a single stacked forward pass when either
+//!   the batch-size or the batch-delay threshold trips, with token-bucket
+//!   admission control and an explicit overload policy
+//!   ([`engine::OverloadPolicy`]: shed, block, or degrade to stale
+//!   answers) so the service degrades gracefully instead of growing
+//!   unbounded queues.
+//! - [`driver`] — replays a finished [`qi_pfs::ops::RunTrace`] through
+//!   the [`qi_monitor::StreamingMonitor`] and the engine in event-time
+//!   order, the deterministic stand-in for a live metric stream.
+//!
+//! Determinism argument: no wall clock is ever read — arrival times,
+//! batch-delay deadlines, admission grants, and the modelled inference
+//! cost are all [`qi_simkit::time::SimTime`] arithmetic; the batched
+//! forward pass runs on the PR-2 work-stealing pool whose kernels are
+//! bit-identical to sequential execution at any thread count; and the
+//! serving telemetry ([`qi_telemetry`]) registers every key up front so
+//! snapshot key sets are stable across scenarios. Identical inputs
+//! therefore produce byte-identical outputs and telemetry, replay after
+//! replay, at 1, 2, or 8 worker threads.
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod engine;
+pub mod registry;
+
+pub use driver::{replay_trace, ReplaySummary};
+pub use engine::{
+    Admission, OverloadPolicy, PredictRequest, Prediction, ServeConfig, ServeEngine,
+};
+pub use registry::ModelRegistry;

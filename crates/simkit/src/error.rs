@@ -35,6 +35,10 @@ pub enum QiError {
     },
     /// Dataset generation or the train/evaluate pipeline failed.
     Pipeline(String),
+    /// The online serving layer rejected a request or a registry
+    /// operation (model shape mismatch, unknown version, bad engine
+    /// configuration, unknown tenant).
+    Serve(String),
     /// A monitor-layer failure, wrapping the underlying error.
     Monitor {
         /// What the monitor was doing.
@@ -56,6 +60,7 @@ impl fmt::Display for QiError {
                 got,
             } => write!(f, "shape mismatch in {what}: expected {expected}, got {got}"),
             QiError::Pipeline(msg) => write!(f, "pipeline failure: {msg}"),
+            QiError::Serve(msg) => write!(f, "serving failure: {msg}"),
             QiError::Monitor { context, source } => {
                 write!(f, "monitor failure while {context}: {source}")
             }

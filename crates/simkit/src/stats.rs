@@ -242,6 +242,42 @@ impl Histogram {
         }
     }
 
+    /// The `q`-th quantile (`0.0..=1.0`) estimated from the bucket
+    /// counts by linear interpolation within the containing bucket.
+    ///
+    /// Out-of-range mass is pinned to the range edges: underflow counts
+    /// resolve to `lo` and overflow counts to `hi`. Returns 0 for an
+    /// empty histogram. This is the serving layer's latency-percentile
+    /// primitive (p50/p95/p99 over queue-wait and inference-time
+    /// distributions), so it must be a pure function of the counts.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 0-based, by nearest-rank with
+        // interpolation: rank spans [0, total-1].
+        let rank = q * (total - 1) as f64;
+        let mut seen = 0u64;
+        if (self.underflow as f64) > rank {
+            return self.lo;
+        }
+        seen += self.underflow;
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && (seen + c) as f64 > rank {
+                // Interpolate within the bucket: the rank-th observation
+                // sits `frac` of the way through this bucket's count.
+                let frac = (rank - seen as f64 + 0.5) / c as f64;
+                let lo_i = self.lo + w * i as f64;
+                return lo_i + w * frac.clamp(0.0, 1.0);
+            }
+            seen += c;
+        }
+        self.hi
+    }
+
     /// Merge counts from a histogram with identical bounds and bucket
     /// count (parallel reduction). Panics on shape mismatch.
     pub fn merge(&mut self, other: &Histogram) {
@@ -352,6 +388,39 @@ mod tests {
         assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
         assert_eq!(h.total(), 7);
         assert_eq!(h.bucket_bounds(1), (2.0, 4.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        // Uniform fill: quantiles track the value range closely.
+        assert!((h.quantile(0.5) - 50.0).abs() < 10.0 + 1e-9);
+        assert!(h.quantile(0.0) >= 0.0);
+        assert!(h.quantile(1.0) <= 100.0);
+        assert!(h.quantile(0.95) > h.quantile(0.5));
+        // Monotone in q.
+        let qs: Vec<f64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn quantile_handles_edges_and_overflow() {
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), 0.0);
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-5.0); // underflow pins to lo
+        assert_eq!(h.quantile(0.0), 0.0);
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for _ in 0..10 {
+            h.record(99.0); // all overflow pins to hi
+        }
+        assert_eq!(h.quantile(0.5), 10.0);
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(3.0);
+        let q = h.quantile(0.5);
+        assert!((2.0..4.0).contains(&q), "single obs lands in its bucket, got {q}");
     }
 
     #[test]

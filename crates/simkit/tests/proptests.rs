@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use qi_simkit::event::EventQueue;
+use qi_simkit::ratelimit::TokenBucket;
 use qi_simkit::stats::{moving_average, percentile, Histogram, OnlineStats};
 use qi_simkit::table::AsciiTable;
 use qi_simkit::time::{SimDuration, SimTime};
@@ -149,5 +150,41 @@ proptest! {
         let d = SimDuration::from_nanos(ns);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
         prop_assert!(back.as_nanos().abs_diff(ns) <= 1);
+    }
+
+    /// Token-bucket admission, for ANY request schedule: grants are
+    /// non-decreasing (FIFO — a later request never overtakes an earlier
+    /// one), each grant is at or after its request, and the total cost
+    /// granted by the last grant instant never exceeds the initial burst
+    /// plus what the configured rate could have refilled — i.e. the
+    /// long-run admitted rate is bounded by `rate`.
+    #[test]
+    fn token_bucket_grants_fifo_and_rate_bounded(
+        rate in 0.5f64..500.0,
+        burst in 0.1f64..100.0,
+        arrivals in prop::collection::vec((0u64..200_000_000, 0.01f64..20.0), 1..60),
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now = SimTime::ZERO;
+        let mut last_grant = SimTime::ZERO;
+        let mut granted_cost = 0.0f64;
+        for &(gap_ns, cost) in &arrivals {
+            now = now + SimDuration::from_nanos(gap_ns);
+            let grant = bucket.earliest(now, cost);
+            prop_assert!(grant >= now, "grant {grant} before request {now}");
+            prop_assert!(
+                grant >= last_grant,
+                "grant {grant} overtook earlier grant {last_grant}"
+            );
+            last_grant = grant;
+            granted_cost += cost;
+            // Capacity available by the grant instant: the initial
+            // burst plus rate * elapsed (1e-6 covers f64 rounding).
+            let capacity = burst + rate * last_grant.as_secs_f64();
+            prop_assert!(
+                granted_cost <= capacity + 1e-6,
+                "granted {granted_cost} tokens by {last_grant}, capacity only {capacity}"
+            );
+        }
     }
 }

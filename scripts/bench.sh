@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Reproduce BENCH_parallel.json: build in release mode, run the
-# fault-injection smoke sweep (replay-determinism gate), then the
-# parallel execution bench at 1/2/N threads, and leave the JSON report
-# at the repository root.
+# Reproduce BENCH_parallel.json and BENCH_serve.json: build in release
+# mode, run the fault-injection smoke sweep and the online-serving loop
+# (both replay-determinism gates), then the parallel execution bench at
+# 1/2/N threads and the serving-throughput bench, leaving both JSON
+# reports at the repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run (5 samples per point, 512^3 matmul)
 #   scripts/bench.sh --smoke    # quick run (2 samples, 192^3 matmul)
 #
 # Environment:
-#   QI_BENCH_THREADS=1,2,8   thread counts to sweep
-#   QI_BENCH_OUT=path.json   where to write the report
+#   QI_BENCH_THREADS=1,2,8   thread counts to sweep (both benches)
+#   QI_BENCH_OUT=path.json   where to write the parallel report
+#   QI_SERVE_OUT=path.json   where to write the serving report
 #   QI_SKIP_FAULT_SWEEP=1    skip the fault smoke sweep
+#   QI_SKIP_SERVE=1          skip the serve-loop gate + serving bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,4 +28,25 @@ if [[ "${QI_SKIP_FAULT_SWEEP:-}" != "1" ]]; then
     cargo run --release --example fault_sweep
 fi
 
+# Online-serving gate: trains, serves a faulted interfered run through
+# the micro-batching engine with a mid-stream hot swap and an overloaded
+# Shed replay; exits non-zero if the accounting invariant breaks or the
+# serving telemetry differs across worker-thread counts.
+if [[ "${QI_SKIP_SERVE:-}" != "1" ]]; then
+    cargo run --release --example serve_loop
+fi
+
 cargo bench -p qi-bench --bench parallel
+
+# Serving throughput: batch {1,8,32} x worker threads, batched classes
+# asserted equal to unbatched, batch 32 required to beat batch 1.
+# QI_BENCH_OUT is unset for this bench (it names the *parallel* report);
+# the default output is BENCH_serve.json at the repo root, QI_SERVE_OUT
+# overrides it (relative paths resolve against crates/bench).
+if [[ "${QI_SKIP_SERVE:-}" != "1" ]]; then
+    if [[ -n "${QI_SERVE_OUT:-}" ]]; then
+        QI_BENCH_OUT="$QI_SERVE_OUT" cargo bench -p qi-bench --bench serve_throughput
+    else
+        env -u QI_BENCH_OUT cargo bench -p qi-bench --bench serve_throughput
+    fi
+fi

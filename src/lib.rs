@@ -13,6 +13,7 @@
 //! - [`monitor`] — client-side and server-side monitors (paper §III-A/B).
 //! - [`ml`] — the from-scratch kernel-based neural network (paper §III-C).
 //! - [`telemetry`] — deterministic metrics registry and snapshot renderers.
+//! - [`serve`] — online prediction service (model registry, micro-batching).
 //! - [`framework`] — scenarios, labelling, datasets, training, prediction.
 //!
 //! Quick start (see `examples/quickstart.rs` for the full version):
@@ -41,10 +42,13 @@
 //! # }
 //! ```
 
+pub mod serve_demo;
+
 pub use qi_faults as faults;
 pub use qi_ml as ml;
 pub use qi_monitor as monitor;
 pub use qi_pfs as pfs;
+pub use qi_serve as serve;
 pub use qi_simkit as simkit;
 pub use qi_telemetry as telemetry;
 pub use qi_workloads as workloads;

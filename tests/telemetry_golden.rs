@@ -17,6 +17,7 @@
 use std::path::PathBuf;
 
 use quanterference_repro::framework::prelude::*;
+use quanterference_repro::serve_demo::run_serve_session;
 use quanterference_repro::telemetry::MetricsSnapshot;
 
 fn golden_dir() -> PathBuf {
@@ -105,11 +106,50 @@ fn golden_json_parses_and_reserialises_byte_identically() {
     for name in [
         "baseline_ior_easy_read_s11.metrics.json",
         "interfered_ior_easy_read_s11.metrics.json",
+        "serve_loop.metrics.json",
+        "serve_loop.overload.metrics.json",
     ] {
         let text =
             std::fs::read_to_string(golden_dir().join(name)).expect("golden present");
         let snap = MetricsSnapshot::from_json(&text).expect("golden parses");
         assert_eq!(snap.to_json(), text, "round-trip of {name} not byte-stable");
+    }
+}
+
+/// The full online-serving session (train → registry → micro-batched
+/// replay with a hot swap → overloaded replay under Shed) pinned to a
+/// golden snapshot, then re-run at 2 and 8 worker threads: the serving
+/// telemetry must be byte-identical at every thread count. The session
+/// runs under an active `FaultPlan`, so fault injection is covered too.
+#[test]
+fn serve_session_snapshot_matches_golden_across_thread_counts() {
+    let reference = run_serve_session(Some(1)).expect("serving session runs");
+    reference
+        .check_accounting()
+        .expect("every request answered, answered stale, or shed");
+    // Sanity before comparing bytes: the engine actually served.
+    let snap = &reference.snapshot;
+    assert!(snap.counter("serve.answered").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("serve.shed"), Some(0), "generous engine shed");
+    assert_eq!(snap.gauge("serve.registry.active_version"), Some(2.0));
+    assert!(reference.overload.shed > 0, "overload engine never shed");
+    check_golden("serve_loop.metrics.json", &snap.to_json());
+    check_golden(
+        "serve_loop.overload.metrics.json",
+        &reference.overload_snapshot.to_json(),
+    );
+    for threads in [2usize, 8] {
+        let other = run_serve_session(Some(threads)).expect("serving session runs");
+        assert_eq!(
+            other.snapshot.to_json(),
+            reference.snapshot.to_json(),
+            "serving telemetry diverged at {threads} worker threads"
+        );
+        assert_eq!(
+            other.overload_snapshot.to_json(),
+            reference.overload_snapshot.to_json(),
+            "overload telemetry diverged at {threads} worker threads"
+        );
     }
 }
 

@@ -125,6 +125,18 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Generate an intermediate value, then generate from the
+        /// strategy `f` builds out of it (dependent strategies, e.g. a
+        /// random dimension followed by a vector of that length).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -142,6 +154,25 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 
