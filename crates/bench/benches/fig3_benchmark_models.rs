@@ -21,7 +21,8 @@ fn main() {
         "Figure 3(a): training on the IO500 grid ({} runs)...",
         io500_spec.n_runs()
     );
-    let (io500_gen, _, io500_report) = train_and_evaluate(&io500_spec, &tcfg, 42).expect("io500 pipeline");
+    let (io500_gen, _, io500_report) =
+        train_and_evaluate(&io500_spec, &tcfg, 42).expect("io500 pipeline");
     print_report("Fig. 3(a) — binary model, IO500", &io500_gen, &io500_report);
 
     let dlio_spec = family_spec(&WorkloadKind::DLIO, small);
@@ -29,7 +30,8 @@ fn main() {
         "Figure 3(b): training on the DLIO grid ({} runs)...",
         dlio_spec.n_runs()
     );
-    let (dlio_gen, _, dlio_report) = train_and_evaluate(&dlio_spec, &tcfg, 42).expect("dlio pipeline");
+    let (dlio_gen, _, dlio_report) =
+        train_and_evaluate(&dlio_spec, &tcfg, 42).expect("dlio pipeline");
     print_report("Fig. 3(b) — binary model, DLIO", &dlio_gen, &dlio_report);
 
     println!("paper-vs-measured:");

@@ -82,7 +82,7 @@ fn requests(n: usize) -> Vec<PredictRequest> {
 
 fn engine(max_batch: usize, threads: usize) -> ServeEngine {
     let m = model();
-    let mut reg = ModelRegistry::new(m.shape());
+    let mut reg = ModelRegistry::new(m.shape(), m.schema().clone());
     reg.insert(1, m).expect("model loads");
     reg.activate(1).expect("model activates");
     ServeEngine::new(
@@ -107,9 +107,7 @@ fn drive(e: &mut ServeEngine, stream: &[PredictRequest], tick: &mut u64) -> Vec<
     let mut classes = Vec::with_capacity(stream.len());
     for req in stream {
         *tick += 1_000;
-        let (_, done) = e
-            .submit(SimTime(*tick), req.clone())
-            .expect("bench submit");
+        let (_, done) = e.submit(SimTime(*tick), req.clone()).expect("bench submit");
         classes.extend(done.into_iter().map(|p| p.class));
     }
     *tick += 1_000;
@@ -145,7 +143,48 @@ struct BenchRow {
     batch: usize,
     threads: usize,
     median_ms: f64,
+    p95_ms: f64,
     preds_per_sec: f64,
+}
+
+/// A previous run's row, read back from `BENCH_serve.json` so the
+/// current run can be gated against it.
+struct BaselineRow {
+    batch: usize,
+    threads: usize,
+    p95_ms: f64,
+}
+
+/// Parse the baseline JSON with plain string scanning (the repo has no
+/// JSON dependency). Returns `(requests_per_run, rows-with-p95)`; rows
+/// written by older versions of this bench lack `p95_ms` and are simply
+/// absent from the result.
+fn read_baseline(out: &std::path::Path) -> Option<(usize, Vec<BaselineRow>)> {
+    let text = std::fs::read_to_string(out).ok()?;
+    let field = |chunk: &str, key: &str| -> Option<f64> {
+        let at = chunk.find(&format!("\"{key}\":"))?;
+        chunk[at..]
+            .split_once(':')?
+            .1
+            .trim_start()
+            .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+            .next()?
+            .parse()
+            .ok()
+    };
+    let requests = field(&text, "requests_per_run")? as usize;
+    let rows = text
+        .split('{')
+        .skip(2) // the object header and its first brace
+        .filter_map(|chunk| {
+            Some(BaselineRow {
+                batch: field(chunk, "batch")? as usize,
+                threads: field(chunk, "threads")? as usize,
+                p95_ms: field(chunk, "p95_ms")?,
+            })
+        })
+        .collect();
+    Some((requests, rows))
 }
 
 fn write_json(rows: &[BenchRow], n_requests: usize, hw: usize, out: &std::path::Path) {
@@ -157,11 +196,12 @@ fn write_json(rows: &[BenchRow], n_requests: usize, hw: usize, out: &std::path::
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"serve_predict/batch{}\", \"batch\": {}, \"threads\": {}, \
-             \"median_ms\": {:.3}, \"preds_per_sec\": {:.1}}}{}\n",
+             \"median_ms\": {:.3}, \"p95_ms\": {:.3}, \"preds_per_sec\": {:.1}}}{}\n",
             r.batch,
             r.batch,
             r.threads,
             r.median_ms,
+            r.p95_ms,
             r.preds_per_sec,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -238,6 +278,7 @@ fn main() {
                 batch,
                 threads,
                 median_ms: s.median_ms(),
+                p95_ms: s.p95_ns / 1e6,
                 preds_per_sec: n_requests as f64 / (s.median_ms() / 1_000.0),
             }
         })
@@ -282,6 +323,49 @@ fn main() {
         },
         std::path::PathBuf::from,
     );
+
+    // p95 regression gate: each configuration's p95 batch latency must
+    // stay within +10% of the previous recorded run. Skipped when the
+    // baseline is absent/incomparable (different request count, or rows
+    // written before p95 was recorded) or when QI_SKIP_P95_GATE=1 —
+    // e.g. when re-baselining on different hardware.
+    let skip_gate = std::env::var("QI_SKIP_P95_GATE").is_ok_and(|v| v == "1");
+    match read_baseline(&out) {
+        _ if skip_gate => println!("p95 gate skipped (QI_SKIP_P95_GATE=1)"),
+        None => println!(
+            "p95 gate skipped: no readable baseline at {}",
+            out.display()
+        ),
+        Some((base_requests, _)) if base_requests != n_requests => println!(
+            "p95 gate skipped: baseline ran {base_requests} requests, this run {n_requests}"
+        ),
+        Some((_, base_rows)) if base_rows.is_empty() => {
+            println!("p95 gate skipped: baseline predates the p95_ms column")
+        }
+        Some((_, base_rows)) => {
+            for r in &rows {
+                let Some(base) = base_rows
+                    .iter()
+                    .find(|o| o.batch == r.batch && o.threads == r.threads)
+                else {
+                    continue;
+                };
+                let limit = base.p95_ms * 1.10;
+                assert!(
+                    r.p95_ms <= limit,
+                    "serve p95 regression at batch {} / {} thread(s): {:.3} ms vs \
+                     baseline {:.3} ms (+10% limit {:.3} ms)",
+                    r.batch,
+                    r.threads,
+                    r.p95_ms,
+                    base.p95_ms,
+                    limit
+                );
+            }
+            println!("p95 gate: every configuration within +10% of the baseline");
+        }
+    }
+
     write_json(&rows, n_requests, hw, &out);
     println!("wrote {}", out.display());
 }

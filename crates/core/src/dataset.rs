@@ -8,12 +8,12 @@ use rayon::prelude::*;
 
 use qi_faults::{FaultEvent, FaultPlan};
 use qi_ml::data::Dataset;
-use qi_monitor::client::client_windows;
-use qi_monitor::features::{server_vector_masked, FeatureConfig, Imputation, N_SERVER};
-use qi_monitor::server::server_windows;
+use qi_monitor::features::{FeatureConfig, Imputation};
+use qi_monitor::pipeline::FeaturePipeline;
+use qi_monitor::schema::FeatureSchema;
 use qi_monitor::window::WindowConfig;
 use qi_pfs::config::ClusterConfig;
-use qi_pfs::ids::{AppId, DeviceId};
+use qi_pfs::ids::AppId;
 use qi_pfs::ops::RunTrace;
 use qi_simkit::error::QiError;
 use qi_simkit::time::{SimDuration, SimTime};
@@ -37,13 +37,11 @@ pub fn window_vectors(
 /// Like [`window_vectors`], but with an explicit [`Imputation`] policy
 /// for feature cells whose monitor data is missing.
 ///
-/// Under `Imputation::Zero` the output is byte-identical to the
-/// historical behaviour (missing blocks become zeros). Under
-/// `Imputation::DeviceMean`, a window whose *server* block is missing
-/// for some device (its monitor dropped out — e.g. under an injected
-/// fault) is back-filled with that device's mean server block over the
-/// windows that do have data; client blocks are never imputed, because
-/// an absent client window genuinely means "no client activity".
+/// This is a thin adapter over the canonical
+/// [`FeaturePipeline`][qi_monitor::pipeline::FeaturePipeline]: batch
+/// dataset generation and the online serving path drive the same
+/// windowing, accumulation, and vector-assembly code, so the two can
+/// never drift apart. See [`FeaturePipeline::run_vectors`].
 pub fn window_vectors_with(
     trace: &RunTrace,
     target: AppId,
@@ -52,76 +50,9 @@ pub fn window_vectors_with(
     n_devices: u32,
     imputation: Imputation,
 ) -> HashMap<u64, Vec<f32>> {
-    let cw = client_windows(trace, wcfg, n_devices);
-    let sw = server_windows(&trace.samples, wcfg);
-    let windows: Vec<u64> = cw
-        .keys()
-        .filter(|(app, _)| *app == target)
-        .map(|&(_, w)| w)
-        .collect();
-    let flen = fcfg.len();
-    let mut out = HashMap::with_capacity(windows.len());
-    // (window, device index) pairs whose server block was missing.
-    let mut holes: Vec<(u64, usize)> = Vec::new();
-    for w in windows {
-        let client = cw.get(&(target, w));
-        let mut block = Vec::with_capacity(n_devices as usize * flen);
-        for d in 0..n_devices {
-            let dev = DeviceId(d);
-            let server = sw.get(&(dev, w));
-            let (v, avail) = server_vector_masked(fcfg, client, server, dev, wcfg.window);
-            if fcfg.server && !avail.server {
-                holes.push((w, d as usize));
-            }
-            block.extend(v);
-        }
-        out.insert(w, block);
-    }
-    if imputation == Imputation::DeviceMean && !holes.is_empty() {
-        impute_device_means(&mut out, &holes, n_devices as usize, flen);
-    }
-    out
-}
-
-/// Back-fill missing server blocks with per-device means. The server
-/// block occupies the last [`N_SERVER`] cells of each per-device slice;
-/// only windows/devices listed in `holes` are rewritten, and only from
-/// windows *not* listed there (so imputed zeros never feed the means).
-fn impute_device_means(
-    blocks: &mut HashMap<u64, Vec<f32>>,
-    holes: &[(u64, usize)],
-    n_devices: usize,
-    flen: usize,
-) {
-    let hole_set: std::collections::HashSet<(u64, usize)> = holes.iter().copied().collect();
-    let srv_off = flen - N_SERVER;
-    for d in 0..n_devices {
-        let mut sum = vec![0.0f64; N_SERVER];
-        let mut n = 0u64;
-        for (&w, block) in blocks.iter() {
-            if hole_set.contains(&(w, d)) {
-                continue;
-            }
-            let base = d * flen + srv_off;
-            for (acc, &x) in sum.iter_mut().zip(&block[base..base + N_SERVER]) {
-                *acc += x as f64;
-            }
-            n += 1;
-        }
-        if n == 0 {
-            continue; // no donor windows: leave the zeros in place
-        }
-        let mean: Vec<f32> = sum.iter().map(|&s| (s / n as f64) as f32).collect();
-        for &(w, hd) in holes {
-            if hd != d {
-                continue;
-            }
-            if let Some(block) = blocks.get_mut(&w) {
-                let base = d * flen + srv_off;
-                block[base..base + N_SERVER].copy_from_slice(&mean);
-            }
-        }
-    }
+    FeaturePipeline::new(wcfg, fcfg, n_devices)
+        .with_imputation(imputation)
+        .run_vectors(trace, target)
 }
 
 /// A server-degradation condition swept as a dataset dimension, so
@@ -224,6 +155,10 @@ pub struct GeneratedDataset {
     pub meta: Vec<SampleMeta>,
     /// Bin definition used for the labels.
     pub bins: Bins,
+    /// The feature layout every sample was assembled under. Stamp this
+    /// into trained models (`train_with_schema`) so serving can verify
+    /// it is feeding the model vectors of the same shape and meaning.
+    pub schema: FeatureSchema,
 }
 
 impl GeneratedDataset {
@@ -488,14 +423,13 @@ pub fn generate(spec: &DatasetSpec) -> Result<GeneratedDataset, QiError> {
         meta.extend(m);
     }
     if samples.is_empty() {
-        return Err(QiError::Pipeline(
-            "dataset grid produced no samples".into(),
-        ));
+        return Err(QiError::Pipeline("dataset grid produced no samples".into()));
     }
     Ok(GeneratedDataset {
         data: Dataset::from_samples(samples, labels, n_devices as usize),
         meta,
         bins: spec.bins.clone(),
+        schema: FeatureSchema::current(spec.window, spec.features, spec.imputation),
     })
 }
 
@@ -559,6 +493,12 @@ mod tests {
         // at least some class-1 windows.
         assert!(counts[0] > 0, "no negative windows: {counts:?}");
         assert!(counts[1] > 0, "no positive windows: {counts:?}");
+        // The dataset carries the schema its vectors were built under.
+        assert_eq!(
+            gen.schema,
+            FeatureSchema::current(spec.window, spec.features, spec.imputation)
+        );
+        assert_eq!(gen.schema.vector_len(), gen.data.n_features());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod prelude {
     pub use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
     pub use qi_ml::train::TrainConfig;
     pub use qi_monitor::features::{FeatureAvailability, FeatureConfig, Imputation};
+    pub use qi_monitor::schema::{FeatureSchema, SCHEMA_VERSION};
     pub use qi_monitor::window::WindowConfig;
     pub use qi_pfs::cluster::{Cluster, ClusterBuilder};
     pub use qi_pfs::config::ClusterConfig;

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use qi_ml::data::Dataset;
 use qi_ml::matrix::Matrix;
 use qi_ml::train::TrainedModel;
-use qi_monitor::features::FeatureConfig;
+use qi_monitor::features::{FeatureConfig, Imputation};
+use qi_monitor::schema::FeatureSchema;
 use qi_monitor::window::WindowConfig;
 use qi_pfs::ids::AppId;
 use qi_pfs::ops::RunTrace;
@@ -15,7 +16,7 @@ use qi_simkit::error::QiError;
 use qi_telemetry::{MetricValue, MetricsSnapshot};
 use qi_workloads::registry::WorkloadKind;
 
-use crate::dataset::{generate, window_vectors, DatasetSpec, GeneratedDataset};
+use crate::dataset::{generate, window_vectors_with, DatasetSpec, GeneratedDataset};
 use crate::labeling::Bins;
 
 /// A trained interference predictor bound to its monitoring config.
@@ -25,25 +26,50 @@ pub struct Predictor {
     features: FeatureConfig,
     n_devices: u32,
     bins: Bins,
+    imputation: Imputation,
 }
 
 impl Predictor {
     /// Wrap a trained model with the monitoring configuration it was
     /// trained under.
+    ///
+    /// Fails with [`QiError::SchemaMismatch`] — before any inference can
+    /// run — when the model's embedded [`FeatureSchema`] does not match
+    /// the schema this monitoring configuration would produce. Models
+    /// stamped with a [`FeatureSchema::custom`] schema (trained on
+    /// hand-built datasets) only have their vector length checked.
     pub fn new(
         model: TrainedModel,
         window: WindowConfig,
         features: FeatureConfig,
         n_devices: u32,
         bins: Bins,
-    ) -> Self {
-        Predictor {
+        imputation: Imputation,
+    ) -> Result<Self, QiError> {
+        let expected = FeatureSchema::current(window, features, imputation);
+        let got = model.schema();
+        let matches = if got.window_nanos() == 0 {
+            // Custom/unbound schema: the layout the pipeline feeds it
+            // must still be the length it was trained on.
+            got.vector_len() == expected.vector_len()
+        } else {
+            *got == expected
+        };
+        if !matches {
+            return Err(QiError::SchemaMismatch {
+                context: "binding a model to a predictor".into(),
+                expected: expected.to_string(),
+                got: got.to_string(),
+            });
+        }
+        Ok(Predictor {
             model,
             window,
             features,
             n_devices,
             bins,
-        }
+            imputation,
+        })
     }
 
     /// Severity-bin labels ("<2x", ">=2x", …).
@@ -92,7 +118,14 @@ impl Predictor {
         trace: &RunTrace,
         target: AppId,
     ) -> Result<Vec<(u64, usize)>, QiError> {
-        let vectors = window_vectors(trace, target, self.window, self.features, self.n_devices);
+        let vectors = window_vectors_with(
+            trace,
+            target,
+            self.window,
+            self.features,
+            self.n_devices,
+            self.imputation,
+        );
         let mut windows: Vec<u64> = vectors.keys().copied().collect();
         windows.sort_unstable();
         windows
@@ -166,7 +199,7 @@ pub fn train_and_evaluate(
     let (train_set, test_set) = gen.data.split(0.2, split_seed);
     let mut tcfg = tcfg.clone();
     tcfg.n_classes = spec.bins.n_classes();
-    let mut model = qi_ml::train::train(&train_set, &tcfg);
+    let mut model = qi_ml::train::train_with_schema(&train_set, &tcfg, gen.schema.clone())?;
     let cm = model.evaluate(&test_set);
     let count = |d: &Dataset| {
         let mut c = vec![0usize; spec.bins.n_classes()];
@@ -207,7 +240,8 @@ pub fn train_and_evaluate(
         spec.features,
         spec.cluster.n_devices(),
         spec.bins.clone(),
-    );
+        spec.imputation,
+    )?;
     Ok((gen, predictor, report))
 }
 
@@ -286,6 +320,31 @@ mod tests {
         let truth = crate::labeling::window_degradation(&idx, &noisy, app, spec.window);
         let scored = predictor.score_run(&noisy, app, &truth).expect("scores");
         assert!(!scored.is_empty());
+    }
+
+    #[test]
+    fn schema_mismatched_model_is_rejected_before_inference() {
+        let spec = DatasetSpec::smoke();
+        let tcfg = qi_ml::train::TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let (_, predictor, _) = train_and_evaluate(&spec, &tcfg, 1).expect("pipeline runs");
+        let model = predictor.into_model();
+        // Rebinding under a different window length must fail up front,
+        // before a single vector is assembled or scored.
+        let err = Predictor::new(
+            model,
+            WindowConfig::seconds(2),
+            spec.features,
+            spec.cluster.n_devices(),
+            spec.bins.clone(),
+            spec.imputation,
+        )
+        .err()
+        .expect("mismatched window rejected");
+        assert!(matches!(err, QiError::SchemaMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("window=2000ms"), "{err}");
     }
 
     #[test]

@@ -133,7 +133,9 @@ impl Scenario {
         &self,
         prepare: impl FnOnce(&mut Cluster),
     ) -> Result<(AppId, RunTrace), QiError> {
-        let mut builder = Cluster::builder().config(self.cluster.clone()).seed(self.seed);
+        let mut builder = Cluster::builder()
+            .config(self.cluster.clone())
+            .seed(self.seed);
         if let Some(plan) = &self.fault_plan {
             builder = builder.fault_plan(plan.clone());
         }

@@ -164,7 +164,9 @@ impl FaultPlan {
                         return fail(format!("SlowDisk dev {dev} out of range (< {n_devices})"));
                     }
                     if factor < 1.0 || !factor.is_finite() {
-                        return fail(format!("SlowDisk factor {factor} must be finite and >= 1.0"));
+                        return fail(format!(
+                            "SlowDisk factor {factor} must be finite and >= 1.0"
+                        ));
                     }
                     if from >= until {
                         return fail("SlowDisk window is empty (from >= until)".into());
@@ -480,7 +482,10 @@ mod tests {
         // 2^9 ms = 512 ms > 100 ms cap.
         assert_eq!(pol.backoff(10, &mut rng), SimDuration::from_millis(100));
         // Huge attempt numbers must not overflow the shift.
-        assert_eq!(pol.backoff(u32::MAX, &mut rng), SimDuration::from_millis(100));
+        assert_eq!(
+            pol.backoff(u32::MAX, &mut rng),
+            SimDuration::from_millis(100)
+        );
     }
 
     #[test]

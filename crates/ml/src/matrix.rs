@@ -456,16 +456,26 @@ mod tests {
             let a = filled(m, k, 1);
             let b = filled(k, n, 2);
             let reference = matmul_reference(&a, &b);
-            let serial =
-                rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
-                    a.matmul(&b)
-                });
-            let parallel =
-                rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap().install(|| {
-                    a.matmul(&b)
-                });
-            assert_eq!(serial.data(), reference.data(), "serial diverged at {m}x{k}x{n}");
-            assert_eq!(parallel.data(), reference.data(), "parallel diverged at {m}x{k}x{n}");
+            let serial = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap()
+                .install(|| a.matmul(&b));
+            let parallel = rayon::ThreadPoolBuilder::new()
+                .num_threads(4)
+                .build()
+                .unwrap()
+                .install(|| a.matmul(&b));
+            assert_eq!(
+                serial.data(),
+                reference.data(),
+                "serial diverged at {m}x{k}x{n}"
+            );
+            assert_eq!(
+                parallel.data(),
+                reference.data(),
+                "parallel diverged at {m}x{k}x{n}"
+            );
         }
     }
 

@@ -7,7 +7,15 @@
 //! is bit-identical and the files diff cleanly.
 //!
 //! ```text
-//! QIMODEL v1
+//! QIMODEL v2
+//! schema.version 1
+//! schema.window_ns 1000000000
+//! schema.client 1
+//! schema.server 1
+//! schema.client_len 15
+//! schema.series completed_reqs sectors_read ...   (or "-" when empty)
+//! schema.imputation zero
+//! schema.digest 0123456789abcdef   (FNV-1a 64 of the canonical schema)
 //! servers 7
 //! kernel 39 32 16 1
 //! head 7 16 2
@@ -18,16 +26,23 @@
 //! check 0123456789abcdef  (FNV-1a 64 over everything above)
 //! ```
 //!
-//! The trailing `check` line makes the file self-verifying: *any*
-//! truncation or bit flip in a stored model surfaces as a
-//! [`ModelParseError`] instead of silently deserializing different
-//! weights — this is the trust boundary the serving registry loads
-//! models across.
+//! The `schema.*` section (new in v2) embeds the [`FeatureSchema`] the
+//! model was trained under, so the serving registry can refuse a model
+//! whose feature layout does not match the pipeline it would serve —
+//! legacy checksum-only `QIMODEL v1` files are rejected with a clean
+//! parse error asking for a re-export. The trailing `check` line makes
+//! the file self-verifying: *any* truncation or bit flip in a stored
+//! model surfaces as a [`ModelParseError`] instead of silently
+//! deserializing different weights — this is the trust boundary the
+//! serving registry loads models across.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+use qi_monitor::features::{FeatureConfig, Imputation};
+use qi_monitor::schema::FeatureSchema;
 
 use crate::data::Standardizer;
 use crate::layers::{Dense, Mlp};
@@ -91,7 +106,29 @@ pub fn model_to_text(model: &TrainedModel) -> String {
     let net = model.net();
     let st = model.standardizer();
     let mut out = String::new();
-    let _ = writeln!(out, "QIMODEL v1");
+    let _ = writeln!(out, "QIMODEL v2");
+    let schema = model.schema();
+    let _ = writeln!(out, "schema.version {}", schema.version());
+    let _ = writeln!(out, "schema.window_ns {}", schema.window_nanos());
+    let _ = writeln!(
+        out,
+        "schema.client {}",
+        u8::from(schema.feature_config().client)
+    );
+    let _ = writeln!(
+        out,
+        "schema.server {}",
+        u8::from(schema.feature_config().server)
+    );
+    let _ = writeln!(out, "schema.client_len {}", schema.client_len());
+    let series = if schema.series().is_empty() {
+        "-".to_string()
+    } else {
+        schema.series().join(" ")
+    };
+    let _ = writeln!(out, "schema.series {series}");
+    let _ = writeln!(out, "schema.imputation {}", schema.imputation().token());
+    let _ = writeln!(out, "schema.digest {:016x}", schema.digest());
     let _ = writeln!(out, "servers {}", net.n_servers());
     let widths = |m: &Mlp| {
         m.widths()
@@ -131,11 +168,21 @@ pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
         .trim_end()
         .rsplit_once('\n')
         .ok_or_else(|| err("missing checksum line"))?;
-    let stored = check_line
+    let stored_str = check_line
         .trim()
         .strip_prefix("check ")
-        .ok_or_else(|| err("missing checksum line"))?;
-    let stored = u64::from_str_radix(stored.trim(), 16)
+        .ok_or_else(|| err("missing checksum line"))?
+        .trim();
+    // Strict form — exactly 16 lowercase hex digits — so a corrupted
+    // checksum line can never alias the value it was written as.
+    if stored_str.len() != 16
+        || !stored_str
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(err(format!("bad checksum {:?}", check_line.trim())));
+    }
+    let stored = u64::from_str_radix(stored_str, 16)
         .map_err(|_| err(format!("bad checksum {:?}", check_line.trim())))?;
     let computed = fnv1a(body);
     if stored != computed {
@@ -145,9 +192,23 @@ pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
     }
     let mut lines = body.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or_else(|| err("empty input"))?;
-    if header.trim() != "QIMODEL v1" {
+    if header.trim() == "QIMODEL v1" {
+        return Err(err(
+            "legacy QIMODEL v1 file carries no feature schema; re-export the model \
+             with this version (train_with_schema + save_model) to serve it",
+        ));
+    }
+    if header.trim() != "QIMODEL v2" {
         return Err(err(format!("unknown header {header:?}")));
     }
+    let mut schema_version: Option<u32> = None;
+    let mut schema_window_ns: Option<u64> = None;
+    let mut schema_client: Option<bool> = None;
+    let mut schema_server: Option<bool> = None;
+    let mut schema_client_len: Option<usize> = None;
+    let mut schema_series: Option<Vec<String>> = None;
+    let mut schema_imputation: Option<Imputation> = None;
+    let mut schema_digest: Option<u64> = None;
     let mut servers: Option<usize> = None;
     let mut kernel_widths: Option<Vec<usize>> = None;
     let mut head_widths: Option<Vec<usize>> = None;
@@ -159,7 +220,49 @@ pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
         let (key, rest) = line
             .split_once(' ')
             .ok_or_else(|| err(format!("malformed line {line:?}")))?;
+        let parse_bool = |what: &str, s: &str| match s.trim() {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(err(format!("bad {what} flag {other:?}"))),
+        };
         match key {
+            "schema.version" => {
+                schema_version = Some(rest.trim().parse().map_err(|_| err("bad schema version"))?)
+            }
+            "schema.window_ns" => {
+                schema_window_ns = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| err("bad schema window_ns"))?,
+                )
+            }
+            "schema.client" => schema_client = Some(parse_bool("schema.client", rest)?),
+            "schema.server" => schema_server = Some(parse_bool("schema.server", rest)?),
+            "schema.client_len" => {
+                schema_client_len = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| err("bad schema client_len"))?,
+                )
+            }
+            "schema.series" => {
+                schema_series = Some(if rest.trim() == "-" {
+                    Vec::new()
+                } else {
+                    rest.split_whitespace().map(str::to_string).collect()
+                })
+            }
+            "schema.imputation" => {
+                schema_imputation =
+                    Some(Imputation::from_token(rest.trim()).ok_or_else(|| {
+                        err(format!("unknown schema imputation {:?}", rest.trim()))
+                    })?)
+            }
+            "schema.digest" => {
+                schema_digest = Some(
+                    u64::from_str_radix(rest.trim(), 16).map_err(|_| err("bad schema digest"))?,
+                )
+            }
             "servers" => servers = Some(rest.trim().parse().map_err(|_| err("bad server count"))?),
             "kernel" | "head" => {
                 let w: Result<Vec<usize>, _> = rest.split_whitespace().map(|t| t.parse()).collect();
@@ -189,6 +292,25 @@ pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
             }
             other => return Err(err(format!("unknown key {other:?}"))),
         }
+    }
+    let schema = FeatureSchema::from_parts(
+        schema_version.ok_or_else(|| err("missing schema.version"))?,
+        schema_window_ns.ok_or_else(|| err("missing schema.window_ns"))?,
+        FeatureConfig {
+            client: schema_client.ok_or_else(|| err("missing schema.client"))?,
+            server: schema_server.ok_or_else(|| err("missing schema.server"))?,
+        },
+        schema_client_len.ok_or_else(|| err("missing schema.client_len"))?,
+        schema_series.ok_or_else(|| err("missing schema.series"))?,
+        schema_imputation.ok_or_else(|| err("missing schema.imputation"))?,
+    );
+    let stored_digest = schema_digest.ok_or_else(|| err("missing schema.digest"))?;
+    if stored_digest != schema.digest() {
+        return Err(err(format!(
+            "schema digest mismatch: file says {stored_digest:016x}, \
+             schema hashes to {:016x}",
+            schema.digest()
+        )));
     }
     let servers = servers.ok_or_else(|| err("missing servers"))?;
     let kernel_widths = kernel_widths.ok_or_else(|| err("missing kernel widths"))?;
@@ -231,10 +353,18 @@ pub fn model_from_text(text: &str) -> Result<TrainedModel, ModelParseError> {
     if head.inputs() != servers {
         return Err(err("head width does not match server count"));
     }
+    if schema.vector_len() != kernel_widths[0] {
+        return Err(err(format!(
+            "schema describes {} features per server vector, network takes {}",
+            schema.vector_len(),
+            kernel_widths[0]
+        )));
+    }
     let net = KernelNet::from_parts(kernel, head, servers);
     Ok(TrainedModel::from_parts(
         net,
         Standardizer::from_parts(mean, std),
+        schema,
     ))
 }
 
@@ -307,14 +437,21 @@ mod tests {
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 
+    /// Rewrite `text`'s trailing checksum so only the *inner* change
+    /// under test (not the outer integrity check) trips the parser.
+    fn with_valid_checksum(text: &str) -> String {
+        let (body, _) = text.trim_end().rsplit_once('\n').expect("check line");
+        format!("{body}\ncheck {:016x}\n", fnv1a(body))
+    }
+
     #[test]
     fn rejects_corrupt_inputs() {
         let (model, _) = trained();
         let text = model_to_text(&model);
         assert!(model_from_text("garbage").is_err());
-        assert!(model_from_text("QIMODEL v1\nservers 3\n").is_err());
+        assert!(model_from_text("QIMODEL v2\nservers 3\n").is_err());
         // Flip the header version.
-        let bad = text.replace("QIMODEL v1", "QIMODEL v9");
+        let bad = with_valid_checksum(&text.replace("QIMODEL v2", "QIMODEL v9"));
         assert!(model_from_text(&bad).is_err());
         // Truncate a layer.
         let truncated: String = text
@@ -326,6 +463,76 @@ mod tests {
         // Corrupt a float token.
         let corrupt = text.replacen("std.mean ", "std.mean zzzzzzzz ", 1);
         assert!(model_from_text(&corrupt).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_the_schema() {
+        let (model, _) = trained();
+        let back = model_from_text(&model_to_text(&model)).expect("parse");
+        assert_eq!(back.schema(), model.schema());
+    }
+
+    #[test]
+    fn legacy_v1_file_is_rejected_cleanly() {
+        // Reconstruct what a pre-schema export looked like: no schema
+        // section, v1 header, valid checksum. Parsing must fail with a
+        // clean ModelParseError pointing at the missing schema — never
+        // a panic, never a silently schema-less model.
+        let (model, _) = trained();
+        let v1_body: String = model_to_text(&model)
+            .lines()
+            .filter(|l| !l.starts_with("schema.") && !l.starts_with("check "))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("QIMODEL v2", "QIMODEL v1");
+        let v1_text = format!("{v1_body}\ncheck {:016x}\n", fnv1a(&v1_body));
+        let e = model_from_text(&v1_text)
+            .err()
+            .expect("legacy file rejected");
+        assert!(e.message.contains("no feature schema"), "{e}");
+    }
+
+    #[test]
+    fn tampered_schema_digest_is_rejected() {
+        let (model, _) = trained();
+        let text = model_to_text(&model);
+        let digest_line = text
+            .lines()
+            .find(|l| l.starts_with("schema.digest "))
+            .expect("digest line");
+        let tampered =
+            with_valid_checksum(&text.replace(digest_line, "schema.digest 0000000000000000"));
+        let e = model_from_text(&tampered)
+            .err()
+            .expect("digest mismatch rejected");
+        assert!(e.message.contains("schema digest mismatch"), "{e}");
+    }
+
+    #[test]
+    fn schema_network_width_disagreement_is_rejected() {
+        // A schema describing a different vector length than the
+        // network's input layer must not parse, even with valid
+        // checksums and digests.
+        let (model, _) = trained();
+        let text = model_to_text(&model);
+        let other = FeatureSchema::custom(model.n_features() + 1);
+        let swapped = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("schema.client_len ") {
+                    format!("schema.client_len {}", other.client_len())
+                } else if l.starts_with("schema.digest ") {
+                    format!("schema.digest {:016x}", other.digest())
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let e = model_from_text(&with_valid_checksum(&swapped))
+            .err()
+            .expect("width mismatch");
+        assert!(e.message.contains("features per server vector"), "{e}");
     }
 
     #[test]

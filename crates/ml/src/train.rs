@@ -1,5 +1,7 @@
 //! Training loop and trained-model inference.
 
+use qi_monitor::schema::FeatureSchema;
+use qi_simkit::error::QiError;
 use qi_simkit::stats::OnlineStats;
 use qi_telemetry::{MetricValue, MetricsSnapshot};
 use rand::rngs::StdRng;
@@ -107,6 +109,7 @@ impl std::fmt::Display for ModelShape {
 pub struct TrainedModel {
     net: KernelNet,
     standardizer: Standardizer,
+    schema: FeatureSchema,
     /// Mean training loss per epoch (for convergence checks/plots).
     pub loss_curve: Vec<f32>,
     /// Validation loss per epoch when early stopping was enabled.
@@ -130,14 +133,23 @@ impl TrainedModel {
     }
 
     /// Rebuild a model from serialized parts.
-    pub fn from_parts(net: KernelNet, standardizer: Standardizer) -> Self {
+    pub fn from_parts(net: KernelNet, standardizer: Standardizer, schema: FeatureSchema) -> Self {
         TrainedModel {
             net,
             standardizer,
+            schema,
             loss_curve: Vec::new(),
             val_curve: Vec::new(),
             metrics: MetricsSnapshot::new(),
         }
+    }
+
+    /// The feature schema this model was trained under — the versioned
+    /// description of what its input vectors *mean*. The serving
+    /// registry and the predictor compare it against the pipeline's
+    /// schema before any inference runs.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
     }
 
     /// Number of classes the model outputs.
@@ -231,6 +243,12 @@ impl TrainedModel {
 
 /// Train the kernel network on `train_set` with inverse-frequency class
 /// weights (the datasets are imbalanced; see paper §IV-A).
+///
+/// The resulting model carries a *custom* (window-unbound) feature
+/// schema sized to the dataset — appropriate for synthetic data,
+/// benches, and tests. Models destined for serving against a real
+/// feature pipeline must be trained with [`train_with_schema`] so the
+/// registry can validate them against the pipeline.
 pub fn train(train_set: &Dataset, cfg: &TrainConfig) -> TrainedModel {
     assert!(!train_set.is_empty(), "empty training set");
     assert!(
@@ -347,10 +365,33 @@ pub fn train(train_set: &Dataset, cfg: &TrainConfig) -> TrainedModel {
     TrainedModel {
         net,
         standardizer,
+        schema: FeatureSchema::custom(train_set.n_features()),
         loss_curve,
         val_curve,
         metrics,
     }
+}
+
+/// Like [`train`], but stamp the resulting model with the pipeline
+/// schema its training vectors were assembled under. Errors with
+/// [`QiError::SchemaMismatch`] if the schema's per-server vector
+/// length disagrees with the dataset — a schema that does not describe
+/// the data must never be embedded in a model.
+pub fn train_with_schema(
+    train_set: &Dataset,
+    cfg: &TrainConfig,
+    schema: FeatureSchema,
+) -> Result<TrainedModel, QiError> {
+    if schema.vector_len() != train_set.n_features() {
+        return Err(QiError::SchemaMismatch {
+            context: "stamping a trained model".into(),
+            expected: format!("{} features per server vector", train_set.n_features()),
+            got: schema.to_string(),
+        });
+    }
+    let mut model = train(train_set, cfg);
+    model.schema = schema;
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -519,6 +560,25 @@ mod tests {
             .fold(f32::INFINITY, f32::min);
         let last = *model.val_curve.last().expect("non-empty");
         assert!(best <= last);
+    }
+
+    #[test]
+    fn train_with_schema_validates_vector_length() {
+        let data = synth(60, 3, 7); // 6 features per server vector
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let good = FeatureSchema::custom(6);
+        let m = match train_with_schema(&data, &cfg, good.clone()) {
+            Ok(m) => m,
+            Err(e) => panic!("matching schema rejected: {e}"),
+        };
+        assert_eq!(m.schema(), &good);
+        let err = train_with_schema(&data, &cfg, FeatureSchema::custom(7))
+            .err()
+            .expect("schema wider than the data");
+        assert!(matches!(err, QiError::SchemaMismatch { .. }), "{err}");
     }
 
     #[test]

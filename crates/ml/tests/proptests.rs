@@ -9,6 +9,7 @@ use qi_ml::metrics::ConfusionMatrix;
 use qi_ml::model::KernelNet;
 use qi_ml::serialize::{model_from_text, model_to_text};
 use qi_ml::train::TrainedModel;
+use qi_monitor::schema::FeatureSchema;
 
 fn mlp_from(widths: &[usize], params: &mut impl Iterator<Item = f32>) -> Mlp {
     let layers = widths
@@ -26,26 +27,28 @@ fn mlp_from(widths: &[usize], params: &mut impl Iterator<Item = f32>) -> Mlp {
 /// kernel-net family (kernel ends in one score, head starts at the
 /// server count) and random finite parameters.
 fn arb_model() -> impl Strategy<Value = TrainedModel> {
-    (2usize..5, 3usize..8, 2usize..6, 2usize..4).prop_flat_map(|(servers, feats, hidden, classes)| {
-        let n_params = |widths: &[usize]| -> usize {
-            widths.windows(2).map(|p| p[0] * p[1] + p[1]).sum()
-        };
-        let total = n_params(&[feats, hidden, 1]) + n_params(&[servers, hidden, classes]);
-        (
-            prop::collection::vec(-100.0f32..100.0, total),
-            prop::collection::vec(-10.0f32..10.0, feats),
-            prop::collection::vec(0.01f32..10.0, feats),
-        )
-            .prop_map(move |(net, mean, std)| {
-                let mut it = net.into_iter();
-                let kernel = mlp_from(&[feats, hidden, 1], &mut it);
-                let head = mlp_from(&[servers, hidden, classes], &mut it);
-                TrainedModel::from_parts(
-                    KernelNet::from_parts(kernel, head, servers),
-                    Standardizer::from_parts(mean, std),
-                )
-            })
-    })
+    (2usize..5, 3usize..8, 2usize..6, 2usize..4).prop_flat_map(
+        |(servers, feats, hidden, classes)| {
+            let n_params =
+                |widths: &[usize]| -> usize { widths.windows(2).map(|p| p[0] * p[1] + p[1]).sum() };
+            let total = n_params(&[feats, hidden, 1]) + n_params(&[servers, hidden, classes]);
+            (
+                prop::collection::vec(-100.0f32..100.0, total),
+                prop::collection::vec(-10.0f32..10.0, feats),
+                prop::collection::vec(0.01f32..10.0, feats),
+            )
+                .prop_map(move |(net, mean, std)| {
+                    let mut it = net.into_iter();
+                    let kernel = mlp_from(&[feats, hidden, 1], &mut it);
+                    let head = mlp_from(&[servers, hidden, classes], &mut it);
+                    TrainedModel::from_parts(
+                        KernelNet::from_parts(kernel, head, servers),
+                        Standardizer::from_parts(mean, std),
+                        FeatureSchema::custom(feats),
+                    )
+                })
+        },
+    )
 }
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {

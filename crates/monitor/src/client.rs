@@ -14,9 +14,11 @@
 use std::collections::HashMap;
 
 use qi_pfs::ids::{AppId, OpToken};
-use qi_pfs::ops::{OpKind, RunTrace};
+use qi_pfs::ops::{OpKind, OpRecord, RpcRecord, RunTrace};
 use qi_simkit::time::SimDuration;
 
+use crate::features::FeatureConfig;
+use crate::pipeline::FeaturePipeline;
 use crate::window::WindowConfig;
 
 /// Client-side metrics for one `(application, window)` cell.
@@ -57,6 +59,50 @@ pub struct DevTargeting {
 }
 
 impl ClientWindow {
+    /// An empty cell with per-device targeting slots for `n_devices`.
+    pub fn sized(n_devices: usize) -> Self {
+        ClientWindow {
+            per_dev: vec![DevTargeting::default(); n_devices],
+            ..ClientWindow::default()
+        }
+    }
+
+    /// Accumulate one completed operation into this cell. This (with
+    /// [`ClientWindow::record_rpc`]) is the *single* definition of
+    /// client-side accumulation — both the streaming pipeline and the
+    /// batch adapters go through it.
+    pub fn record_op(&mut self, op: &OpRecord) {
+        match op.kind {
+            OpKind::Read => {
+                self.reads += 1;
+                self.bytes_read += op.bytes;
+            }
+            OpKind::Write => {
+                self.writes += 1;
+                self.bytes_written += op.bytes;
+            }
+            _ => self.metas += 1,
+        }
+        self.io_time += op.duration();
+        self.ops.push((op.token, op.kind, op.duration()));
+    }
+
+    /// Accumulate one issued RPC's per-server targeting into this cell.
+    pub fn record_rpc(&mut self, rpc: &RpcRecord) {
+        let d = &mut self.per_dev[rpc.dev.index()];
+        match rpc.kind {
+            OpKind::Read => {
+                d.read_reqs += 1;
+                d.bytes_read += rpc.bytes;
+            }
+            OpKind::Write => {
+                d.write_reqs += 1;
+                d.bytes_written += rpc.bytes;
+            }
+            _ => d.meta_reqs += 1,
+        }
+    }
+
     /// Combined operation count.
     pub fn total_ops(&self) -> u64 {
         self.reads + self.writes + self.metas
@@ -83,47 +129,24 @@ impl ClientWindow {
 /// Operations are attributed to the window in which they *complete*
 /// (matching how the aggregator flushes its shared-memory buffer); RPC
 /// targeting is attributed to the issue window.
+///
+/// This is a thin batch adapter over the streaming
+/// [`FeaturePipeline`] — the accumulation itself is defined once, in
+/// [`ClientWindow::record_op`]/[`ClientWindow::record_rpc`] driven by
+/// the pipeline, so the batch result is byte-identical to streaming
+/// the same events.
 pub fn client_windows(
     trace: &RunTrace,
     cfg: WindowConfig,
     n_devices: u32,
 ) -> HashMap<(AppId, u64), ClientWindow> {
-    let mut out: HashMap<(AppId, u64), ClientWindow> = HashMap::new();
-    let blank = || ClientWindow {
-        per_dev: vec![DevTargeting::default(); n_devices as usize],
-        ..ClientWindow::default()
-    };
-    for op in &trace.ops {
-        let w = cfg.index_of(op.completed);
-        let cell = out.entry((op.token.app, w)).or_insert_with(blank);
-        match op.kind {
-            OpKind::Read => {
-                cell.reads += 1;
-                cell.bytes_read += op.bytes;
-            }
-            OpKind::Write => {
-                cell.writes += 1;
-                cell.bytes_written += op.bytes;
-            }
-            _ => cell.metas += 1,
-        }
-        cell.io_time += op.duration();
-        cell.ops.push((op.token, op.kind, op.duration()));
-    }
-    for rpc in &trace.rpcs {
-        let w = cfg.index_of(rpc.issued);
-        let cell = out.entry((rpc.app, w)).or_insert_with(blank);
-        let d = &mut cell.per_dev[rpc.dev.index()];
-        match rpc.kind {
-            OpKind::Read => {
-                d.read_reqs += 1;
-                d.bytes_read += rpc.bytes;
-            }
-            OpKind::Write => {
-                d.write_reqs += 1;
-                d.bytes_written += rpc.bytes;
-            }
-            _ => d.meta_reqs += 1,
+    // Only the client streams matter here; an empty sample stream keeps
+    // the pipeline from doing server-side work.
+    let pipeline = FeaturePipeline::new(cfg, FeatureConfig::default(), n_devices);
+    let mut out = HashMap::new();
+    for ew in pipeline.run_streams(&trace.ops, &trace.rpcs, &[]) {
+        for (app, cell) in ew.clients {
+            out.insert((app, ew.window), cell);
         }
     }
     out

@@ -26,8 +26,9 @@ pub const N_SERVER: usize = N_SERVER_SERIES * 3;
 /// Total features in one per-server vector.
 pub const N_FEATURES: usize = N_CLIENT_GLOBAL + N_CLIENT_TARGET + N_SERVER;
 
-/// Which feature blocks to include (used by the feature-ablation bench).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Which feature blocks to include (used by the feature-ablation bench
+/// and keyed on by [`crate::schema::FeatureSchema`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FeatureConfig {
     /// Include blocks 1 and 2 (client-side metrics).
     pub client: bool,
@@ -46,7 +47,7 @@ impl Default for FeatureConfig {
 
 impl FeatureConfig {
     /// Vector length under this configuration.
-    pub fn len(&self) -> usize {
+    pub const fn len(&self) -> usize {
         let mut n = 0;
         if self.client {
             n += N_CLIENT_GLOBAL + N_CLIENT_TARGET;
@@ -58,7 +59,7 @@ impl FeatureConfig {
     }
 
     /// True when no block is enabled.
-    pub fn is_empty(&self) -> bool {
+    pub const fn is_empty(&self) -> bool {
         !self.client && !self.server
     }
 }
@@ -122,7 +123,7 @@ impl FeatureAvailability {
 }
 
 /// How to fill feature cells whose monitor data is missing.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Imputation {
     /// Missing blocks become zeros (the historical behaviour).
     #[default]
@@ -133,6 +134,25 @@ pub enum Imputation {
     /// observed"). Applied by the dataset assembly layer, which owns the
     /// cross-window view needed to compute the means.
     DeviceMean,
+}
+
+impl Imputation {
+    /// Stable one-word token, used by the QIMODEL schema section.
+    pub const fn token(self) -> &'static str {
+        match self {
+            Imputation::Zero => "zero",
+            Imputation::DeviceMean => "device_mean",
+        }
+    }
+
+    /// Inverse of [`Imputation::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "zero" => Some(Imputation::Zero),
+            "device_mean" => Some(Imputation::DeviceMean),
+            _ => None,
+        }
+    }
 }
 
 /// Build the feature vector for one server, given the application's
@@ -303,6 +323,33 @@ mod tests {
         let sw = ServerWindow::default();
         let (_, a) = server_vector_masked(cfg, Some(&cw), Some(&sw), DeviceId(0), w);
         assert!(a.is_complete(cfg));
+    }
+
+    #[test]
+    fn config_is_const_evaluable_and_hashable() {
+        const FULL: usize = FeatureConfig {
+            client: true,
+            server: true,
+        }
+        .len();
+        const EMPTY: bool = FeatureConfig {
+            client: false,
+            server: false,
+        }
+        .is_empty();
+        assert_eq!(FULL, N_FEATURES);
+        const { assert!(EMPTY) };
+        let mut set = std::collections::HashSet::new();
+        set.insert((FeatureConfig::default(), Imputation::DeviceMean));
+        assert!(set.contains(&(FeatureConfig::default(), Imputation::DeviceMean)));
+    }
+
+    #[test]
+    fn imputation_tokens_round_trip() {
+        for imp in [Imputation::Zero, Imputation::DeviceMean] {
+            assert_eq!(Imputation::from_token(imp.token()), Some(imp));
+        }
+        assert_eq!(Imputation::from_token("bogus"), None);
     }
 
     #[test]

@@ -2,11 +2,20 @@
 //!
 //! The paper's two runtime monitors, reimplemented over simulator traces:
 //!
+//! - [`pipeline`] — the **one** featurization path: the incremental
+//!   [`FeaturePipeline`] (windowing → accumulation → vector assembly)
+//!   that both the batch entry points and the online serving layer
+//!   drive, so training and serving cannot drift apart.
+//! - [`schema`] — the versioned [`FeatureSchema`] describing a
+//!   pipeline's vector layout, embedded in trained models and
+//!   validated when a model is bound to a pipeline.
 //! - [`client`] — the modified-Darshan client-side monitor: per-app,
 //!   per-window request counts, byte totals, I/O time, throughput/IOPS,
-//!   and per-server targeting (paper §III-A).
+//!   and per-server targeting (paper §III-A). `client_windows` is a
+//!   batch adapter over the pipeline.
 //! - [`server`] — the Lustre server-side monitor: per-second device
 //!   counters reduced to windowed sum/mean/std (paper §III-B, Table II).
+//!   `server_windows` is a batch adapter over the pipeline.
 //! - [`features`] — assembly of the per-server vectors fed to the
 //!   kernel-based network (paper §III-C).
 //! - [`window`] — shared window indexing.
@@ -14,13 +23,15 @@
 pub mod client;
 pub mod dxt;
 pub mod features;
+pub mod pipeline;
+pub mod schema;
 pub mod server;
-pub mod stream;
 pub mod window;
 
 pub use client::{client_windows, ClientWindow, DevTargeting};
 pub use dxt::{export_dxt, import_dxt, DxtParseError};
-pub use features::{feature_names, server_vector, FeatureConfig, N_FEATURES};
+pub use features::{feature_names, server_vector, FeatureConfig, Imputation, N_FEATURES};
+pub use pipeline::{EmittedWindow, FeaturePipeline, OutOfOrder};
+pub use schema::{FeatureSchema, SCHEMA_VERSION};
 pub use server::{server_windows, SeriesStats, ServerWindow, N_SERVER_SERIES, SERVER_SERIES};
-pub use stream::{EmittedWindow, StreamingMonitor};
 pub use window::WindowConfig;

@@ -10,8 +10,9 @@ use std::collections::HashMap;
 
 use qi_pfs::ids::DeviceId;
 use qi_pfs::ops::ServerSample;
-use qi_simkit::stats::OnlineStats;
 
+use crate::features::FeatureConfig;
+use crate::pipeline::FeaturePipeline;
 use crate::window::WindowConfig;
 
 /// Names of the per-second series derived from device counters, in the
@@ -76,43 +77,21 @@ fn delta_series(prev: &ServerSample, cur: &ServerSample) -> [f64; N_SERVER_SERIE
 
 /// Reduce a run's per-second server samples to per-(device, window)
 /// metric blocks.
+///
+/// This is a thin batch adapter over the streaming
+/// [`FeaturePipeline`]: the per-device consecutive-sample deltas and
+/// the per-window sum/mean/std reduction are computed by the same
+/// engine the serving layer streams through, so batch and streaming
+/// results are byte-identical.
 pub fn server_windows(
     samples: &[ServerSample],
     cfg: WindowConfig,
 ) -> HashMap<(DeviceId, u64), ServerWindow> {
-    // Group samples per device, preserving time order (the trace is
-    // written in time order already).
-    let mut by_dev: HashMap<DeviceId, Vec<&ServerSample>> = HashMap::new();
-    for s in samples {
-        by_dev.entry(s.dev).or_default().push(s);
-    }
-    let mut out: HashMap<(DeviceId, u64), ServerWindow> = HashMap::new();
-    for (dev, seq) in by_dev {
-        let mut acc: HashMap<u64, [OnlineStats; N_SERVER_SERIES]> = HashMap::new();
-        for pair in seq.windows(2) {
-            let (prev, cur) = (pair[0], pair[1]);
-            // The interval (prev, cur] belongs to the window containing
-            // its end point.
-            let w = cfg.index_of(qi_simkit::time::SimTime(cur.time.as_nanos() - 1));
-            let deltas = delta_series(prev, cur);
-            let cell = acc.entry(w).or_default();
-            for (stat, d) in cell.iter_mut().zip(deltas) {
-                stat.push(d);
-            }
-        }
-        for (w, stats) in acc {
-            let mut sw = ServerWindow {
-                samples: stats[0].count() as u32,
-                ..ServerWindow::default()
-            };
-            for (i, s) in stats.iter().enumerate() {
-                sw.series[i] = SeriesStats {
-                    sum: s.sum(),
-                    mean: s.mean(),
-                    std: s.std_dev(),
-                };
-            }
-            out.insert((dev, w), sw);
+    let pipeline = FeaturePipeline::new(cfg, FeatureConfig::default(), 0);
+    let mut out = HashMap::new();
+    for ew in pipeline.run_streams(&[], &[], samples) {
+        for (dev, cell) in ew.servers {
+            out.insert((dev, ew.window), cell);
         }
     }
     out

@@ -5,7 +5,7 @@ use qi_simkit::time::{SimDuration, SimTime};
 /// Window configuration: the aggregation period used by both the
 /// client-side and server-side monitors (paper: "a user-defined time
 /// window size").
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct WindowConfig {
     /// Window length.
     pub window: SimDuration,

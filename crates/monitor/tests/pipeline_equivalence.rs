@@ -1,0 +1,274 @@
+//! Property: the batch adapters (`client_windows`, `server_windows`)
+//! are **byte-identical** to driving the streaming [`FeaturePipeline`]
+//! one event at a time, for arbitrary interleaved op/RPC/sample
+//! streams. This is the train/serve-skew guarantee the whole refactor
+//! exists for: there is one aggregation definition, and whichever way
+//! events reach it, the numbers that come out are the same bits.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use qi_monitor::client::{client_windows, ClientWindow};
+use qi_monitor::features::{server_vector, FeatureConfig};
+use qi_monitor::pipeline::{EmittedWindow, FeaturePipeline};
+use qi_monitor::server::{server_windows, ServerWindow};
+use qi_monitor::window::WindowConfig;
+use qi_pfs::ids::{AppId, DeviceId, OpToken};
+use qi_pfs::ops::{OpKind, OpRecord, RpcRecord, RunTrace, ServerSample};
+use qi_pfs::queue::DeviceCounters;
+use qi_simkit::time::SimTime;
+
+const KINDS: [OpKind; 6] = [
+    OpKind::Read,
+    OpKind::Write,
+    OpKind::Open,
+    OpKind::Create,
+    OpKind::Stat,
+    OpKind::Close,
+];
+
+/// (app, kind index, bytes, completed_ms, duration_ms)
+fn arb_ops() -> impl Strategy<Value = Vec<(u32, usize, u64, u64, u64)>> {
+    prop::collection::vec(
+        (
+            0u32..3,
+            0usize..KINDS.len(),
+            0u64..1_000_000,
+            0u64..8_000,
+            0u64..500,
+        ),
+        0..60,
+    )
+}
+
+/// (app, device, kind index, bytes, issued_ms)
+fn arb_rpcs(n_devices: u32) -> impl Strategy<Value = Vec<(u32, u32, usize, u64, u64)>> {
+    prop::collection::vec(
+        (
+            0u32..3,
+            0..n_devices,
+            0usize..KINDS.len(),
+            0u64..1_000_000,
+            0u64..8_000,
+        ),
+        0..60,
+    )
+}
+
+/// Per-sample: (device, gap_ms ≥ 1, two groups of counter deltas,
+/// dirty_bytes). Gaps accumulate per device, deltas accumulate into
+/// cumulative counters — so every device's sample times are strictly
+/// increasing and its counters non-decreasing, as a real server
+/// monitor produces.
+type SampleSeed = (u32, u64, (u64, u64, u64, u64), (u64, u64, u64, u64), u64);
+
+fn arb_samples(n_devices: u32) -> impl Strategy<Value = Vec<SampleSeed>> {
+    prop::collection::vec(
+        (
+            0..n_devices,
+            1u64..1_500,
+            (0u64..50, 0u64..5_000, 0u64..5_000, 0u64..60),
+            (0u64..20, 0u64..2_000_000, 0u64..2_000_000, 0u64..1_000_000),
+            0u64..10_000_000,
+        ),
+        0..40,
+    )
+}
+
+/// Materialise a trace from the seeds. Sample streams are built
+/// per-device (cumulative time + counters) and merged by time, stably,
+/// so the trace looks like what the simulator records.
+fn build_trace(
+    ops: &[(u32, usize, u64, u64, u64)],
+    rpcs: &[(u32, u32, usize, u64, u64)],
+    samples: &[SampleSeed],
+) -> RunTrace {
+    let mut trace = RunTrace::default();
+    for (i, &(app, kind, bytes, completed_ms, dur_ms)) in ops.iter().enumerate() {
+        let completed = SimTime::from_millis(completed_ms + dur_ms);
+        trace.ops.push(OpRecord {
+            token: OpToken {
+                app: AppId(app),
+                rank: 0,
+                seq: i as u64,
+            },
+            kind: KINDS[kind],
+            bytes,
+            issued: SimTime::from_millis(completed_ms),
+            completed,
+        });
+    }
+    trace.ops.sort_by_key(|o| o.completed);
+    for &(app, dev, kind, bytes, issued_ms) in rpcs {
+        trace.rpcs.push(RpcRecord {
+            app: AppId(app),
+            dev: DeviceId(dev),
+            kind: KINDS[kind],
+            bytes,
+            issued: SimTime::from_millis(issued_ms),
+        });
+    }
+    trace.rpcs.sort_by_key(|r| r.issued);
+    let mut clocks: HashMap<u32, u64> = HashMap::new();
+    let mut counters: HashMap<u32, DeviceCounters> = HashMap::new();
+    for &(
+        dev,
+        gap_ms,
+        (d_reads, d_sread, d_swritten, d_enq),
+        (d_merge, d_wait, d_depth, d_busy),
+        dirty,
+    ) in samples
+    {
+        let t = clocks.entry(dev).or_insert(0);
+        *t += gap_ms;
+        let c = counters.entry(dev).or_default();
+        c.reads_completed += d_reads;
+        c.sectors_read += d_sread;
+        c.sectors_written += d_swritten;
+        c.enqueued += d_enq;
+        c.read_merges += d_merge;
+        c.wait_ns += d_wait;
+        c.weighted_depth_ns += d_depth;
+        c.busy_ns += d_busy;
+        trace.samples.push(ServerSample {
+            time: SimTime::from_millis(*t),
+            dev: DeviceId(dev),
+            counters: *c,
+            dirty_bytes: dirty,
+            throttled_now: 0,
+        });
+    }
+    trace.samples.sort_by_key(|s| s.time);
+    trace
+}
+
+/// Drive the pipeline one event at a time in canonical merged order
+/// (at equal timestamps: samples, then RPCs, then ops — the order
+/// `FeaturePipeline` documents and its batch entry points use).
+fn stream_trace(trace: &RunTrace, cfg: WindowConfig, n_devices: u32) -> Vec<EmittedWindow> {
+    let mut p = FeaturePipeline::new(cfg, FeatureConfig::default(), n_devices);
+    let mut emitted = Vec::new();
+    let (mut oi, mut ri, mut si) = (0, 0, 0);
+    loop {
+        let t_op = trace.ops.get(oi).map(|o| o.completed);
+        let t_rpc = trace.rpcs.get(ri).map(|r| r.issued);
+        let t_smp = trace.samples.get(si).map(|s| s.time);
+        let Some(next) = [t_smp, t_rpc, t_op].into_iter().flatten().min() else {
+            break;
+        };
+        let step = if t_smp == Some(next) {
+            si += 1;
+            p.push_sample(&trace.samples[si - 1])
+        } else if t_rpc == Some(next) {
+            ri += 1;
+            p.push_rpc(&trace.rpcs[ri - 1])
+        } else {
+            oi += 1;
+            p.push_op(&trace.ops[oi - 1])
+        };
+        emitted.extend(step.expect("merged stream is in order"));
+    }
+    emitted.extend(p.finish());
+    emitted
+}
+
+fn assert_client_eq(a: &ClientWindow, b: &ClientWindow) {
+    assert_eq!(a.reads, b.reads);
+    assert_eq!(a.writes, b.writes);
+    assert_eq!(a.metas, b.metas);
+    assert_eq!(a.bytes_read, b.bytes_read);
+    assert_eq!(a.bytes_written, b.bytes_written);
+    assert_eq!(a.io_time, b.io_time);
+    assert_eq!(a.ops, b.ops, "op attribution order diverged");
+    assert_eq!(a.per_dev.len(), b.per_dev.len());
+    for (x, y) in a.per_dev.iter().zip(&b.per_dev) {
+        assert_eq!(
+            (
+                x.read_reqs,
+                x.write_reqs,
+                x.meta_reqs,
+                x.bytes_read,
+                x.bytes_written
+            ),
+            (
+                y.read_reqs,
+                y.write_reqs,
+                y.meta_reqs,
+                y.bytes_read,
+                y.bytes_written
+            )
+        );
+    }
+}
+
+/// Bit-level equality for the windowed server statistics: sum, mean,
+/// and std must be the *same floats*, not merely close.
+fn assert_server_eq(a: &ServerWindow, b: &ServerWindow) {
+    assert_eq!(a.samples, b.samples);
+    for (x, y) in a.series.iter().zip(&b.series) {
+        assert_eq!(x.sum.to_bits(), y.sum.to_bits());
+        assert_eq!(x.mean.to_bits(), y.mean.to_bits());
+        assert_eq!(x.std.to_bits(), y.std.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn streaming_matches_batch_aggregation(
+        ops in arb_ops(),
+        cluster in (1u32..4).prop_flat_map(|n| (Just(n), arb_rpcs(n), arb_samples(n))),
+    ) {
+        let (n_devices, rpcs, samples) = cluster;
+        let trace = build_trace(&ops, &rpcs, &samples);
+        let cfg = WindowConfig::seconds(1);
+        let fcfg = FeatureConfig::default();
+
+        let batch_clients = client_windows(&trace, cfg, n_devices);
+        let batch_servers = server_windows(&trace.samples, cfg);
+        let emitted = stream_trace(&trace, cfg, n_devices);
+
+        // Every streamed cell equals its batch counterpart, field for
+        // field and bit for bit — and nothing exists on one side only.
+        let mut client_cells = 0usize;
+        let mut server_cells = 0usize;
+        for ew in &emitted {
+            for (app, cw) in &ew.clients {
+                let b = &batch_clients[&(*app, ew.window)];
+                assert_client_eq(cw, b);
+                client_cells += 1;
+            }
+            for (dev, sw) in &ew.servers {
+                let b = &batch_servers[&(*dev, ew.window)];
+                assert_server_eq(sw, b);
+                server_cells += 1;
+            }
+        }
+        prop_assert_eq!(client_cells, batch_clients.len());
+        prop_assert_eq!(server_cells, batch_servers.len());
+
+        // Assembled feature vectors are byte-identical too: the block
+        // the serving layer would feed the model equals the block the
+        // training set was built from.
+        for ew in &emitted {
+            for (app, block, _avail) in ew.feature_blocks(fcfg, n_devices, cfg.window) {
+                let client = batch_clients.get(&(app, ew.window));
+                let mut batch_block = Vec::with_capacity(block.len());
+                for d in 0..n_devices {
+                    let dev = DeviceId(d);
+                    batch_block.extend(server_vector(
+                        fcfg,
+                        client,
+                        batch_servers.get(&(dev, ew.window)),
+                        dev,
+                        cfg.window,
+                    ));
+                }
+                let streamed: Vec<u32> = block.iter().map(|f| f.to_bits()).collect();
+                let batched: Vec<u32> = batch_block.iter().map(|f| f.to_bits()).collect();
+                prop_assert_eq!(&streamed, &batched, "feature block bits diverged in window {}", ew.window);
+            }
+        }
+    }
+}

@@ -435,16 +435,6 @@ impl Cluster {
         ClusterBuilder::new()
     }
 
-    /// Build an idle cluster from `cfg`, seeding all internal randomness
-    /// (MDS cache hits) from `seed`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Cluster::builder().config(cfg).seed(seed).build() instead"
-    )]
-    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
-        Cluster::construct(cfg, seed, FaultPlan::new(), RetryPolicy::default())
-    }
-
     fn construct(cfg: ClusterConfig, seed: u64, fault_plan: FaultPlan, retry: RetryPolicy) -> Self {
         let n_osts = cfg.n_osts() as usize;
         let mut devices = Vec::with_capacity(n_osts + 1);

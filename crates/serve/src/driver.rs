@@ -1,18 +1,21 @@
-//! Event-time replay driver: trace → streaming monitor → serve engine.
+//! Event-time replay driver: trace → feature pipeline → serve engine.
 //!
 //! The deterministic stand-in for a live metric feed. A finished
-//! [`RunTrace`] is merged into a single non-decreasing event stream
-//! (ops by completion, RPCs by issue, server samples by sample time)
-//! and pushed through a [`StreamingMonitor`]; the instant a window is
-//! emitted, one [`PredictRequest`](crate::engine::PredictRequest) per
-//! active application is submitted to the engine at that window's close
-//! time. Because every timestamp comes from the trace, replaying the
-//! same trace yields the same requests at the same simulated instants —
-//! and therefore byte-identical serving telemetry.
+//! [`RunTrace`] is pushed through the canonical
+//! [`FeaturePipeline`] — the same windowing/accumulation/assembly code
+//! training data was built with — and the instant a window is emitted,
+//! one [`PredictRequest`](crate::engine::PredictRequest) per active
+//! application is submitted to the engine at that window's close time.
+//! Because every timestamp comes from the trace, replaying the same
+//! trace yields the same requests at the same simulated instants — and
+//! therefore byte-identical serving telemetry.
+//!
+//! The monitoring configuration is **not** a parameter: it is derived
+//! from the engine registry's expected [`FeatureSchema`], so the replay
+//! can never assemble vectors under a layout different from the one the
+//! active model was validated against.
 
-use qi_monitor::features::FeatureConfig;
-use qi_monitor::stream::{EmittedWindow, StreamingMonitor};
-use qi_monitor::window::WindowConfig;
+use qi_monitor::pipeline::FeaturePipeline;
 use qi_pfs::ops::RunTrace;
 use qi_simkit::error::QiError;
 use qi_simkit::time::SimTime;
@@ -34,32 +37,43 @@ pub struct ReplaySummary {
     pub shed: u64,
 }
 
-/// Replay `trace` through a fresh [`StreamingMonitor`] into `engine`.
+/// Replay `trace` through a fresh [`FeaturePipeline`] into `engine`.
+///
+/// The pipeline's window and feature configuration come from the
+/// registry's expected schema ([`crate::ModelRegistry::expected_schema`]);
+/// a registry configured with an unbound ([`custom`]) schema cannot
+/// drive a replay and errors out up front.
 ///
 /// Each emitted window is converted to per-app feature blocks via
-/// [`EmittedWindow::feature_blocks`] (apps in ascending id order) and
-/// submitted at the window's close instant, `wcfg.start_of(window + 1)`.
-/// After the stream drains, the monitor's trailing windows are flushed
-/// and the engine is finished, so every admitted request is answered.
+/// [`EmittedWindow::feature_blocks`][qi_monitor::pipeline::EmittedWindow::feature_blocks]
+/// (apps in ascending id order) and submitted at the window's close
+/// instant, `wcfg.start_of(window + 1)`. After the stream drains, the
+/// pipeline's trailing windows are flushed and the engine is finished,
+/// so every admitted request is answered.
+///
+/// [`custom`]: qi_monitor::schema::FeatureSchema::custom
 pub fn replay_trace(
     engine: &mut ServeEngine,
     trace: &RunTrace,
-    wcfg: WindowConfig,
-    fcfg: FeatureConfig,
     n_devices: u32,
 ) -> Result<ReplaySummary, QiError> {
-    let mut monitor = StreamingMonitor::new(wcfg, n_devices);
+    let schema = engine.registry().expected_schema();
+    let wcfg = schema.window_config().ok_or_else(|| {
+        QiError::Serve(format!(
+            "registry schema [{schema}] has no window length; replay needs a windowed schema"
+        ))
+    })?;
+    let fcfg = schema.feature_config();
+    let mut pipeline = FeaturePipeline::new(wcfg, fcfg, n_devices);
     let mut summary = ReplaySummary::default();
     let mut now = SimTime(0);
 
-    let submit_window = |engine: &mut ServeEngine,
-                             summary: &mut ReplaySummary,
-                             now: &mut SimTime,
-                             w: &EmittedWindow|
-     -> Result<(), QiError> {
+    let emitted = pipeline.ingest_trace(trace)?;
+    let final_windows = pipeline.finish();
+    for w in emitted.iter().chain(final_windows.iter()) {
         summary.windows += 1;
         let close = wcfg.start_of(w.window + 1);
-        *now = close.max(*now);
+        now = close.max(now);
         for (app, block, _avail) in w.feature_blocks(fcfg, n_devices, wcfg.window) {
             summary.submitted += 1;
             let req = PredictRequest {
@@ -67,7 +81,7 @@ pub fn replay_trace(
                 window: w.window,
                 block,
             };
-            let (admission, done) = engine.submit(*now, req)?;
+            let (admission, done) = engine.submit(now, req)?;
             summary.predictions.extend(done);
             match admission {
                 Admission::Enqueued => {}
@@ -75,33 +89,6 @@ pub fn replay_trace(
                 Admission::Shed => summary.shed += 1,
             }
         }
-        Ok(())
-    };
-
-    let (mut oi, mut ri, mut si) = (0, 0, 0);
-    loop {
-        let t_op = trace.ops.get(oi).map(|o| o.completed);
-        let t_rpc = trace.rpcs.get(ri).map(|r| r.issued);
-        let t_smp = trace.samples.get(si).map(|s| s.time);
-        let Some(next) = [t_op, t_rpc, t_smp].into_iter().flatten().min() else {
-            break;
-        };
-        let emitted = if t_op == Some(next) {
-            oi += 1;
-            monitor.push_op(&trace.ops[oi - 1])?
-        } else if t_rpc == Some(next) {
-            ri += 1;
-            monitor.push_rpc(&trace.rpcs[ri - 1])?
-        } else {
-            si += 1;
-            monitor.push_sample(&trace.samples[si - 1])?
-        };
-        for w in &emitted {
-            submit_window(engine, &mut summary, &mut now, w)?;
-        }
-    }
-    for w in monitor.finish() {
-        submit_window(engine, &mut summary, &mut now, &w)?;
     }
     summary.predictions.extend(engine.finish(now)?);
     Ok(summary)

@@ -190,7 +190,9 @@ impl ServeEngine {
                 )));
             }
         }
-        let bucket = cfg.admission.map(|(rate, burst)| TokenBucket::new(rate, burst));
+        let bucket = cfg
+            .admission
+            .map(|(rate, burst)| TokenBucket::new(rate, burst));
         let pool = match cfg.threads {
             Some(n) => Some(
                 rayon::ThreadPoolBuilder::new()
@@ -453,10 +455,7 @@ impl ServeEngine {
         for name in ["serve.queue_wait_us", "serve.infer_us"] {
             let h = snap.histogram(name).expect("registered in new()").clone();
             for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
-                snap.put(
-                    &format!("{name}.{tag}"),
-                    MetricValue::Gauge(h.quantile(q)),
-                );
+                snap.put(&format!("{name}.{tag}"), MetricValue::Gauge(h.quantile(q)));
             }
         }
         self.registry.metrics_into(&mut snap);
@@ -503,7 +502,7 @@ mod tests {
 
     fn engine(cfg: ServeConfig) -> ServeEngine {
         let m = model(1);
-        let mut reg = ModelRegistry::new(m.shape());
+        let mut reg = ModelRegistry::new(m.shape(), m.schema().clone());
         reg.insert(1, m).expect("load");
         reg.activate(1).expect("activate");
         ServeEngine::new(cfg, reg).expect("valid config")
@@ -572,7 +571,12 @@ mod tests {
                 let (_, done) = e.submit(t_ms(w), req(0, w, w % 3 == 0)).unwrap();
                 classes.extend(done.into_iter().map(|p| (p.window, p.class)));
             }
-            classes.extend(e.finish(t_ms(10)).unwrap().into_iter().map(|p| (p.window, p.class)));
+            classes.extend(
+                e.finish(t_ms(10))
+                    .unwrap()
+                    .into_iter()
+                    .map(|p| (p.window, p.class)),
+            );
             classes.sort_unstable();
             classes
         };
@@ -680,7 +684,7 @@ mod tests {
         let m = model(1);
         let shape = m.shape();
         let mk_reg = || {
-            let mut r = ModelRegistry::new(shape);
+            let mut r = ModelRegistry::new(shape, m.schema().clone());
             r.insert(1, model(1)).unwrap();
             r.activate(1).unwrap();
             r
@@ -724,14 +728,11 @@ mod tests {
             window: 0,
             block: vec![0.0; 3],
         };
-        assert!(matches!(
-            e.submit(t_ms(0), bad),
-            Err(QiError::Shape { .. })
-        ));
+        assert!(matches!(e.submit(t_ms(0), bad), Err(QiError::Shape { .. })));
         // Unknown tenant.
         assert!(e.submit(t_ms(0), req(9, 0, true)).is_err());
         // No active model: flushing errors, but only when work exists.
-        let mut r = ModelRegistry::new(shape);
+        let mut r = ModelRegistry::new(shape, m.schema().clone());
         r.insert(1, model(1)).unwrap();
         let mut e2 = ServeEngine::new(
             ServeConfig {

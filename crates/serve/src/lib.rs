@@ -9,8 +9,9 @@
 //!
 //! - [`registry`] — a versioned model registry over `qi_ml::serialize`:
 //!   load/validate/activate `QIMODEL` files by version, hot-swap the
-//!   active model between batches, reject models whose shape does not
-//!   match the monitor's feature layout.
+//!   active model between batches, reject models whose shape or embedded
+//!   [`qi_monitor::FeatureSchema`] does not match the monitor's feature
+//!   layout.
 //! - [`engine`] — a micro-batching inference engine: prediction requests
 //!   (one per emitted `(app, window)` cell) accumulate in a bounded
 //!   queue and are flushed as a single stacked forward pass when either
@@ -20,8 +21,10 @@
 //!   answers) so the service degrades gracefully instead of growing
 //!   unbounded queues.
 //! - [`driver`] — replays a finished [`qi_pfs::ops::RunTrace`] through
-//!   the [`qi_monitor::StreamingMonitor`] and the engine in event-time
-//!   order, the deterministic stand-in for a live metric stream.
+//!   the [`qi_monitor::FeaturePipeline`] and the engine in event-time
+//!   order, the deterministic stand-in for a live metric stream. The
+//!   pipeline configuration is derived from the registry's expected
+//!   schema, so replay and validation can never disagree.
 //!
 //! Determinism argument: no wall clock is ever read — arrival times,
 //! batch-delay deadlines, admission grants, and the modelled inference
@@ -40,7 +43,5 @@ pub mod engine;
 pub mod registry;
 
 pub use driver::{replay_trace, ReplaySummary};
-pub use engine::{
-    Admission, OverloadPolicy, PredictRequest, Prediction, ServeConfig, ServeEngine,
-};
+pub use engine::{Admission, OverloadPolicy, PredictRequest, Prediction, ServeConfig, ServeEngine};
 pub use registry::ModelRegistry;

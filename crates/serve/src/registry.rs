@@ -8,7 +8,10 @@
 //!
 //! - models are **loaded** by version from their `QIMODEL` text form
 //!   ([`qi_ml::serialize`]) and validated against the expected
-//!   [`ModelShape`] before they become visible;
+//!   [`ModelShape`] *and* [`FeatureSchema`] before they become visible —
+//!   a model trained under a different window length, feature ablation,
+//!   or imputation policy is refused with
+//!   [`QiError::SchemaMismatch`] before it can serve a single vector;
 //! - exactly one version is **active** at a time; activation is the only
 //!   hot-swap point and the engine performs it between batches, so a
 //!   batch is never split across model versions;
@@ -19,12 +22,14 @@ use std::collections::BTreeMap;
 
 use qi_ml::serialize::model_from_text;
 use qi_ml::train::{ModelShape, TrainedModel};
+use qi_monitor::schema::FeatureSchema;
 use qi_simkit::error::QiError;
 use qi_telemetry::{MetricValue, MetricsSnapshot};
 
 /// Versioned store of validated models, with one active version.
 pub struct ModelRegistry {
     expected: ModelShape,
+    expected_schema: FeatureSchema,
     versions: BTreeMap<u64, TrainedModel>,
     active: Option<u64>,
     loads_ok: u64,
@@ -33,10 +38,12 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Empty registry that will only accept models of `expected` shape.
-    pub fn new(expected: ModelShape) -> Self {
+    /// Empty registry that will only accept models of `expected` shape
+    /// whose embedded feature schema equals `expected_schema`.
+    pub fn new(expected: ModelShape, expected_schema: FeatureSchema) -> Self {
         ModelRegistry {
             expected,
+            expected_schema,
             versions: BTreeMap::new(),
             active: None,
             loads_ok: 0,
@@ -50,8 +57,25 @@ impl ModelRegistry {
         self.expected
     }
 
+    /// The feature schema every registered model must carry.
+    pub fn expected_schema(&self) -> &FeatureSchema {
+        &self.expected_schema
+    }
+
+    fn check_schema(&self, version: u64, model: &TrainedModel) -> Result<(), QiError> {
+        if model.schema() != &self.expected_schema {
+            return Err(QiError::SchemaMismatch {
+                context: format!("validating model version {version}"),
+                expected: self.expected_schema.to_string(),
+                got: model.schema().to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Register an already-deserialized model under `version`.
-    /// Rejects duplicate versions and shape mismatches.
+    /// Rejects duplicate versions, shape mismatches, and feature-schema
+    /// mismatches (checked in that order).
     pub fn insert(&mut self, version: u64, model: TrainedModel) -> Result<(), QiError> {
         if self.versions.contains_key(&version) {
             self.loads_rejected += 1;
@@ -66,6 +90,10 @@ impl ModelRegistry {
                 "model version {version} has shape [{shape}], monitor expects [{}]",
                 self.expected
             )));
+        }
+        if let Err(e) = self.check_schema(version, &model) {
+            self.loads_rejected += 1;
+            return Err(e);
         }
         self.versions.insert(version, model);
         self.loads_ok += 1;
@@ -86,12 +114,16 @@ impl ModelRegistry {
 
     /// Make `version` the serving model. The caller (the engine) must
     /// flush pending work first so the swap lands between batches.
+    /// Re-validates the stored model's feature schema, so even a model
+    /// registered before the expectation could change can never go live
+    /// with a stale layout.
     pub fn activate(&mut self, version: u64) -> Result<(), QiError> {
-        if !self.versions.contains_key(&version) {
+        let Some(model) = self.versions.get(&version) else {
             return Err(QiError::Serve(format!(
                 "cannot activate unknown model version {version}"
             )));
-        }
+        };
+        self.check_schema(version, model)?;
         self.active = Some(version);
         self.activations += 1;
         Ok(())
@@ -179,7 +211,7 @@ mod tests {
     fn load_activate_and_hot_swap() {
         let m1 = trained(3, 5, 1);
         let expected = m1.shape();
-        let mut reg = ModelRegistry::new(expected);
+        let mut reg = ModelRegistry::new(expected, m1.schema().clone());
         assert_eq!(reg.active_version(), None);
         assert!(reg.active_model_mut().is_none());
         reg.load_text(1, &model_to_text(&m1)).expect("v1 loads");
@@ -199,7 +231,7 @@ mod tests {
     #[test]
     fn wrong_shape_is_rejected() {
         let right = trained(3, 5, 1);
-        let mut reg = ModelRegistry::new(right.shape());
+        let mut reg = ModelRegistry::new(right.shape(), right.schema().clone());
         // Wrong feature width and wrong server count both bounce.
         for (v, bad) in [(7, trained(3, 6, 1)), (8, trained(4, 5, 1))] {
             let err = reg.insert(v, bad).expect_err("shape mismatch");
@@ -213,9 +245,33 @@ mod tests {
     }
 
     #[test]
+    fn schema_mismatched_model_is_rejected_before_it_can_serve() {
+        use qi_monitor::features::{FeatureConfig, Imputation};
+        use qi_monitor::window::WindowConfig;
+
+        let m = trained(3, 5, 1);
+        // Registry configured for the full 1-second-window pipeline; the
+        // model was trained on a hand-built 5-feature dataset, so its
+        // embedded schema disagrees even though nothing panics about it.
+        let expected = FeatureSchema::current(
+            WindowConfig::seconds(1),
+            FeatureConfig::default(),
+            Imputation::Zero,
+        );
+        let mut reg = ModelRegistry::new(m.shape(), expected);
+        let err = reg.insert(1, m).expect_err("schema mismatch at load");
+        assert!(matches!(err, QiError::SchemaMismatch { .. }), "{err}");
+        assert!(reg.versions().is_empty());
+        assert!(reg.active_model_mut().is_none(), "nothing can serve");
+        let mut snap = MetricsSnapshot::new();
+        reg.metrics_into(&mut snap);
+        assert_eq!(snap.counter("serve.registry.loads_rejected"), Some(1));
+    }
+
+    #[test]
     fn corrupt_text_duplicate_version_and_unknown_activation_error() {
         let m = trained(2, 4, 3);
-        let mut reg = ModelRegistry::new(m.shape());
+        let mut reg = ModelRegistry::new(m.shape(), m.schema().clone());
         assert!(reg.load_text(1, "not a model").is_err());
         reg.insert(1, m).expect("clean load");
         let dup = trained(2, 4, 4);

@@ -46,6 +46,19 @@ pub enum QiError {
         /// The lower-level cause.
         source: Box<dyn Error + Send + Sync>,
     },
+    /// A trained model's feature schema does not match the feature
+    /// pipeline it is being bound to (different window length, ablated
+    /// blocks, different imputation policy). Raised before any
+    /// inference runs — a model trained under one schema refuses to
+    /// serve vectors produced under another.
+    SchemaMismatch {
+        /// What was being bound (e.g. "loading model version 2").
+        context: String,
+        /// The schema the pipeline/registry expects.
+        expected: String,
+        /// The schema the model carries.
+        got: String,
+    },
 }
 
 impl fmt::Display for QiError {
@@ -58,12 +71,23 @@ impl fmt::Display for QiError {
                 what,
                 expected,
                 got,
-            } => write!(f, "shape mismatch in {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "shape mismatch in {what}: expected {expected}, got {got}"
+            ),
             QiError::Pipeline(msg) => write!(f, "pipeline failure: {msg}"),
             QiError::Serve(msg) => write!(f, "serving failure: {msg}"),
             QiError::Monitor { context, source } => {
                 write!(f, "monitor failure while {context}: {source}")
             }
+            QiError::SchemaMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "feature schema mismatch while {context}: expected [{expected}], got [{got}]"
+            ),
         }
     }
 }
@@ -79,10 +103,7 @@ impl Error for QiError {
 
 impl QiError {
     /// Wrap a lower-level error as a monitor failure.
-    pub fn monitor(
-        context: impl Into<String>,
-        source: impl Error + Send + Sync + 'static,
-    ) -> Self {
+    pub fn monitor(context: impl Into<String>, source: impl Error + Send + Sync + 'static) -> Self {
         QiError::Monitor {
             context: context.into(),
             source: Box::new(source),
@@ -114,6 +135,21 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 10"));
         assert!(e.to_string().contains("got 3"));
+    }
+
+    #[test]
+    fn schema_mismatch_names_both_schemas() {
+        let e = QiError::SchemaMismatch {
+            context: "loading model version 2".into(),
+            expected: "window=1000ms".into(),
+            got: "window=2000ms".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("feature schema mismatch"));
+        assert!(s.contains("loading model version 2"));
+        assert!(s.contains("window=1000ms"));
+        assert!(s.contains("window=2000ms"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -420,7 +420,10 @@ mod tests {
         let mut h = Histogram::new(0.0, 10.0, 5);
         h.record(3.0);
         let q = h.quantile(0.5);
-        assert!((2.0..4.0).contains(&q), "single obs lands in its bucket, got {q}");
+        assert!(
+            (2.0..4.0).contains(&q),
+            "single obs lands in its bucket, got {q}"
+        );
     }
 
     #[test]

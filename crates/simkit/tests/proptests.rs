@@ -169,7 +169,7 @@ proptest! {
         let mut last_grant = SimTime::ZERO;
         let mut granted_cost = 0.0f64;
         for &(gap_ns, cost) in &arrivals {
-            now = now + SimDuration::from_nanos(gap_ns);
+            now += SimDuration::from_nanos(gap_ns);
             let grant = bucket.earliest(now, cost);
             prop_assert!(grant >= now, "grant {grant} before request {now}");
             prop_assert!(

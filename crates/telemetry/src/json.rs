@@ -191,11 +191,7 @@ impl MetricsSnapshot {
     }
 }
 
-fn get<'a>(
-    fields: &'a [(String, Json)],
-    metric: &str,
-    key: &str,
-) -> Result<&'a Json, JsonError> {
+fn get<'a>(fields: &'a [(String, Json)], metric: &str, key: &str) -> Result<&'a Json, JsonError> {
     fields
         .iter()
         .find(|(k, _)| k == key)
@@ -400,9 +396,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err(self.err("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             out.push(
@@ -432,8 +427,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
-            {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
                 self.pos += 1;
             } else {
                 break;

@@ -157,7 +157,10 @@ impl Registry {
     /// Register (or look up) a histogram with `n_buckets` equal-width
     /// buckets over `[lo, hi)`.
     pub fn histogram(&mut self, name: &str, lo: f64, hi: f64, n_buckets: usize) -> MetricId {
-        self.register(name, MetricValue::Histogram(Histogram::new(lo, hi, n_buckets)))
+        self.register(
+            name,
+            MetricValue::Histogram(Histogram::new(lo, hi, n_buckets)),
+        )
     }
 
     /// Add `delta` to a counter.
@@ -333,9 +336,7 @@ impl MetricsSnapshot {
                 (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
                     MetricValue::Counter(a.saturating_sub(*b))
                 }
-                (MetricValue::Gauge(a), Some(MetricValue::Gauge(b))) => {
-                    MetricValue::Gauge(a - b)
-                }
+                (MetricValue::Gauge(a), Some(MetricValue::Gauge(b))) => MetricValue::Gauge(a - b),
                 (MetricValue::Stats(a), Some(MetricValue::Stats(b))) => {
                     let count = a.count().saturating_sub(b.count());
                     let sum = a.sum() - b.sum();

@@ -105,9 +105,11 @@ fn main() -> Result<(), QiError> {
     // ------------------------------------------------------------------
     for (name, plan) in plans() {
         let (_, faulted) = s.clone().with_fault_plan(plan).run()?;
-        let slowdown =
-            completion_slowdown(&healthy, &faulted, app).expect("faulted run finishes");
-        println!("{name}: slowdown {slowdown:.2}x  [{}]", fault_counters(&faulted));
+        let slowdown = completion_slowdown(&healthy, &faulted, app).expect("faulted run finishes");
+        println!(
+            "{name}: slowdown {slowdown:.2}x  [{}]",
+            fault_counters(&faulted)
+        );
     }
 
     // ------------------------------------------------------------------
@@ -128,7 +130,10 @@ fn main() -> Result<(), QiError> {
         eprintln!("FAIL: faulted replay diverged between identical runs");
         std::process::exit(1);
     }
-    println!("replay: byte-identical across reruns  [{}]", fault_counters(&a));
+    println!(
+        "replay: byte-identical across reruns  [{}]",
+        fault_counters(&a)
+    );
 
     // ------------------------------------------------------------------
     // 4. Dataset dimension: a SlowDisk fault spec widens the label
@@ -164,7 +169,11 @@ fn main() -> Result<(), QiError> {
             .zip(&counts)
             .map(|(l, &c)| format!("{l} {:.0}%", 100.0 * c as f64 / total as f64))
             .collect();
-        println!("{fault:?}: {} windows ({})", counts.iter().sum::<usize>(), shares.join(", "));
+        println!(
+            "{fault:?}: {} windows ({})",
+            counts.iter().sum::<usize>(),
+            shares.join(", ")
+        );
     }
     Ok(())
 }

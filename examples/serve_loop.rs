@@ -19,7 +19,10 @@ use quanterference_repro::simkit::QiError;
 fn main() -> Result<(), QiError> {
     println!("== online serving session (2 worker threads) ==");
     let s = run_serve_session(Some(2))?;
-    println!("offline F1 = {:.3}, serving shape [{}]", s.offline_f1, s.shape);
+    println!(
+        "offline F1 = {:.3}, serving shape [{}]",
+        s.offline_f1, s.shape
+    );
 
     println!("\n-- pass 1: model v1, generous admission --");
     println!(
@@ -38,13 +41,12 @@ fn main() -> Result<(), QiError> {
             .gauge("serve.registry.active_version")
             .unwrap_or(-1.0),
     );
-    let agree = s
-        .v1
-        .predictions
-        .iter()
-        .zip(&s.v2.predictions)
-        .filter(|(a, b)| a.class == b.class)
-        .count();
+    let agree =
+        s.v1.predictions
+            .iter()
+            .zip(&s.v2.predictions)
+            .filter(|(a, b)| a.class == b.class)
+            .count();
     println!(
         "v1 and v2 agree on {}/{} windows",
         agree,

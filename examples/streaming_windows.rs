@@ -1,16 +1,17 @@
-//! Drive the *streaming* monitor the way the deployed framework would:
-//! events flow in time order, windows are emitted the moment they can no
-//! longer change, and each emitted window is immediately classified by
-//! the trained predictor — the online loop of the paper's Figure 2.
+//! Drive the *streaming* feature pipeline the way the deployed
+//! framework would: events flow in time order, windows are emitted the
+//! moment they can no longer change, and each emitted window is
+//! immediately classified by the trained predictor — the online loop of
+//! the paper's Figure 2. The pipeline here is the very same code batch
+//! dataset generation runs, so what the model sees online is what it
+//! was trained on.
 //!
 //! ```sh
 //! cargo run --release --example streaming_windows
 //! ```
 
 use quanterference_repro::framework::prelude::*;
-use quanterference_repro::monitor::features::server_vector;
-use quanterference_repro::monitor::{EmittedWindow, StreamingMonitor};
-use quanterference_repro::pfs::ids::DeviceId;
+use quanterference_repro::monitor::{EmittedWindow, FeaturePipeline};
 
 fn main() -> Result<(), QiError> {
     // 1. Train a model offline.
@@ -40,63 +41,45 @@ fn main() -> Result<(), QiError> {
     let (app, trace) = scenario.run()?;
     let n_devices = scenario.cluster.n_devices();
 
-    // 3. Merge the three event streams in time order and feed them in.
-    let mut monitor = StreamingMonitor::new(spec.window, n_devices);
-    let mut emitted: Vec<EmittedWindow> = Vec::new();
-    let mut oi = 0;
-    let mut ri = 0;
-    let mut si = 0;
-    loop {
-        let t_op = trace.ops.get(oi).map(|o| o.completed);
-        let t_rpc = trace.rpcs.get(ri).map(|r| r.issued);
-        let t_smp = trace.samples.get(si).map(|s| s.time);
-        let next = [t_op, t_rpc, t_smp].into_iter().flatten().min();
-        let Some(next) = next else { break };
-        if t_op == Some(next) {
-            emitted.extend(monitor.push_op(&trace.ops[oi])?);
-            oi += 1;
-        } else if t_rpc == Some(next) {
-            emitted.extend(monitor.push_rpc(&trace.rpcs[ri])?);
-            ri += 1;
-        } else {
-            emitted.extend(monitor.push_sample(&trace.samples[si])?);
-            si += 1;
-        }
-    }
-    emitted.extend(monitor.finish());
+    // 3. Stream the trace through the pipeline in event-time order. The
+    //    pipeline merges ops (by completion), RPCs (by issue), and
+    //    server samples (by sample time) internally and emits every
+    //    window the instant its close time passes the watermark.
+    let mut pipeline = FeaturePipeline::new(spec.window, spec.features, n_devices);
+    println!("pipeline schema: {}", pipeline.schema());
+    let mut emitted: Vec<EmittedWindow> = pipeline.ingest_trace(&trace)?;
+    emitted.extend(pipeline.finish());
     println!(
         "streamed {} ops, {} rpcs, {} samples -> {} finalized windows",
-        oi,
-        ri,
-        si,
+        trace.ops.len(),
+        trace.rpcs.len(),
+        trace.samples.len(),
         emitted.len()
     );
 
-    // 4. Classify each window the instant it is emitted.
+    // 4. Classify each window the instant it is emitted. The per-app
+    //    feature blocks come from the pipeline too — the same assembly
+    //    the training vectors went through.
     println!("\nlive predictions for the target app:");
     for w in &emitted {
         let Some(client) = w.clients.get(&app) else {
             continue;
         };
-        let mut block = Vec::new();
-        for d in 0..n_devices {
-            let dev = DeviceId(d);
-            block.extend(server_vector(
-                spec.features,
-                Some(client),
-                w.servers.get(&dev),
-                dev,
-                spec.window.window,
-            ));
+        for (block_app, block, _avail) in
+            w.feature_blocks(spec.features, n_devices, spec.window.window)
+        {
+            if block_app != app {
+                continue;
+            }
+            let bin = predictor.predict_block(&block)?;
+            println!(
+                "  window {:>2}: {:>4} ops, {:>8} bytes -> predicted {}",
+                w.window,
+                client.total_ops(),
+                client.total_bytes(),
+                predictor.bin_labels()[bin]
+            );
         }
-        let bin = predictor.predict_block(&block)?;
-        println!(
-            "  window {:>2}: {:>4} ops, {:>8} bytes -> predicted {}",
-            w.window,
-            client.total_ops(),
-            client.total_bytes(),
-            predictor.bin_labels()[bin]
-        );
     }
     Ok(())
 }

@@ -22,6 +22,10 @@ if [[ "${1:-}" == "--smoke" ]]; then
     export QI_SMOKE=1
 fi
 
+# Hygiene gate: benchmark numbers are only worth recording from a tree
+# that passes the same formatting bar CI holds the code to.
+cargo fmt --check
+
 # Fault-injection smoke sweep: exercises every fault event type plus the
 # retry path and exits non-zero if a faulted replay is not byte-identical.
 if [[ "${QI_SKIP_FAULT_SWEEP:-}" != "1" ]]; then
@@ -39,7 +43,9 @@ fi
 cargo bench -p qi-bench --bench parallel
 
 # Serving throughput: batch {1,8,32} x worker threads, batched classes
-# asserted equal to unbatched, batch 32 required to beat batch 1.
+# asserted equal to unbatched, batch 32 required to beat batch 1, and
+# each configuration's p95 batch latency gated to +10% of the recorded
+# baseline (QI_SKIP_P95_GATE=1 to re-baseline on different hardware).
 # QI_BENCH_OUT is unset for this bench (it names the *parallel* report);
 # the default output is BENCH_serve.json at the repo root, QI_SERVE_OUT
 # overrides it (relative paths resolve against crates/bench).

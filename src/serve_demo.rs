@@ -5,7 +5,7 @@
 //! One fixed, smoke-scale story: train two model versions offline, load
 //! both into a versioned registry from their `QIMODEL` text form, then
 //! replay a *fresh* interfered run — executed under an active
-//! [`FaultPlan`] — through the streaming monitor into the micro-batching
+//! [`FaultPlan`] — through the feature pipeline into the micro-batching
 //! service. The same trace is replayed twice through one engine with a
 //! hot swap to version 2 in between, and once more through a separate
 //! engine with deliberately tight admission so the `Shed` overload
@@ -14,9 +14,11 @@
 //! reruns and across worker-thread counts.
 
 use qi_ml::serialize::model_to_text;
-use qi_ml::train::{train, ModelShape};
+use qi_ml::train::{train_with_schema, ModelShape};
 use qi_pfs::ids::AppId;
-use qi_serve::{replay_trace, ModelRegistry, OverloadPolicy, ReplaySummary, ServeConfig, ServeEngine};
+use qi_serve::{
+    replay_trace, ModelRegistry, OverloadPolicy, ReplaySummary, ServeConfig, ServeEngine,
+};
 use qi_simkit::time::SimDuration;
 use qi_telemetry::MetricsSnapshot;
 
@@ -46,7 +48,10 @@ impl ServeSession {
     /// (queues are empty after `finish`). Returns a description of the
     /// first violation, if any.
     pub fn check_accounting(&self) -> Result<(), String> {
-        for (name, snap) in [("main", &self.snapshot), ("overload", &self.overload_snapshot)] {
+        for (name, snap) in [
+            ("main", &self.snapshot),
+            ("overload", &self.overload_snapshot),
+        ] {
             let c = |k: &str| snap.counter(k).unwrap_or(0);
             let (req, ans, stale, shed) = (
                 c("serve.requests"),
@@ -97,8 +102,9 @@ pub fn run_serve_session(threads: Option<usize>) -> Result<ServeSession, QiError
         epochs: 18,
         ..TrainConfig::default()
     };
-    let v2 = train(&generated.data, &tcfg2);
+    let v2 = train_with_schema(&generated.data, &tcfg2, generated.schema.clone())?;
     let shape = v1.shape();
+    let schema = generated.schema.clone();
 
     // ------------------------------------------------------------------
     // 2. A fresh interfered run the models never saw, under an active
@@ -131,7 +137,7 @@ pub fn run_serve_session(threads: Option<usize>) -> Result<ServeSession, QiError
     // 3. Registry: both versions enter through their QIMODEL text form
     //    (the same serialization a deployment would ship), v1 active.
     // ------------------------------------------------------------------
-    let mut registry = ModelRegistry::new(shape);
+    let mut registry = ModelRegistry::new(shape, schema.clone());
     registry.load_text(1, &model_to_text(&v1))?;
     registry.load_text(2, &model_to_text(&v2))?;
     registry.activate(1)?;
@@ -150,10 +156,10 @@ pub fn run_serve_session(threads: Option<usize>) -> Result<ServeSession, QiError
         threads,
     };
     let mut engine = ServeEngine::new(cfg, registry)?;
-    let pass1 = replay_trace(&mut engine, &trace, spec.window, spec.features, n_devices)?;
+    let pass1 = replay_trace(&mut engine, &trace, n_devices)?;
     let flushed = engine.activate(trace.end, 2)?;
     debug_assert!(flushed.is_empty(), "replay_trace drains the queue");
-    let pass2 = replay_trace(&mut engine, &trace, spec.window, spec.features, n_devices)?;
+    let pass2 = replay_trace(&mut engine, &trace, n_devices)?;
     let snapshot = engine.metrics_snapshot();
 
     // ------------------------------------------------------------------
@@ -169,11 +175,11 @@ pub fn run_serve_session(threads: Option<usize>) -> Result<ServeSession, QiError
         tenants,
         threads,
     };
-    let mut registry2 = ModelRegistry::new(shape);
+    let mut registry2 = ModelRegistry::new(shape, schema);
     registry2.load_text(1, &model_to_text(&v1))?;
     registry2.activate(1)?;
     let mut shed_engine = ServeEngine::new(tight, registry2)?;
-    let overload = replay_trace(&mut shed_engine, &trace, spec.window, spec.features, n_devices)?;
+    let overload = replay_trace(&mut shed_engine, &trace, n_devices)?;
     let overload_snapshot = shed_engine.metrics_snapshot();
 
     Ok(ServeSession {

@@ -35,7 +35,10 @@ fn baseline_and_interfered_runs_are_deterministic() {
     // rendered — goldens and diffing rely on this.
     assert_eq!(a.metrics, b.metrics);
     assert_eq!(a.metrics.to_json(), b.metrics.to_json());
-    assert_eq!(a.metrics.to_prometheus_text(), b.metrics.to_prometheus_text());
+    assert_eq!(
+        a.metrics.to_prometheus_text(),
+        b.metrics.to_prometheus_text()
+    );
 }
 
 #[test]
@@ -206,7 +209,9 @@ fn predictor_round_trips_through_blocks() {
     // predict_block on a dataset row must equal the batch prediction.
     let sample = gen.data.sample_rows(0);
     let flat: Vec<f32> = sample.data().to_vec();
-    let via_block = predictor.predict_block(&flat).expect("row has the right shape");
+    let via_block = predictor
+        .predict_block(&flat)
+        .expect("row has the right shape");
     assert!(via_block < 2);
 }
 

@@ -4,10 +4,10 @@
 //! telemetry JSON) across reruns and thread counts, and the end-to-end
 //! effect of a SlowDisk plan on the dataset's label distribution.
 
+use qi_simkit::{SimDuration, SimTime};
 use quanterference_repro::framework::prelude::*;
 use quanterference_repro::pfs::ids::{AppId, FileKey, NodeId};
 use quanterference_repro::pfs::ops::{IoOp, ProgramStep};
-use qi_simkit::{SimDuration, SimTime};
 
 fn t(s: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs(s)
@@ -114,8 +114,16 @@ fn op_deadline_is_exceeded_mid_retry_under_total_rpc_loss() {
         "no op can complete when every RPC is dropped"
     );
     let counter = |k: &str| trace.metrics.counter(k).unwrap_or(0);
-    assert!(counter("pfs.rpc.dropped") >= 2, "drops: {}", counter("pfs.rpc.dropped"));
-    assert!(counter("pfs.rpc.timeouts") >= 2, "timeouts: {}", counter("pfs.rpc.timeouts"));
+    assert!(
+        counter("pfs.rpc.dropped") >= 2,
+        "drops: {}",
+        counter("pfs.rpc.dropped")
+    );
+    assert!(
+        counter("pfs.rpc.timeouts") >= 2,
+        "timeouts: {}",
+        counter("pfs.rpc.timeouts")
+    );
     assert!(
         counter("pfs.rpc.retries") >= 1,
         "the op must have been resent at least once before the deadline"
@@ -197,7 +205,11 @@ fn faulted_replay_is_byte_identical_across_reruns_and_thread_counts() {
         assert_eq!(a.failed_ops, b.failed_ops);
         assert_eq!(a.end, b.end);
         assert_eq!(a.metrics, b.metrics);
-        assert_eq!(a.metrics.to_json(), b.metrics.to_json(), "telemetry JSON diverged");
+        assert_eq!(
+            a.metrics.to_json(),
+            b.metrics.to_json(),
+            "telemetry JSON diverged"
+        );
     }
 }
 

@@ -91,7 +91,9 @@ fn baseline_smoke_snapshot_matches_golden() {
 
 #[test]
 fn interfered_smoke_snapshot_matches_golden() {
-    let (_, trace) = interfered_scenario().run().expect("interfered scenario runs");
+    let (_, trace) = interfered_scenario()
+        .run()
+        .expect("interfered scenario runs");
     check_golden(
         "interfered_ior_easy_read_s11.metrics.json",
         &trace.metrics.to_json(),
@@ -109,8 +111,7 @@ fn golden_json_parses_and_reserialises_byte_identically() {
         "serve_loop.metrics.json",
         "serve_loop.overload.metrics.json",
     ] {
-        let text =
-            std::fs::read_to_string(golden_dir().join(name)).expect("golden present");
+        let text = std::fs::read_to_string(golden_dir().join(name)).expect("golden present");
         let snap = MetricsSnapshot::from_json(&text).expect("golden parses");
         assert_eq!(snap.to_json(), text, "round-trip of {name} not byte-stable");
     }

@@ -106,7 +106,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let quick = std::env::var("QI_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        let quick = std::env::var("QI_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         if quick {
             Criterion {
                 warm_up: Duration::from_millis(20),

@@ -236,7 +236,8 @@ mod tests {
         let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
         let mut e: Vec<u8> = Vec::new();
-        e.par_chunks_mut(4).for_each(|_| panic!("no chunks expected"));
+        e.par_chunks_mut(4)
+            .for_each(|_| panic!("no chunks expected"));
     }
 
     #[test]
