@@ -1,0 +1,321 @@
+//! **Simulator-core scaling bench** (DESIGN.md — simulator core).
+//!
+//! Two curves, written to `BENCH_sim.json` at the repository root:
+//!
+//! 1. `queue_churn` — the hold model on a bare `EventQueue`: seed
+//!    `64 × n_nodes` pending events (the cluster's steady-state
+//!    high-water mark at each scale), then pop one / schedule one at
+//!    `now + Δ`, with Δ drawn from a deterministic mix of RPC-scale
+//!    (1–100 µs), disk-scale (0.1–10 ms), and sampler-scale (~1 s)
+//!    horizons. Run for the calendar and binary-heap backends at
+//!    4/8/16/32-OSS cluster sizes (16 clients per OSS); report
+//!    events/second.
+//! 2. `cluster_events_per_sec` — a real end-to-end simulation (every
+//!    client streaming 1 MiB writes) at the same OSS scales, measuring
+//!    delivered events/second from [`RunTrace::events_processed`].
+//!
+//! **Throughput gate:** at the 32-OSS point the calendar backend must
+//! sustain ≥ 3× the heap backend's churn throughput, compared on
+//! best-sample times (the workload is deterministic, so scheduler noise
+//! is strictly additive and the best sample is the cleanest estimate).
+//! The gate fails the bench (non-zero exit) unless `QI_SKIP_SIM_GATE=1`
+//! — the escape hatch for single-CPU or heavily loaded containers where
+//! even best-of-N timing is noise.
+//!
+//! Knobs: `QI_BENCH_OUT=path.json`, `QI_BENCH_QUICK=1` / `QI_SMOKE=1`
+//! (smaller grid and step counts), `QI_SKIP_SIM_GATE=1`.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use qi_bench::is_smoke;
+use qi_pfs::prelude::*;
+use qi_simkit::event::EventQueue;
+use qi_simkit::time::SimTime;
+use qi_simkit::QueueBackend;
+
+/// OSS counts of the scaling curve (clients scale with them).
+const OSS_GRID: [u32; 4] = [4, 8, 16, 32];
+/// The gated point and its required calendar-vs-heap speedup.
+const GATE_OSS: u32 = 32;
+const GATE_SPEEDUP: f64 = 3.0;
+
+/// Backends the curve compares. `Reference` is deliberately absent: the
+/// sorted-Vec double exists for correctness cross-checks, not racing.
+const BACKENDS: [QueueBackend; 2] = [QueueBackend::Calendar, QueueBackend::Heap];
+
+fn backend_label(b: QueueBackend) -> &'static str {
+    match b {
+        QueueBackend::Calendar => "calendar",
+        QueueBackend::Heap => "heap",
+        QueueBackend::Reference => "reference",
+    }
+}
+
+/// xorshift64*: deterministic, dependency-free delta source.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Draw one scheduling delta (ns) from the cluster-shaped mix: mostly
+/// RPC/CPU horizons, a band of disk-service horizons, a thin tail of
+/// sampler-scale timers.
+fn delta_ns(state: &mut u64) -> u64 {
+    let r = next_rand(state);
+    let pick = r % 100;
+    let spread = next_rand(state);
+    if pick < 70 {
+        1_000 + spread % 99_000 // 1–100 µs
+    } else if pick < 95 {
+        100_000 + spread % 9_900_000 // 0.1–10 ms
+    } else {
+        900_000_000 + spread % 200_000_000 // ~1 s
+    }
+}
+
+/// ~32-byte payload, stand-in for a small `Ev` variant.
+type Payload = [u64; 4];
+
+/// Number of clients at an OSS count (the churn model's node scale).
+fn n_nodes(oss: u32) -> usize {
+    (16 * oss + oss + 1) as usize
+}
+
+/// Build a queue pre-loaded to the hold level for `oss`.
+fn seeded_queue(backend: QueueBackend, oss: u32) -> (EventQueue<Payload>, u64) {
+    let pending = 64 * n_nodes(oss);
+    let mut q = EventQueue::with_capacity_and_backend(pending, backend);
+    let mut state = 0x51_u64.wrapping_add(oss as u64) | 1;
+    for i in 0..pending {
+        let at = SimTime::ZERO + qi_simkit::time::SimDuration::from_nanos(delta_ns(&mut state));
+        q.schedule(at, [i as u64; 4]);
+    }
+    (q, state)
+}
+
+/// One hold-model step: pop the earliest event, schedule a replacement.
+fn churn(q: &mut EventQueue<Payload>, state: &mut u64, steps: usize) {
+    for _ in 0..steps {
+        let (_, ev) = q.pop().expect("hold model never drains");
+        let at = q.now() + qi_simkit::time::SimDuration::from_nanos(delta_ns(state));
+        q.schedule(at, ev);
+    }
+}
+
+/// A cluster where every client streams 1 MiB writes to its own file.
+fn streaming_cluster(backend: QueueBackend, oss: u32, mib_per_client: u64) -> Cluster {
+    let cfg = ClusterConfig {
+        oss_nodes: oss,
+        osts_per_oss: 1,
+        client_nodes: 2 * oss,
+        event_queue: backend,
+        ..ClusterConfig::default()
+    };
+    let clients = cfg.client_nodes;
+    let mut cl = Cluster::builder()
+        .config(cfg)
+        .seed(7)
+        .build()
+        .expect("valid scaling config");
+    for c in 0..clients {
+        let file = FileKey {
+            app: AppId(c),
+            num: 1,
+        };
+        let mut left = mib_per_client;
+        let prog = move |_now: SimTime| {
+            if left == 0 {
+                return ProgramStep::Finished;
+            }
+            left -= 1;
+            ProgramStep::Op(IoOp::Write {
+                file,
+                offset: (mib_per_client - left - 1) * 1024 * 1024,
+                len: 1024 * 1024,
+            })
+        };
+        cl.add_app(&format!("w{c}"), vec![Box::new(prog)], &[NodeId(c)]);
+    }
+    cl
+}
+
+struct Row {
+    kind: &'static str,
+    backend: &'static str,
+    oss: u32,
+    median_ms: f64,
+    events_per_sec: f64,
+}
+
+fn write_json(rows: &[Row], gate: (f64, bool, bool), out: &std::path::Path) {
+    let (speedup, enforced, passed) = gate;
+    let mut s = String::from("{\n");
+    s.push_str("  \"generated_by\": \"cargo bench -p qi-bench --bench sim_scale\",\n");
+    s.push_str(&format!(
+        "  \"gate\": {{\"point_oss\": {GATE_OSS}, \"required_speedup\": {GATE_SPEEDUP:.1}, \
+         \"measured_speedup\": {speedup:.3}, \"basis\": \"best_sample\", \
+         \"enforced\": {enforced}, \"passed\": {passed}}},\n"
+    ));
+    s.push_str("  \"curves\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"backend\": \"{}\", \"oss\": {}, \"median_ms\": {:.3}, \
+             \"events_per_sec\": {:.0}}}{}\n",
+            r.kind,
+            r.backend,
+            r.oss,
+            r.median_ms,
+            r.events_per_sec,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(out, s).expect("write BENCH_sim.json");
+}
+
+fn main() {
+    let quick = is_smoke()
+        || std::env::var("QI_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let skip_gate = std::env::var("QI_SKIP_SIM_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let grid: Vec<u32> = if quick {
+        OSS_GRID.iter().copied().filter(|&o| o >= 8).collect()
+    } else {
+        OSS_GRID.to_vec()
+    };
+    let churn_steps = if quick { 50_000 } else { 200_000 };
+    let samples = if quick { 3 } else { 5 };
+    let mib_per_client = if quick { 4 } else { 8 };
+
+    println!("sim_scale: OSS grid {grid:?}, {churn_steps} churn steps/iter");
+
+    let mut c = Criterion::default()
+        .with_budget(Duration::ZERO, Duration::ZERO)
+        .min_samples(samples);
+
+    // Curve 1: bare-queue hold model.
+    for &oss in &grid {
+        for backend in BACKENDS {
+            let (mut q, mut state) = seeded_queue(backend, oss);
+            let name = format!("queue_churn/{}/{}oss", backend_label(backend), oss);
+            c.bench_function(&name, |bench| {
+                bench.iter(|| churn(&mut q, &mut state, churn_steps))
+            });
+        }
+    }
+
+    // Curve 2: end-to-end cluster events/second. The workload is fixed
+    // per scale, so events_processed is backend-independent (asserted);
+    // only wall time varies.
+    let mut cluster_events: Vec<(u32, u64)> = Vec::new();
+    for &oss in &grid {
+        let mut processed: Option<u64> = None;
+        for backend in BACKENDS {
+            let name = format!("cluster_run/{}/{}oss", backend_label(backend), oss);
+            let mut last = 0u64;
+            c.bench_function(&name, |bench| {
+                bench.iter(|| {
+                    let cl = streaming_cluster(backend, oss, mib_per_client);
+                    let trace = cl.run(SimTime::from_secs(120));
+                    last = trace.events_processed;
+                    last
+                })
+            });
+            match processed {
+                None => processed = Some(last),
+                Some(p) => assert_eq!(p, last, "event count diverged across backends"),
+            }
+        }
+        cluster_events.push((oss, processed.unwrap_or(0)));
+    }
+
+    let stats = c.results();
+    let median_of = |name: &str| {
+        stats
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ms())
+            .expect("bench ran")
+    };
+    // Best (p05 ≈ min at these sample counts) wall time. The churn
+    // workload is deterministic, so its true cost is a constant and
+    // scheduler noise is strictly additive — the best sample is the
+    // least-contaminated estimate, which is what the gate compares on
+    // single-CPU/shared machines where medians swing 2–3×.
+    let best_of = |name: &str| {
+        stats
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.p05_ns / 1e6)
+            .expect("bench ran")
+    };
+
+    let mut rows = Vec::new();
+    for &oss in &grid {
+        for backend in BACKENDS {
+            let label = backend_label(backend);
+            let m = median_of(&format!("queue_churn/{label}/{oss}oss"));
+            rows.push(Row {
+                kind: "queue_churn",
+                backend: label,
+                oss,
+                median_ms: m,
+                events_per_sec: churn_steps as f64 / (m / 1e3),
+            });
+        }
+    }
+    for &(oss, events) in &cluster_events {
+        for backend in BACKENDS {
+            let label = backend_label(backend);
+            let m = median_of(&format!("cluster_run/{label}/{oss}oss"));
+            rows.push(Row {
+                kind: "cluster_run",
+                backend: label,
+                oss,
+                median_ms: m,
+                events_per_sec: events as f64 / (m / 1e3),
+            });
+        }
+    }
+
+    // Gate: calendar ≥ 3× heap churn throughput at the 32-OSS point
+    // (or at the largest point the quick grid ran).
+    let gate_oss = if grid.contains(&GATE_OSS) {
+        GATE_OSS
+    } else {
+        *grid.last().expect("non-empty grid")
+    };
+    let cal = best_of(&format!("queue_churn/calendar/{gate_oss}oss"));
+    let heap = best_of(&format!("queue_churn/heap/{gate_oss}oss"));
+    let speedup = heap / cal;
+    let passed = speedup >= GATE_SPEEDUP;
+    println!(
+        "gate @ {gate_oss} OSS (best-sample): calendar {cal:.3} ms vs heap {heap:.3} ms → {speedup:.2}×"
+    );
+
+    let out = std::env::var("QI_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_sim.json")
+        },
+        std::path::PathBuf::from,
+    );
+    write_json(&rows, (speedup, !skip_gate, passed), &out);
+    println!("wrote {}", out.display());
+
+    if !passed && !skip_gate {
+        panic!(
+            "throughput gate failed: calendar is {speedup:.2}× heap at {gate_oss} OSS \
+             (need ≥ {GATE_SPEEDUP}×); set QI_SKIP_SIM_GATE=1 to waive on constrained machines"
+        );
+    }
+}

@@ -20,16 +20,17 @@ use qi_simkit::stats::OnlineStats;
 use qi_simkit::time::{SimDuration, SimTime};
 use qi_telemetry::{MetricValue, MetricsSnapshot};
 
+use crate::arena::{Slab, SlabKey};
 use crate::cache::{Admit, LruSet, SmallObjectCache, WriteCache};
 use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
 use crate::disk::Disk;
 use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
-use crate::layout::{chunks, ExtentMap, FileLayout, ObjKey};
+use crate::layout::{chunks, chunks_into, Chunk, ExtentMap, FileLayout, ObjKey, SectorRange};
 use crate::net::{LinkFate, LinkFault, LinkFaultKind, Network};
 use crate::ops::{
     IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
 };
-use crate::queue::{BlockDevice, Dispatch, ReqKind};
+use crate::queue::{BlockDevice, Dispatch, Member, ReqKind};
 
 /// Client-side per-op syscall/dispatch overhead.
 const CLIENT_OP_OVERHEAD: SimDuration = SimDuration::from_micros(5);
@@ -41,11 +42,11 @@ const META_SECTORS: u64 = 8;
 /// Completion payload attached to device block requests.
 enum DiskTag {
     /// Foreground read belonging to a client read chunk.
-    ReadChunk { chunk: u64 },
+    ReadChunk { chunk: SlabKey },
     /// Background flush of dirty cache data (payload-byte share).
     Flush { dirty_bytes: u64 },
     /// Synchronous write belonging to a client write chunk.
-    SyncChunk { chunk: u64 },
+    SyncChunk { chunk: SlabKey },
     /// MDT journal write completing a namespace mutation.
     Journal {
         token: OpToken,
@@ -167,13 +168,14 @@ enum Ev {
     /// effective CPU cost multiplier.
     OssFactor { oss: u32, factor: f64 },
     /// A client's wait for a reply to a (dropped) request expired.
-    RpcTimeout { seq: u64 },
+    RpcTimeout { seq: SlabKey },
     /// A client's retry backoff elapsed; resend the stored request.
-    RpcResend { seq: u64 },
+    RpcResend { seq: SlabKey },
 }
 
-/// A dropped client request awaiting retry, keyed by a monotonically
-/// increasing sequence number.
+/// A dropped client request awaiting retry, keyed by a
+/// generation-versioned slab key: stale timeout/resend events for a
+/// recycled slot miss on lookup instead of acting on the wrong request.
 struct RetryState {
     msg: Msg,
     src: NodeId,
@@ -297,8 +299,11 @@ pub struct Cluster {
     oss_cpu_free: Vec<SimTime>,
     mds: MdsState,
     apps: Vec<AppState>,
-    chunk_pending: HashMap<u64, ChunkPending>,
-    next_chunk: u64,
+    /// In-flight read/sync-write chunks, keyed by slab index. Slots are
+    /// recycled the moment a chunk's last block request completes, so the
+    /// table stays at the steady-state high-water mark instead of growing
+    /// (and rehashing) with the total chunk count of the run.
+    chunk_pending: Slab<ChunkPending>,
     /// Per-application server-side token-bucket filters (bytes/s), the
     /// classful TBF NRS policy of Qian et al. — data RPCs of a limited
     /// app are admitted to the OSS only as tokens accrue.
@@ -319,9 +324,16 @@ pub struct Cluster {
     oss_cpu_factor: Vec<f64>,
     /// Active `MdsLockStorm` windows: (from, until, revoke_factor).
     lock_storms: Vec<(SimTime, SimTime, f64)>,
-    /// Dropped requests awaiting timeout/retry, by sequence number.
-    retry_states: HashMap<u64, RetryState>,
-    next_retry_seq: u64,
+    /// Dropped requests awaiting timeout/retry, keyed by slab key; the
+    /// key's generation makes stale `RpcTimeout`/`RpcResend` events for a
+    /// recycled slot harmless (they miss on lookup).
+    retry_states: Slab<RetryState>,
+    /// Scratch buffers reused across events so the hot path performs no
+    /// per-event heap allocation. Each user `std::mem::take`s the buffer,
+    /// clears it, fills and drains it, then puts it back.
+    scratch_chunks: Vec<Chunk>,
+    scratch_ranges: Vec<SectorRange>,
+    scratch_members: Vec<Member<DiskTag>>,
 }
 
 /// Deterministic 64-bit mix of a file key, used for placement and inode
@@ -481,10 +493,13 @@ impl Cluster {
             net: Network::new(cfg.net.clone(), cfg.n_nodes()),
             // In-flight events scale with concurrently outstanding
             // chunk RPCs: a few per rank per striped OST plus device
-            // completions. Pre-sizing kills BinaryHeap regrowth in long
+            // completions. Pre-sizing kills backend regrowth in long
             // runs; 64 slots per node is comfortably above the
             // steady-state high-water mark at every config we run.
-            events: EventQueue::with_capacity(cfg.n_nodes() as usize * 64),
+            events: EventQueue::with_capacity_and_backend(
+                cfg.n_nodes() as usize * 64,
+                cfg.event_queue,
+            ),
             oss_cpu_free: vec![SimTime::ZERO; cfg.oss_nodes as usize],
             devices,
             extents,
@@ -493,8 +508,7 @@ impl Cluster {
             dev_node,
             mds,
             apps: Vec::new(),
-            chunk_pending: HashMap::new(),
-            next_chunk: 0,
+            chunk_pending: Slab::with_capacity(64),
             tbf: HashMap::new(),
             trace: RunTrace::default(),
             rng,
@@ -504,8 +518,10 @@ impl Cluster {
             fault_rng,
             oss_cpu_factor: vec![1.0; cfg.oss_nodes as usize],
             lock_storms: Vec::new(),
-            retry_states: HashMap::new(),
-            next_retry_seq: 0,
+            retry_states: Slab::new(),
+            scratch_chunks: Vec::new(),
+            scratch_ranges: Vec::new(),
+            scratch_members: Vec::new(),
             cfg,
         }
     }
@@ -706,19 +722,14 @@ impl Cluster {
                 self.tele.rpc_dropped += 1;
                 // The transfer still occupies both NICs.
                 let _ = self.net.send(now, src, dst, payload);
-                let seq = self.next_retry_seq;
-                self.next_retry_seq += 1;
-                self.retry_states.insert(
-                    seq,
-                    RetryState {
-                        msg,
-                        src,
-                        dst,
-                        payload,
-                        token,
-                        attempt: 0,
-                    },
-                );
+                let seq = self.retry_states.insert(RetryState {
+                    msg,
+                    src,
+                    dst,
+                    payload,
+                    token,
+                    attempt: 0,
+                });
                 self.events
                     .schedule(now + self.retry.rpc_timeout, Ev::RpcTimeout { seq });
             }
@@ -841,6 +852,7 @@ impl Cluster {
             }
         }
         self.trace.end = self.events.now();
+        self.trace.events_processed = self.events.processed();
         self.trace.metrics = self.metrics_snapshot(self.events.now());
         self.trace
     }
@@ -1000,13 +1012,13 @@ impl Cluster {
 
     /// A reply wait expired: retry with backoff, or give up when the
     /// retry budget or the per-op deadline is exhausted.
-    fn rpc_timeout(&mut self, now: SimTime, seq: u64) {
-        let Some(state) = self.retry_states.get(&seq) else {
+    fn rpc_timeout(&mut self, now: SimTime, seq: SlabKey) {
+        let Some(state) = self.retry_states.get(seq) else {
             return;
         };
         let token = state.token;
         if !self.op_is_current(token) {
-            self.retry_states.remove(&seq);
+            self.retry_states.remove(seq);
             return;
         }
         self.tele.rpc_timeouts += 1;
@@ -1020,15 +1032,12 @@ impl Cluster {
             if deadline_hit {
                 self.tele.rpc_deadline_exceeded += 1;
             }
-            self.retry_states.remove(&seq);
+            self.retry_states.remove(seq);
             self.fail_op_part(now, token);
             return;
         }
         let attempt = {
-            let state = self
-                .retry_states
-                .get_mut(&seq)
-                .expect("retry state present");
+            let state = self.retry_states.get_mut(seq).expect("retry state present");
             state.attempt += 1;
             state.attempt
         };
@@ -1039,12 +1048,12 @@ impl Cluster {
 
     /// Backoff elapsed: resend the stored request, consulting the link
     /// fate afresh (the resend may be dropped again).
-    fn rpc_resend(&mut self, now: SimTime, seq: u64) {
-        let Some(state) = self.retry_states.get(&seq) else {
+    fn rpc_resend(&mut self, now: SimTime, seq: SlabKey) {
+        let Some(state) = self.retry_states.get(seq) else {
             return;
         };
         if !self.op_is_current(state.token) {
-            self.retry_states.remove(&seq);
+            self.retry_states.remove(seq);
             return;
         }
         let (src, dst, payload) = (state.src, state.dst, state.payload);
@@ -1059,7 +1068,7 @@ impl Cluster {
                 if extra > SimDuration::ZERO {
                     self.tele.rpc_delayed += 1;
                 }
-                let state = self.retry_states.remove(&seq).expect("retry state present");
+                let state = self.retry_states.remove(seq).expect("retry state present");
                 let deliver = self.net.send(now, src, dst, payload);
                 self.events
                     .schedule(deliver + extra, Ev::Deliver(state.msg));
@@ -1127,9 +1136,12 @@ impl Cluster {
                     Some((_, OpKind::Read, _, _))
                 );
                 let layout = self.layout_of(file);
-                let cs = chunks(&layout, offset, len);
+                // Owned scratch: the loop body re-borrows `self` mutably.
+                let mut cs = std::mem::take(&mut self.scratch_chunks);
+                cs.clear();
+                chunks_into(&layout, offset, len, &mut cs);
                 self.apps[app as usize].ranks[rank as usize].outstanding = cs.len() as u32;
-                for c in cs {
+                for c in cs.drain(..) {
                     let obj = ObjKey {
                         file,
                         stripe: c.stripe,
@@ -1169,6 +1181,7 @@ impl Cluster {
                     };
                     self.send_request(issued, client, dst, payload, msg, token);
                 }
+                self.scratch_chunks = cs;
             }
             meta => {
                 self.apps[app as usize].ranks[rank as usize].outstanding = 1;
@@ -1362,21 +1375,18 @@ impl Cluster {
                     );
                     return;
                 }
-                let ranges = self.extents[dev.index()].map(obj, obj_off, len);
-                let chunk = self.next_chunk;
-                self.next_chunk += 1;
-                self.chunk_pending.insert(
-                    chunk,
-                    ChunkPending {
-                        remaining: ranges.len() as u32,
-                        token,
-                        client,
-                        dev,
-                        reply_bytes: len,
-                        touched: Some((obj, obj_off + len)),
-                    },
-                );
-                for r in ranges {
+                let mut ranges = std::mem::take(&mut self.scratch_ranges);
+                ranges.clear();
+                self.extents[dev.index()].map_into(obj, obj_off, len, &mut ranges);
+                let chunk = self.chunk_pending.insert(ChunkPending {
+                    remaining: ranges.len() as u32,
+                    token,
+                    client,
+                    dev,
+                    reply_bytes: len,
+                    touched: Some((obj, obj_off + len)),
+                });
+                for r in ranges.drain(..) {
                     self.submit_block(
                         now,
                         dev,
@@ -1387,6 +1397,7 @@ impl Cluster {
                         DiskTag::ReadChunk { chunk },
                     );
                 }
+                self.scratch_ranges = ranges;
             }
             Msg::WriteReq {
                 dev,
@@ -1428,21 +1439,18 @@ impl Cluster {
                     }
                     Admit::Throttled => {} // released by a later flush
                     Admit::Sync => {
-                        let ranges = self.extents[dev.index()].map(obj, obj_off, len);
-                        let chunk = self.next_chunk;
-                        self.next_chunk += 1;
-                        self.chunk_pending.insert(
-                            chunk,
-                            ChunkPending {
-                                remaining: ranges.len() as u32,
-                                token,
-                                client,
-                                dev,
-                                reply_bytes: 0,
-                                touched: None,
-                            },
-                        );
-                        for r in ranges {
+                        let mut ranges = std::mem::take(&mut self.scratch_ranges);
+                        ranges.clear();
+                        self.extents[dev.index()].map_into(obj, obj_off, len, &mut ranges);
+                        let chunk = self.chunk_pending.insert(ChunkPending {
+                            remaining: ranges.len() as u32,
+                            token,
+                            client,
+                            dev,
+                            reply_bytes: 0,
+                            touched: None,
+                        });
+                        for r in ranges.drain(..) {
                             self.submit_block(
                                 now,
                                 dev,
@@ -1453,6 +1461,7 @@ impl Cluster {
                                 DiskTag::SyncChunk { chunk },
                             );
                         }
+                        self.scratch_ranges = ranges;
                     }
                 }
             }
@@ -1462,10 +1471,12 @@ impl Cluster {
 
     /// Submit background flush requests covering one absorbed write.
     fn start_flush(&mut self, now: SimTime, pw: &PendingWrite) {
-        let ranges = self.extents[pw.dev.index()].map(pw.obj, pw.obj_off, pw.len);
+        let mut ranges = std::mem::take(&mut self.scratch_ranges);
+        ranges.clear();
+        self.extents[pw.dev.index()].map_into(pw.obj, pw.obj_off, pw.len, &mut ranges);
         let mut remaining = pw.len;
         let n = ranges.len();
-        for (i, r) in ranges.into_iter().enumerate() {
+        for (i, r) in ranges.drain(..).enumerate() {
             let sector_bytes = r.sectors * SECTOR_SIZE;
             let share = if i + 1 == n {
                 remaining
@@ -1483,6 +1494,7 @@ impl Cluster {
                 DiskTag::Flush { dirty_bytes: share },
             );
         }
+        self.scratch_ranges = ranges;
     }
 
     // -------------------------------------------------------------- MDS
@@ -1614,22 +1626,23 @@ impl Cluster {
     // ------------------------------------------------------------ disks
 
     fn disk_done(&mut self, now: SimTime, dev: u32) {
-        let (done, next) = self.devices[dev as usize].complete(now);
+        let mut members = std::mem::take(&mut self.scratch_members);
+        let (_meta, next) = self.devices[dev as usize].complete_into(now, &mut members);
         self.handle_dispatch(now, dev, next);
         let mut flushed_bytes = 0u64;
-        for m in done.members {
+        for m in members.drain(..) {
             match m.tag {
                 DiskTag::ReadChunk { chunk } | DiskTag::SyncChunk { chunk } => {
                     let finished = {
                         let p = self
                             .chunk_pending
-                            .get_mut(&chunk)
+                            .get_mut(chunk)
                             .expect("unknown chunk completion");
                         p.remaining -= 1;
                         p.remaining == 0
                     };
                     if finished {
-                        let p = self.chunk_pending.remove(&chunk).expect("chunk present");
+                        let p = self.chunk_pending.remove(chunk).expect("chunk present");
                         if let Some((obj, _end)) = p.touched {
                             self.touch_small(p.dev, obj);
                         }
@@ -1676,6 +1689,7 @@ impl Cluster {
                 }
             }
         }
+        self.scratch_members = members;
         if flushed_bytes > 0 {
             let released = self.caches[dev as usize].flushed(flushed_bytes);
             for r in released {

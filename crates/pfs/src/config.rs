@@ -4,6 +4,7 @@
 //! clients, 3 OSS with 2 OSTs each, and 1 combined MGS/MDS node — with
 //! 7200 rpm SATA disks and ~1 GB/s network interfaces.
 
+use qi_simkit::event::QueueBackend;
 use qi_simkit::time::SimDuration;
 
 /// Bytes per simulated disk sector.
@@ -232,6 +233,11 @@ pub struct ClusterConfig {
     pub stripe: StripeConfig,
     /// Interval between server-side monitor samples (paper: 1 s).
     pub sample_interval: SimDuration,
+    /// Event-queue backend for the simulation loop. Every backend
+    /// produces byte-identical traces (enforced by the differential
+    /// replay harness); this knob exists for performance comparisons
+    /// and for driving whole runs through the reference double.
+    pub event_queue: QueueBackend,
 }
 
 impl Default for ClusterConfig {
@@ -250,6 +256,7 @@ impl Default for ClusterConfig {
             oss: OssConfig::default(),
             stripe: StripeConfig::default(),
             sample_interval: SimDuration::from_secs(1),
+            event_queue: QueueBackend::Calendar,
         }
     }
 }

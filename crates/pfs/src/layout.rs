@@ -45,10 +45,17 @@ pub struct Chunk {
 ///
 /// The returned chunks partition the range exactly, in file order.
 pub fn chunks(layout: &FileLayout, offset: u64, len: u64) -> Vec<Chunk> {
+    let mut out = Vec::new();
+    chunks_into(layout, offset, len, &mut out);
+    out
+}
+
+/// [`chunks`], appending into a caller-owned buffer. The hot path reuses
+/// one scratch `Vec` across every op instead of allocating per I/O.
+pub fn chunks_into(layout: &FileLayout, offset: u64, len: u64, out: &mut Vec<Chunk>) {
     assert!(len > 0, "zero-length I/O");
     let ss = layout.stripe_size;
     let sc = layout.stripe_count() as u64;
-    let mut out = Vec::new();
     let mut pos = offset;
     let end = offset + len;
     while pos < end {
@@ -65,7 +72,6 @@ pub fn chunks(layout: &FileLayout, offset: u64, len: u64) -> Vec<Chunk> {
         });
         pos += take;
     }
-    out
 }
 
 /// Key of an object on a device.
@@ -146,10 +152,17 @@ impl ExtentMap {
     /// Used for both writes (allocate-on-write) and reads (cold data is
     /// lazily placed, simulating a pre-existing dataset).
     pub fn map(&mut self, key: ObjKey, obj_offset: u64, len: u64) -> Vec<SectorRange> {
+        let mut out = Vec::new();
+        self.map_into(key, obj_offset, len, &mut out);
+        out
+    }
+
+    /// [`map`](ExtentMap::map), appending into a caller-owned buffer so
+    /// the event loop can reuse one scratch `Vec` per cluster.
+    pub fn map_into(&mut self, key: ObjKey, obj_offset: u64, len: u64, out: &mut Vec<SectorRange>) {
         assert!(len > 0);
         let first = obj_offset / SECTOR_SIZE;
         let last = (obj_offset + len).div_ceil(SECTOR_SIZE); // exclusive
-        let mut out: Vec<SectorRange> = Vec::new();
         let mut pos = first;
         // Work over a local copy of the extent list index to appease the
         // borrow checker while we may allocate.
@@ -205,7 +218,6 @@ impl ExtentMap {
             });
             pos += run;
         }
-        out
     }
 }
 

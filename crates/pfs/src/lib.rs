@@ -6,6 +6,7 @@
 //!
 //! The pieces, bottom-up:
 //!
+//! - [`arena`] — generation-versioned slab keying in-flight ops/RPCs.
 //! - [`disk`] — rotational-disk service model (seek curve, media rate).
 //! - [`queue`] — block request queue with merging, read-priority deadline
 //!   dispatch, and `/proc/diskstats`-like counters (paper Table II).
@@ -37,6 +38,7 @@
 //! assert_eq!(trace.ops.len(), 8);
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod cluster;
 pub mod config;
@@ -49,6 +51,7 @@ pub mod queue;
 
 /// Convenient glob-import surface for building and running clusters.
 pub mod prelude {
+    pub use crate::arena::{Slab, SlabKey};
     pub use crate::cluster::{Cluster, ClusterBuilder};
     pub use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
     pub use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
@@ -56,7 +59,7 @@ pub mod prelude {
         IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
     };
     pub use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
-    pub use qi_simkit::QiError;
+    pub use qi_simkit::{QiError, QueueBackend};
 }
 
 pub use prelude::*;

@@ -63,14 +63,30 @@ pub enum LinkFate {
     Dropped,
 }
 
+/// Per-node NIC state, kept in one struct so a transfer touches a
+/// single cache line per endpoint instead of three parallel vectors.
+#[derive(Clone, Copy)]
+struct Nic {
+    /// Earliest time this NIC is free for the next transfer.
+    free_at: SimTime,
+    /// Cumulative bytes through the NIC (tx + rx), for utilisation stats.
+    bytes: u64,
+    /// Cumulative time the NIC spent occupied by a transfer.
+    busy: SimDuration,
+}
+
+impl Nic {
+    const IDLE: Nic = Nic {
+        free_at: SimTime::ZERO,
+        bytes: 0,
+        busy: SimDuration::ZERO,
+    };
+}
+
 /// The cluster network: one NIC per node.
 pub struct Network {
     cfg: NetConfig,
-    nic_free: Vec<SimTime>,
-    /// Cumulative bytes through each NIC (tx + rx), for utilisation stats.
-    nic_bytes: Vec<u64>,
-    /// Cumulative time each NIC spent occupied by a transfer.
-    nic_busy: Vec<SimDuration>,
+    nics: Vec<Nic>,
     /// Fault rules from the active `FaultPlan`, in insertion order.
     faults: Vec<LinkFault>,
 }
@@ -80,9 +96,7 @@ impl Network {
     pub fn new(cfg: NetConfig, n_nodes: u32) -> Self {
         Network {
             cfg,
-            nic_free: vec![SimTime::ZERO; n_nodes as usize],
-            nic_bytes: vec![0; n_nodes as usize],
-            nic_busy: vec![SimDuration::ZERO; n_nodes as usize],
+            nics: vec![Nic::IDLE; n_nodes as usize],
             faults: Vec::new(),
         }
     }
@@ -128,19 +142,19 @@ impl Network {
 
     /// Earliest time `node`'s NIC is free.
     pub fn nic_free_at(&self, node: NodeId) -> SimTime {
-        self.nic_free[node.0 as usize]
+        self.nics[node.0 as usize].free_at
     }
 
     /// Total bytes moved through `node`'s NIC so far.
     pub fn nic_bytes(&self, node: NodeId) -> u64 {
-        self.nic_bytes[node.0 as usize]
+        self.nics[node.0 as usize].bytes
     }
 
     /// Total time `node`'s NIC has been occupied by transfers. Both
     /// endpoints of a transfer accrue its full duration, so a NIC's
     /// utilisation over a run is `nic_busy / elapsed`.
     pub fn nic_busy(&self, node: NodeId) -> SimDuration {
-        self.nic_busy[node.0 as usize]
+        self.nics[node.0 as usize].busy
     }
 
     /// Reserve the path for a `payload`-byte message from `src` to `dst`
@@ -153,15 +167,15 @@ impl Network {
         let bytes = payload + self.cfg.header_bytes;
         let dur = SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth);
         let start = now
-            .max(self.nic_free[src.0 as usize])
-            .max(self.nic_free[dst.0 as usize]);
+            .max(self.nics[src.0 as usize].free_at)
+            .max(self.nics[dst.0 as usize].free_at);
         let end = start + dur;
-        self.nic_free[src.0 as usize] = end;
-        self.nic_free[dst.0 as usize] = end;
-        self.nic_bytes[src.0 as usize] += bytes;
-        self.nic_bytes[dst.0 as usize] += bytes;
-        self.nic_busy[src.0 as usize] += dur;
-        self.nic_busy[dst.0 as usize] += dur;
+        for node in [src, dst] {
+            let nic = &mut self.nics[node.0 as usize];
+            nic.free_at = end;
+            nic.bytes += bytes;
+            nic.busy += dur;
+        }
         end + self.cfg.latency
     }
 }

@@ -175,7 +175,7 @@ where
 }
 
 /// Completed-operation trace record (the DXT-like client-side trace).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OpRecord {
     /// Operation identity, stable across baseline/interfered runs.
     pub token: OpToken,
@@ -198,7 +198,7 @@ impl OpRecord {
 
 /// Per-RPC client-side record: which server a request targeted. This is
 /// what lets the monitor build *per-server* client metrics.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RpcRecord {
     /// Issuing application.
     pub app: AppId,
@@ -213,7 +213,7 @@ pub struct RpcRecord {
 }
 
 /// One per-second server-side monitor sample.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServerSample {
     /// Sample timestamp (end of the 1 s interval).
     pub time: SimTime,
@@ -244,6 +244,11 @@ pub struct RunTrace {
     pub failed_ops: Vec<OpToken>,
     /// Simulation end time.
     pub end: SimTime,
+    /// Events the simulation loop delivered to produce this trace. Not
+    /// part of the telemetry snapshot (golden renderings stay
+    /// byte-stable); recorded for the scaling benches, which report
+    /// events/second from it.
+    pub events_processed: u64,
     /// Cluster-wide telemetry snapshot taken when the run ended
     /// (per-device block-layer statistics, NIC utilisation, MDS
     /// metadata statistics). Deterministic and byte-stable when

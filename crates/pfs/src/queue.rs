@@ -9,6 +9,13 @@
 //! The queue is generic over a completion tag `T` so the cluster can hang
 //! RPC continuations off each request; merged requests carry every
 //! member's tag and arrival time, so queue-wait accounting stays exact.
+//!
+//! Internally, members live in a per-device slab and queued requests
+//! reference them as an intrusive linked list, so submitting and merging
+//! requests never allocates in steady state (freed member slots are
+//! recycled) and a merge is an O(1) list concatenation. Completions can
+//! drain members into a caller-owned scratch buffer
+//! ([`BlockDevice::complete_into`]) to keep the event loop allocation-free.
 
 use std::collections::VecDeque;
 
@@ -38,20 +45,54 @@ pub struct Member<T> {
     pub sectors: u64,
 }
 
-/// A (possibly merged) block request waiting in, or being serviced by,
-/// the device.
+/// A member slot in the device's arena: payload plus the intrusive link
+/// to the next member of the same queued request.
 #[derive(Clone, Debug)]
-pub struct BlockRequest<T> {
+struct MemberNode<T> {
+    /// `None` only while the slot sits on the free list.
+    tag: Option<T>,
+    arrival: SimTime,
+    sectors: u64,
+    /// Next member of the same request, or the next free slot; NIL ends
+    /// either list.
+    next: u32,
+}
+
+/// Null member link.
+const NIL: u32 = u32::MAX;
+
+/// A (possibly merged) block request waiting in, or being serviced by,
+/// the device. Members are held in the device arena as a `head..tail`
+/// list, so this struct stays `Copy`-cheap and merging two requests is
+/// pointer surgery, not a `Vec` append.
+#[derive(Clone, Copy, Debug)]
+struct QueuedReq {
+    /// Read or write.
+    kind: ReqKind,
+    /// First sector.
+    sector: u64,
+    /// Total span in sectors.
+    sectors: u64,
+    /// Synchronous (foreground) or background flush.
+    foreground: bool,
+    /// First member (arena index), in merge order.
+    head: u32,
+    /// Last member (arena index).
+    tail: u32,
+    /// Member count.
+    nmembers: u32,
+}
+
+/// Completion metadata for a finished request; the members are drained
+/// separately (into a caller buffer by [`BlockDevice::complete_into`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletedMeta {
     /// Read or write.
     pub kind: ReqKind,
-    /// First sector.
-    pub sector: u64,
-    /// Total span in sectors.
+    /// Total sectors transferred.
     pub sectors: u64,
-    /// Synchronous (foreground) or background flush.
+    /// Whether it was a foreground request.
     pub foreground: bool,
-    /// The logical requests merged into this block request.
-    pub members: Vec<Member<T>>,
 }
 
 /// A finished request handed back to the caller.
@@ -129,9 +170,13 @@ impl Dispatch {
 pub struct BlockDevice<T> {
     cfg: QueueConfig,
     disk: Disk,
-    fg: VecDeque<BlockRequest<T>>,
-    bg: VecDeque<BlockRequest<T>>,
-    in_service: Option<BlockRequest<T>>,
+    fg: VecDeque<QueuedReq>,
+    bg: VecDeque<QueuedReq>,
+    in_service: Option<QueuedReq>,
+    /// Member arena: request members + a free list threaded via `next`.
+    members: Vec<MemberNode<T>>,
+    /// Head of the member free list.
+    free: u32,
     fg_since_bg: u32,
     counters: DeviceCounters,
     last_depth_change: SimTime,
@@ -156,6 +201,8 @@ impl<T> BlockDevice<T> {
             fg: VecDeque::new(),
             bg: VecDeque::new(),
             in_service: None,
+            members: Vec::new(),
+            free: NIL,
             fg_since_bg: 0,
             counters: DeviceCounters::default(),
             last_depth_change: SimTime::ZERO,
@@ -204,8 +251,32 @@ impl<T> BlockDevice<T> {
         self.fg
             .iter()
             .chain(self.bg.iter())
-            .map(|r| r.members.len() as u64)
+            .map(|r| r.nmembers as u64)
             .sum()
+    }
+
+    /// Allocate a member slot (recycling freed slots first).
+    fn alloc_member(&mut self, tag: T, arrival: SimTime, sectors: u64) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let n = &mut self.members[idx as usize];
+            self.free = n.next;
+            n.tag = Some(tag);
+            n.arrival = arrival;
+            n.sectors = sectors;
+            n.next = NIL;
+            idx
+        } else {
+            let idx = self.members.len() as u32;
+            assert!(idx != NIL, "member arena limit exceeded");
+            self.members.push(MemberNode {
+                tag: Some(tag),
+                arrival,
+                sectors,
+                next: NIL,
+            });
+            idx
+        }
     }
 
     /// Access to the underlying disk (e.g. for utilisation stats).
@@ -257,8 +328,7 @@ impl<T> BlockDevice<T> {
         self.last_depth_change = now;
     }
 
-    fn try_merge(&mut self, req: &mut Option<BlockRequest<T>>) -> bool {
-        let new = req.as_ref().expect("merge candidate");
+    fn try_merge(&mut self, new: QueuedReq) -> bool {
         let queue = if new.foreground {
             &mut self.fg
         } else {
@@ -277,13 +347,15 @@ impl<T> BlockDevice<T> {
             let back = q.sector + q.sectors == new.sector;
             let front = new.sector + new.sectors == q.sector;
             if back || front {
-                let mut new = req.take().expect("merge candidate");
                 let q = &mut queue[i];
                 if front {
                     q.sector = new.sector;
                 }
                 q.sectors += new.sectors;
-                q.members.append(&mut new.members);
+                // O(1) list concatenation in the member arena.
+                self.members[q.tail as usize].next = new.head;
+                q.tail = new.tail;
+                q.nmembers += new.nmembers;
                 match q.kind {
                     ReqKind::Read => self.counters.read_merges += 1,
                     ReqKind::Write => self.counters.write_merges += 1,
@@ -313,19 +385,17 @@ impl<T> BlockDevice<T> {
         self.counters.enqueued += 1;
         self.counters.queued_now += 1;
         self.depth_stats.push(self.counters.queued_now as f64);
-        let mut req = Some(BlockRequest {
+        let member = self.alloc_member(tag, now, sectors);
+        let req = QueuedReq {
             kind,
             sector,
             sectors,
             foreground,
-            members: vec![Member {
-                tag,
-                arrival: now,
-                sectors,
-            }],
-        });
-        if !self.try_merge(&mut req) {
-            let req = req.take().expect("unmerged request");
+            head: member,
+            tail: member,
+            nmembers: 1,
+        };
+        if !self.try_merge(req) {
             if foreground {
                 self.fg.push_back(req);
             } else {
@@ -371,7 +441,7 @@ impl<T> BlockDevice<T> {
     /// request at or above the disk head, wrapping to the lowest sector.
     /// This is the elevator ordering that keeps scattered small
     /// writeback from degrading into one seek per request.
-    fn pick_bg(&mut self) -> Option<BlockRequest<T>> {
+    fn pick_bg(&mut self) -> Option<QueuedReq> {
         let head = self.disk.head();
         let mut best: Option<(usize, u64, bool)> = None; // (idx, key, above)
         for (i, r) in self.bg.iter().enumerate() {
@@ -399,12 +469,14 @@ impl<T> BlockDevice<T> {
                     && req.sectors + q.sectors <= self.cfg.max_merge_sectors
                     && (req.sector + req.sectors == q.sector || q.sector + q.sectors == req.sector)
                 {
-                    let mut q = self.bg.remove(i).expect("index in range");
+                    let q = self.bg.remove(i).expect("index in range");
                     if q.sector + q.sectors == req.sector {
                         req.sector = q.sector;
                     }
                     req.sectors += q.sectors;
-                    req.members.append(&mut q.members);
+                    self.members[req.tail as usize].next = q.head;
+                    req.tail = q.tail;
+                    req.nmembers += q.nmembers;
                     match req.kind {
                         ReqKind::Read => self.counters.read_merges += 1,
                         ReqKind::Write => self.counters.write_merges += 1,
@@ -448,31 +520,52 @@ impl<T> BlockDevice<T> {
         Some(dur)
     }
 
-    /// Finish the in-service request. Returns the completed request and
-    /// what the device does next: start another request, anticipate a
-    /// synchronous arrival, or go idle.
-    pub fn complete(&mut self, now: SimTime) -> (Completed<T>, Dispatch) {
+    /// Finish the in-service request, draining its members (in merge
+    /// order) into `out` — which is cleared first — and recycling their
+    /// arena slots. Returns the completion metadata and what the device
+    /// does next: start another request, anticipate a synchronous
+    /// arrival, or go idle. The event loop calls this with one reused
+    /// scratch buffer, so steady-state completion allocates nothing.
+    pub fn complete_into(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<Member<T>>,
+    ) -> (CompletedMeta, Dispatch) {
+        out.clear();
         self.advance_depth_integral(now);
         let req = self.in_service.take().expect("complete() with idle disk");
-        self.counters.queued_now -= req.members.len() as u64;
-        for m in &req.members {
-            self.counters.wait_ns += now.saturating_since(m.arrival).as_nanos();
+        self.counters.queued_now -= req.nmembers as u64;
+        // Drain the member list into `out`, pushing freed slots onto the
+        // free list as we go.
+        let mut idx = req.head;
+        while idx != NIL {
+            let n = &mut self.members[idx as usize];
+            let next = n.next;
+            out.push(Member {
+                tag: n.tag.take().expect("live member"),
+                arrival: n.arrival,
+                sectors: n.sectors,
+            });
+            self.counters.wait_ns += now.saturating_since(n.arrival).as_nanos();
+            n.next = self.free;
+            self.free = idx;
+            idx = next;
         }
+        debug_assert_eq!(out.len(), req.nmembers as usize);
         match req.kind {
             ReqKind::Read => {
-                self.counters.reads_completed += req.members.len() as u64;
+                self.counters.reads_completed += req.nmembers as u64;
                 self.counters.sectors_read += req.sectors;
             }
             ReqKind::Write => {
-                self.counters.writes_completed += req.members.len() as u64;
+                self.counters.writes_completed += req.nmembers as u64;
                 self.counters.sectors_written += req.sectors;
             }
         }
-        let done = Completed {
+        let meta = CompletedMeta {
             kind: req.kind,
             sectors: req.sectors,
             foreground: req.foreground,
-            members: req.members,
         };
         // Anticipation: a synchronous request just finished, nothing
         // synchronous is queued, and background work is waiting — hold
@@ -480,7 +573,7 @@ impl<T> BlockDevice<T> {
         // stall takes precedence over anticipation.
         let next = if self.stalled_until.is_some() {
             self.gated_dispatch(now)
-        } else if done.foreground
+        } else if meta.foreground
             && self.fg.is_empty()
             && !self.bg.is_empty()
             && self.cfg.idle_wait > SimDuration::ZERO
@@ -491,7 +584,24 @@ impl<T> BlockDevice<T> {
         } else {
             self.gated_dispatch(now)
         };
-        (done, next)
+        (meta, next)
+    }
+
+    /// [`complete_into`](BlockDevice::complete_into) with a freshly
+    /// allocated member buffer — the convenient form for tests and
+    /// one-shot callers.
+    pub fn complete(&mut self, now: SimTime) -> (Completed<T>, Dispatch) {
+        let mut members = Vec::new();
+        let (meta, next) = self.complete_into(now, &mut members);
+        (
+            Completed {
+                kind: meta.kind,
+                sectors: meta.sectors,
+                foreground: meta.foreground,
+                members,
+            },
+            next,
+        )
     }
 }
 

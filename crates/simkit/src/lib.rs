@@ -6,7 +6,10 @@
 //!
 //! - [`error`] — the workspace-wide [`QiError`] type.
 //! - [`time`] — integer-nanosecond [`SimTime`]/[`SimDuration`].
-//! - [`event`] — the deterministic [`EventQueue`].
+//! - [`event`] — the deterministic [`EventQueue`] with selectable
+//!   calendar/heap backends ([`QueueBackend`]).
+//! - [`reference`] — the naive sorted-`Vec` queue double backing the
+//!   differential tests.
 //! - [`rng`] — seeded [`SimRng`] with substream derivation.
 //! - [`stats`] — Welford accumulators, percentiles, histograms, smoothing.
 //! - [`table`] — ASCII/CSV table output for experiment results.
@@ -20,13 +23,14 @@
 pub mod error;
 pub mod event;
 pub mod ratelimit;
+pub mod reference;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod time;
 
 pub use error::QiError;
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueBackend};
 pub use ratelimit::TokenBucket;
 pub use rng::SimRng;
 pub use stats::{moving_average, percentile, Histogram, OnlineStats};

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Reproduce BENCH_parallel.json and BENCH_serve.json: build in release
-# mode, run the fault-injection smoke sweep and the online-serving loop
-# (both replay-determinism gates), then the parallel execution bench at
-# 1/2/N threads and the serving-throughput bench, leaving both JSON
-# reports at the repository root.
+# Reproduce BENCH_parallel.json, BENCH_serve.json, and BENCH_sim.json:
+# build in release mode, run the fault-injection smoke sweep, the
+# online-serving loop, and the simulator-core differential replay
+# harness (all replay-determinism gates), then the parallel execution
+# bench at 1/2/N threads, the serving-throughput bench, and the
+# simulator-core scaling bench, leaving the JSON reports at the
+# repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run (5 samples per point, 512^3 matmul)
@@ -13,8 +15,11 @@
 #   QI_BENCH_THREADS=1,2,8   thread counts to sweep (both benches)
 #   QI_BENCH_OUT=path.json   where to write the parallel report
 #   QI_SERVE_OUT=path.json   where to write the serving report
+#   QI_SIM_OUT=path.json     where to write the simulator-scaling report
 #   QI_SKIP_FAULT_SWEEP=1    skip the fault smoke sweep
 #   QI_SKIP_SERVE=1          skip the serve-loop gate + serving bench
+#   QI_SKIP_SIM=1            skip the sim-equivalence harness + scaling bench
+#   QI_SKIP_SIM_GATE=1       run the scaling bench but waive its 3x gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +46,29 @@ if [[ "${QI_SKIP_SERVE:-}" != "1" ]]; then
 fi
 
 cargo bench -p qi-bench --bench parallel
+
+# Simulator core: the differential replay harness (calendar vs heap vs
+# reference backends, healthy + faulted, 1/2/8 threads, byte-identical
+# traces and feature blocks), then the scaling bench (queue-churn and
+# end-to-end events/sec curves at 4..32 OSS, written to BENCH_sim.json).
+# The bench enforces calendar >= 3x heap churn throughput at 32 OSS; in
+# smoke mode the gate is waived automatically (timing on 1-CPU or loaded
+# machines is noise at the short smoke iteration counts).
+if [[ "${QI_SKIP_SIM:-}" != "1" ]]; then
+    cargo test --release -q --test sim_equivalence
+    sim_env=()
+    if [[ -n "${QI_SIM_OUT:-}" ]]; then
+        sim_env+=("QI_BENCH_OUT=$QI_SIM_OUT")
+    fi
+    if [[ "${QI_SMOKE:-}" == "1" ]]; then
+        sim_env+=("QI_SKIP_SIM_GATE=1")
+    fi
+    if [[ ${#sim_env[@]} -gt 0 ]]; then
+        env -u QI_BENCH_OUT "${sim_env[@]}" cargo bench -p qi-bench --bench sim_scale
+    else
+        env -u QI_BENCH_OUT cargo bench -p qi-bench --bench sim_scale
+    fi
+fi
 
 # Serving throughput: batch {1,8,32} x worker threads, batched classes
 # asserted equal to unbatched, batch 32 required to beat batch 1, and

@@ -1,0 +1,184 @@
+//! Differential replay harness for the simulator core.
+//!
+//! The calendar event queue and the arena-routed op tables are pure
+//! performance work: they must not move a single event. This harness
+//! proves it by running the same seeded scenario grid — healthy and
+//! faulted, under 1/2/8-thread rayon pools — through the old-path
+//! equivalent backends (`Heap`, and the naive sorted-`Vec` `Reference`
+//! test double) and the new `Calendar` core, asserting bit-identical
+//! [`RunTrace`]s, telemetry JSON, and dataset feature blocks.
+
+use qi_simkit::{QueueBackend, SimDuration, SimTime};
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::pfs::ids::AppId;
+
+fn t(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// Every queue backend the cluster can run on. `Calendar` first: it is
+/// the default and the golden the others are compared against.
+const BACKENDS: [QueueBackend; 3] = [
+    QueueBackend::Calendar,
+    QueueBackend::Heap,
+    QueueBackend::Reference,
+];
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// A mixed read/metadata scenario on the small cluster, optionally under
+/// a fault plan exercising the retry machinery (drops → timeouts →
+/// jittered resends), a degraded disk, and an MDS lock storm.
+fn scenario(backend: QueueBackend, faulted: bool) -> Scenario {
+    let mut cluster = ClusterConfig::small();
+    cluster.event_queue = backend;
+    let s = Scenario {
+        cluster,
+        small: true,
+        target_ranks: 2,
+        ..Scenario::baseline(WorkloadKind::IorEasyRead, 33)
+    }
+    .with_interference(InterferenceSpec {
+        kind: WorkloadKind::MdtHardWrite,
+        instances: 1,
+        ranks: 2,
+    });
+    if !faulted {
+        return s;
+    }
+    s.with_fault_plan(
+        FaultPlan::new()
+            .with(FaultEvent::SlowDisk {
+                dev: 0,
+                factor: 3.0,
+                from: t(1),
+                until: t(20),
+            })
+            .with(FaultEvent::RpcDrop {
+                src: None,
+                dst: None,
+                prob: 0.05,
+                from: t(0),
+                until: t(60),
+            })
+            .with(FaultEvent::MdsLockStorm {
+                from: t(2),
+                until: t(10),
+                revoke_factor: 3.0,
+            }),
+    )
+}
+
+/// Field-by-field bit equality of two run traces, including the
+/// rendered telemetry JSON (the byte-exact surface the goldens pin).
+fn assert_traces_identical(a: &RunTrace, b: &RunTrace, ctx: &str) {
+    assert_eq!(a.ops, b.ops, "{ctx}: op records diverged");
+    assert_eq!(a.rpcs, b.rpcs, "{ctx}: rpc records diverged");
+    assert_eq!(a.samples, b.samples, "{ctx}: server samples diverged");
+    assert_eq!(a.app_completion, b.app_completion, "{ctx}: completions");
+    assert_eq!(a.failed_ops, b.failed_ops, "{ctx}: failed ops diverged");
+    assert_eq!(a.end, b.end, "{ctx}: end time diverged");
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{ctx}: event count diverged"
+    );
+    assert_eq!(a.metrics, b.metrics, "{ctx}: telemetry diverged");
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "{ctx}: telemetry JSON diverged"
+    );
+}
+
+/// Run `scenario(backend, faulted)` on every thread count in the grid
+/// and assert each result is bit-identical to `golden`.
+fn assert_backend_matches_golden(golden: &(AppId, RunTrace), backend: QueueBackend, faulted: bool) {
+    let s = scenario(backend, faulted);
+    for threads in THREADS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("explicit thread counts always build");
+        let (app, trace) = pool.install(|| s.run()).expect("scenario runs");
+        let ctx = format!("{backend:?} @ {threads} threads (faulted={faulted})");
+        assert_eq!(golden.0, app, "{ctx}: app id diverged");
+        assert_traces_identical(&golden.1, &trace, &ctx);
+    }
+}
+
+#[test]
+fn healthy_replay_is_byte_identical_across_backends_and_threads() {
+    let golden = scenario(QueueBackend::Calendar, false)
+        .run()
+        .expect("golden healthy run");
+    assert!(!golden.1.ops.is_empty(), "golden run must do real work");
+    assert!(!golden.1.samples.is_empty(), "golden run must sample");
+    for backend in BACKENDS {
+        assert_backend_matches_golden(&golden, backend, false);
+    }
+}
+
+#[test]
+fn faulted_replay_is_byte_identical_across_backends_and_threads() {
+    let golden = scenario(QueueBackend::Calendar, true)
+        .run()
+        .expect("golden faulted run");
+    // The plan visibly did something, or this test proves nothing.
+    assert!(golden.1.metrics.counter("pfs.rpc.dropped").unwrap_or(0) > 0);
+    assert!(golden.1.metrics.counter("pfs.rpc.retries").unwrap_or(0) > 0);
+    for backend in BACKENDS {
+        assert_backend_matches_golden(&golden, backend, true);
+    }
+}
+
+/// A tiny dataset sweep (healthy + slow-OST conditions) whose feature
+/// matrix and labels must come out bit-identical on every backend.
+fn tiny_spec(backend: QueueBackend) -> DatasetSpec {
+    let mut spec = DatasetSpec::smoke();
+    spec.cluster.event_queue = backend;
+    spec.targets = vec![WorkloadKind::IorEasyRead];
+    spec.noise_kinds = vec![WorkloadKind::IorEasyWrite];
+    spec.intensities = vec![1];
+    spec.seeds = vec![1, 2];
+    spec.include_baseline_windows = false;
+    spec.faults = vec![
+        FaultSpec::Healthy,
+        FaultSpec::SlowOsts {
+            factor: 3.0,
+            from_s: 0,
+            dur_s: 60,
+        },
+    ];
+    spec
+}
+
+#[test]
+fn dataset_feature_blocks_are_bit_identical_across_backends() {
+    let golden = generate(&tiny_spec(QueueBackend::Calendar)).expect("golden sweep");
+    assert!(!golden.data.y.is_empty(), "sweep must produce windows");
+    for backend in [QueueBackend::Heap, QueueBackend::Reference] {
+        for threads in THREADS {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("explicit thread counts always build");
+            let spec = tiny_spec(backend);
+            let got = generate_on(&pool, &spec).expect("pooled sweep");
+            let ctx = format!("{backend:?} @ {threads} threads");
+            assert_eq!(golden.data.y, got.data.y, "{ctx}: labels diverged");
+            assert_eq!(
+                golden.data.x.data(),
+                got.data.x.data(),
+                "{ctx}: feature bytes diverged"
+            );
+            assert_eq!(golden.meta.len(), got.meta.len(), "{ctx}: window metadata");
+            for (ma, mb) in golden.meta.iter().zip(got.meta.iter()) {
+                assert_eq!(
+                    (ma.window, ma.seed, ma.fault),
+                    (mb.window, mb.seed, mb.fault),
+                    "{ctx}: window metadata diverged"
+                );
+            }
+        }
+    }
+}
