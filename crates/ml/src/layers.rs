@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::infer::{dense_fused, InferScratch};
 use crate::matrix::Matrix;
 use crate::optim::Adam;
 
@@ -174,6 +175,63 @@ impl Mlp {
         for i in 1..n {
             cur = self.relus[i - 1].forward(cur);
             cur = self.layers[i].forward(&cur);
+        }
+        cur
+    }
+
+    /// Immutable inference forward: the same math as [`Mlp::forward`]
+    /// — bit-identical, proven by the property suite in
+    /// `tests/fused_infer.rs` — but `&self`, allocation-free once the
+    /// scratch buffers are warm, and fused through the
+    /// width-specialised kernels in [`crate::infer`]. `x` is
+    /// `rows × inputs` row-major; the returned `rows × outputs` logits
+    /// live in `scratch` until the next call.
+    pub fn forward_into<'s>(
+        &self,
+        x: &[f32],
+        rows: usize,
+        scratch: &'s mut InferScratch,
+    ) -> &'s [f32] {
+        let InferScratch { a, b, .. } = scratch;
+        self.forward_into_bufs(x, rows, a, b)
+    }
+
+    /// [`Mlp::forward_into`] over explicit ping-pong buffers, so callers
+    /// holding a destructured [`InferScratch`] (e.g. to keep `x` staged)
+    /// can chain through the same allocation.
+    pub(crate) fn forward_into_bufs<'s>(
+        &self,
+        x: &[f32],
+        rows: usize,
+        a: &'s mut Vec<f32>,
+        b: &'s mut Vec<f32>,
+    ) -> &'s [f32] {
+        assert_eq!(x.len(), rows * self.inputs(), "input shape mismatch");
+        let n = self.layers.len();
+        let l0 = &self.layers[0];
+        dense_fused(
+            x,
+            rows,
+            l0.inputs(),
+            l0.w.data(),
+            l0.outputs(),
+            &l0.b,
+            n > 1,
+            a,
+        );
+        let (mut cur, mut nxt) = (a, b);
+        for (i, l) in self.layers.iter().enumerate().skip(1) {
+            dense_fused(
+                cur,
+                rows,
+                l.inputs(),
+                l.w.data(),
+                l.outputs(),
+                &l.b,
+                i + 1 < n,
+                nxt,
+            );
+            std::mem::swap(&mut cur, &mut nxt);
         }
         cur
     }

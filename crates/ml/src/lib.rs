@@ -12,6 +12,7 @@
 //!
 //! - [`matrix`] — row-major matrix ops (rayon-parallel matmul rows).
 //! - [`layers`] — dense layers / ReLU / MLP with manual backprop.
+//! - [`infer`] — immutable, fused, allocation-free serving forward pass.
 //! - [`loss`] — weighted softmax cross-entropy.
 //! - [`optim`] — Adam and SGD.
 //! - [`model`] — the kernel-based network.
@@ -21,6 +22,7 @@
 
 pub mod attention;
 pub mod data;
+pub mod infer;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
@@ -33,6 +35,7 @@ pub mod train;
 
 pub use attention::AttentionNet;
 pub use data::{Dataset, Standardizer};
+pub use infer::InferScratch;
 pub use loss::{inverse_frequency_weights, softmax, softmax_cross_entropy};
 pub use matrix::Matrix;
 pub use metrics::ConfusionMatrix;

@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::infer::{dense_fused, InferScratch};
 use crate::layers::Mlp;
 use crate::matrix::Matrix;
 use crate::optim::Adam;
@@ -88,6 +89,81 @@ impl KernelNet {
         // Row-major (batch*S)×1 re-reads directly as batch×S.
         let h_in = Matrix::from_vec(batch, self.n_servers, k.data().to_vec());
         self.head.forward(&h_in)
+    }
+
+    /// Immutable inference forward, bit-identical to
+    /// [`KernelNet::forward`] but `&self` and allocation-free once the
+    /// scratch is warm. `x` is `(batch * n_servers) × n_features`
+    /// row-major; the returned `batch × n_classes` logits live in
+    /// `scratch` until the next call.
+    pub fn forward_into<'s>(
+        &self,
+        x: &[f32],
+        rows: usize,
+        scratch: &'s mut InferScratch,
+    ) -> &'s [f32] {
+        let InferScratch { a, b, .. } = scratch;
+        self.forward_into_bufs(x, rows, a, b)
+    }
+
+    /// [`KernelNet::forward_into`] over explicit ping-pong buffers.
+    /// The kernel MLP's `(batch*S) × 1` output re-reads in place as the
+    /// head's `batch × S` input (both row-major), so the whole network
+    /// runs as one fused layer chain across two buffers with no
+    /// reshape copy.
+    pub(crate) fn forward_into_bufs<'s>(
+        &self,
+        x: &[f32],
+        rows: usize,
+        a: &'s mut Vec<f32>,
+        b: &'s mut Vec<f32>,
+    ) -> &'s [f32] {
+        assert_eq!(rows % self.n_servers, 0, "rows not a multiple of n_servers");
+        assert_eq!(x.len(), rows * self.n_features(), "input shape mismatch");
+        let batch = rows / self.n_servers;
+        let kl = self.kernel.layers();
+        let nk = kl.len();
+        let l0 = &kl[0];
+        dense_fused(
+            x,
+            rows,
+            l0.inputs(),
+            l0.weights().data(),
+            l0.outputs(),
+            l0.bias(),
+            nk > 1,
+            a,
+        );
+        let (mut cur, mut nxt) = (a, b);
+        for (i, l) in kl.iter().enumerate().skip(1) {
+            dense_fused(
+                cur,
+                rows,
+                l.inputs(),
+                l.weights().data(),
+                l.outputs(),
+                l.bias(),
+                i + 1 < nk,
+                nxt,
+            );
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        let hl = self.head.layers();
+        let nh = hl.len();
+        for (i, l) in hl.iter().enumerate() {
+            dense_fused(
+                cur,
+                batch,
+                l.inputs(),
+                l.weights().data(),
+                l.outputs(),
+                l.bias(),
+                i + 1 < nh,
+                nxt,
+            );
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        cur
     }
 
     /// Backward from dL/dlogits; accumulates gradients in both MLPs.

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::data::{Dataset, Standardizer};
+use crate::infer::{argmax_row, standardize_into, InferScratch};
 use crate::loss::{softmax_cross_entropy, tempered_frequency_weights};
 use crate::matrix::Matrix;
 use crate::metrics::ConfusionMatrix;
@@ -198,6 +199,41 @@ impl TrainedModel {
                     .expect("non-empty row")
             })
             .collect()
+    }
+
+    /// The serving-path twin of [`TrainedModel::predict_batch`]:
+    /// `&self`, zero allocation once `scratch` is warm, and fused
+    /// through the width-specialised kernels in [`crate::infer`].
+    /// `stacked` is the same `(k * n_servers) × n_features` row-major
+    /// block, `samples` is `k`; predicted classes are appended to `out`
+    /// (cleared first). Outputs are bit-identical to
+    /// [`TrainedModel::predict_batch`] — same standardisation
+    /// arithmetic, same ascending-`k` accumulation order, same
+    /// last-max-wins argmax.
+    pub fn predict_batch_into(
+        &self,
+        stacked: &[f32],
+        samples: usize,
+        scratch: &mut InferScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let rows = samples * self.net.n_servers();
+        let feats = self.net.n_features();
+        assert_eq!(stacked.len(), rows * feats, "stacked block shape mismatch");
+        let InferScratch { x, a, b } = scratch;
+        standardize_into(
+            stacked,
+            feats,
+            self.standardizer.mean(),
+            self.standardizer.std(),
+            x,
+        );
+        let logits = self.net.forward_into_bufs(x, rows, a, b);
+        out.clear();
+        out.reserve(samples);
+        for row in logits.chunks_exact(self.net.n_classes()) {
+            out.push(argmax_row(row));
+        }
     }
 
     /// Predict class labels for every sample of `data`.

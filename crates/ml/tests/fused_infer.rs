@@ -1,0 +1,142 @@
+//! Property suite for the fused immutable inference path: on ANY valid
+//! architecture and finite parameters, the fused width-specialised
+//! kernels in `qi_ml::infer` must match the naive
+//! `matmul` → `add_row_vec` → `Relu` composition **bit for bit** — not
+//! approximately. This is what lets the serving engine switch to the
+//! fused path without perturbing a single golden snapshot.
+
+use proptest::prelude::*;
+use qi_ml::data::Standardizer;
+use qi_ml::layers::{Dense, Mlp};
+use qi_ml::matrix::Matrix;
+use qi_ml::model::KernelNet;
+use qi_ml::train::TrainedModel;
+use qi_ml::InferScratch;
+use qi_monitor::schema::FeatureSchema;
+
+fn mlp_from(widths: &[usize], params: &mut impl Iterator<Item = f32>) -> Mlp {
+    let layers = widths
+        .windows(2)
+        .map(|p| {
+            let w: Vec<f32> = params.by_ref().take(p[0] * p[1]).collect();
+            let b: Vec<f32> = params.by_ref().take(p[1]).collect();
+            Dense::from_params(p[0], p[1], w, b)
+        })
+        .collect();
+    Mlp::from_layers(layers)
+}
+
+fn n_params(widths: &[usize]) -> usize {
+    widths.windows(2).map(|p| p[0] * p[1] + p[1]).sum()
+}
+
+/// Arbitrary MLP architecture — widths deliberately span both the
+/// specialised kernel widths (1..32) and the dynamic fallback (>32,
+/// odd sizes) — plus a matching random input batch.
+fn arb_mlp_and_input() -> impl Strategy<Value = (Mlp, usize, Vec<f32>)> {
+    (
+        prop::collection::vec(1usize..40, 2..5), // layer widths
+        1usize..9,                               // batch rows
+    )
+        .prop_flat_map(|(widths, rows)| {
+            let total = n_params(&widths);
+            let in_w = widths[0];
+            (
+                Just(widths),
+                Just(rows),
+                prop::collection::vec(-8.0f32..8.0, total),
+                prop::collection::vec(-50.0f32..50.0, rows * in_w),
+            )
+        })
+        .prop_map(|(widths, rows, params, x)| {
+            let mut it = params.into_iter();
+            (mlp_from(&widths, &mut it), rows, x)
+        })
+}
+
+/// Any structurally valid `TrainedModel` (kernel-net family) — same
+/// generator family as `tests/proptests.rs`.
+fn arb_model() -> impl Strategy<Value = (TrainedModel, usize, Vec<f32>)> {
+    (2usize..5, 3usize..8, 2usize..6, 2usize..4, 1usize..7).prop_flat_map(
+        |(servers, feats, hidden, classes, samples)| {
+            let total = n_params(&[feats, hidden, 1]) + n_params(&[servers, hidden, classes]);
+            (
+                prop::collection::vec(-100.0f32..100.0, total),
+                prop::collection::vec(-10.0f32..10.0, feats),
+                prop::collection::vec(0.01f32..10.0, feats),
+                prop::collection::vec(-50.0f32..50.0, samples * servers * feats),
+            )
+                .prop_map(move |(net, mean, std, x)| {
+                    let mut it = net.into_iter();
+                    let kernel = mlp_from(&[feats, hidden, 1], &mut it);
+                    let head = mlp_from(&[servers, hidden, classes], &mut it);
+                    let model = TrainedModel::from_parts(
+                        KernelNet::from_parts(kernel, head, servers),
+                        Standardizer::from_parts(mean, std),
+                        FeatureSchema::custom(feats),
+                    );
+                    (model, samples, x)
+                })
+        },
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// `Mlp::forward_into` (fused, `&self`, scratch buffers) is
+    /// bit-identical to `Mlp::forward` (training path: per-layer
+    /// matmul + bias + ReLU allocations) for arbitrary widths — both
+    /// the specialised kernel widths and the dynamic fallback.
+    #[test]
+    fn mlp_forward_into_matches_training_forward_bitwise(
+        case in arb_mlp_and_input(),
+    ) {
+        let (mlp, rows, x) = case;
+        let mut mutable = mlp.clone();
+        let reference = mutable.forward(&Matrix::from_vec(rows, mlp.inputs(), x.clone()));
+        let mut scratch = InferScratch::new();
+        let fused = mlp.forward_into(&x, rows, &mut scratch);
+        prop_assert_eq!(bits(fused), bits(reference.data()));
+        // Scratch reuse must not leak state between batches: run again
+        // on the same warm scratch and require the same bits.
+        let again = mlp.forward_into(&x, rows, &mut scratch);
+        prop_assert_eq!(bits(again), bits(reference.data()));
+    }
+
+    /// `KernelNet::forward_into` — the full kernel→reshape→head chain
+    /// over one pair of scratch buffers — matches the mutable forward
+    /// bit for bit.
+    #[test]
+    fn kernel_net_forward_into_matches_bitwise(
+        case in arb_model(),
+    ) {
+        let (model, samples, x) = case;
+        let net = model.net();
+        let rows = samples * net.n_servers();
+        let mut mutable = net.clone();
+        let reference = mutable.forward(&Matrix::from_vec(rows, net.n_features(), x.clone()));
+        let mut scratch = InferScratch::new();
+        let fused = net.forward_into(&x, rows, &mut scratch);
+        prop_assert_eq!(bits(fused), bits(reference.data()));
+    }
+
+    /// The whole serving entry point: `predict_batch_into`
+    /// (standardise into scratch → fused forward → argmax) returns the
+    /// same classes as the mutable `predict_batch`, ties included.
+    #[test]
+    fn predict_batch_into_matches_predict_batch(
+        case in arb_model(),
+    ) {
+        let (mut model, samples, x) = case;
+        let rows = samples * model.n_servers();
+        let stacked = Matrix::from_vec(rows, model.n_features(), x.clone());
+        let reference = model.predict_batch(&stacked);
+        let mut scratch = InferScratch::new();
+        let mut out = Vec::new();
+        model.predict_batch_into(&x, samples, &mut scratch, &mut out);
+        prop_assert_eq!(out, reference);
+    }
+}

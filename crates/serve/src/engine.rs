@@ -11,10 +11,15 @@
 //!
 //! Ahead of the queue sits a [`TokenBucket`] admission controller and an
 //! explicit [`OverloadPolicy`]; behind it, the batched forward pass runs
-//! on the PR-2 work-stealing pool, whose kernels are bit-identical to
-//! sequential execution at any thread count. Inference cost is *modelled*
-//! (a deterministic affine function of batch size in simulated time), so
-//! latency telemetry is byte-stable across replays and across pools.
+//! through the fused immutable inference path
+//! ([`qi_ml::train::TrainedModel::predict_batch_into`]): `&self` on the model,
+//! engine-owned scratch buffers, zero allocation per batch, and kernels
+//! bit-identical to the training-path forward at any thread count.
+//! Scale-out is by *sharding* ([`crate::sharded::ShardedServeEngine`]),
+//! not by parallelising one batch — serve batches are far too small to
+//! amortise fork/join. Inference cost is *modelled* (a deterministic
+//! affine function of batch size in simulated time), so latency
+//! telemetry is byte-stable across replays and across thread counts.
 //!
 //! Accounting invariant (asserted in tests): every submitted request is
 //! answered by inference, answered stale, shed, or still queued —
@@ -22,22 +27,21 @@
 
 use std::collections::HashMap;
 
-use qi_ml::matrix::Matrix;
+use qi_ml::InferScratch;
 use qi_pfs::ids::AppId;
 use qi_simkit::error::QiError;
 use qi_simkit::ratelimit::TokenBucket;
 use qi_simkit::time::{SimDuration, SimTime};
 use qi_telemetry::{MetricId, MetricValue, MetricsSnapshot, Registry};
-use rayon::ThreadPool;
 
 use crate::registry::ModelRegistry;
 
 /// Modelled inference cost: fixed dispatch overhead per batch…
-const INFER_BASE_US: u64 = 150;
+pub(crate) const INFER_BASE_US: u64 = 150;
 /// …plus a per-sample cost. Batching amortises the base term — that is
 /// the whole point of micro-batching, and the bench measures the real
 /// (wall-clock) analogue of the same effect.
-const INFER_PER_SAMPLE_US: u64 = 40;
+pub(crate) const INFER_PER_SAMPLE_US: u64 = 40;
 
 /// What the service does when a request cannot be admitted (the token
 /// bucket is empty or the queue is at capacity).
@@ -72,7 +76,10 @@ pub struct ServeConfig {
     /// Tenants allowed to submit. Fixed up front so the per-tenant
     /// telemetry key set is stable across scenarios.
     pub tenants: Vec<AppId>,
-    /// Worker threads for the batched forward pass (`None` = ambient).
+    /// Worker threads for driving shards concurrently
+    /// ([`crate::sharded::ShardedServeEngine`]); a plain [`ServeEngine`]
+    /// accepts the knob for config compatibility but runs its fused
+    /// forward pass inline — results are byte-identical either way.
     pub threads: Option<usize>,
 }
 
@@ -117,6 +124,10 @@ pub struct Prediction {
     pub batch: usize,
     /// Instant the answer became available (flush + modelled cost).
     pub done_at: SimTime,
+    /// Registry version of the model that answered. Every prediction in
+    /// one batch carries the same version — the hot-swap point flushes
+    /// first, so a batch never mixes model versions.
+    pub version: u64,
 }
 
 /// What happened to a request at submission time.
@@ -148,8 +159,14 @@ pub struct ServeEngine {
     cfg: ServeConfig,
     registry: ModelRegistry,
     bucket: Option<TokenBucket>,
-    pool: Option<ThreadPool>,
     pending: Vec<QueuedRequest>,
+    /// Scratch for the fused forward pass; reused across every batch so
+    /// the steady-state flush path allocates nothing.
+    scratch: InferScratch,
+    /// Stacked feature rows of the batch being flushed (reused).
+    row_buf: Vec<f32>,
+    /// Predicted classes of the batch being flushed (reused).
+    class_buf: Vec<usize>,
     last_answer: HashMap<AppId, usize>,
     reg: Registry,
     m_requests: MetricId,
@@ -171,37 +188,10 @@ impl ServeEngine {
     /// (zero batch size, queue smaller than a batch, zero delay, bad
     /// admission parameters).
     pub fn new(cfg: ServeConfig, registry: ModelRegistry) -> Result<Self, QiError> {
-        if cfg.max_batch == 0 {
-            return Err(QiError::Serve("max_batch must be at least 1".into()));
-        }
-        if cfg.queue_cap < cfg.max_batch {
-            return Err(QiError::Serve(format!(
-                "queue_cap {} smaller than max_batch {}",
-                cfg.queue_cap, cfg.max_batch
-            )));
-        }
-        if cfg.max_delay.as_nanos() == 0 {
-            return Err(QiError::Serve("max_delay must be positive".into()));
-        }
-        if let Some((rate, burst)) = cfg.admission {
-            if rate <= 0.0 || burst <= 0.0 {
-                return Err(QiError::Serve(format!(
-                    "admission rate/burst must be positive, got ({rate}, {burst})"
-                )));
-            }
-        }
+        Self::validate_config(&cfg)?;
         let bucket = cfg
             .admission
             .map(|(rate, burst)| TokenBucket::new(rate, burst));
-        let pool = match cfg.threads {
-            Some(n) => Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build()
-                    .map_err(|e| QiError::Serve(format!("serving pool: {e}")))?,
-            ),
-            None => None,
-        };
 
         let mut reg = Registry::new();
         let m_requests = reg.counter("serve.requests");
@@ -234,8 +224,10 @@ impl ServeEngine {
             cfg,
             registry,
             bucket,
-            pool,
             pending: Vec::new(),
+            scratch: InferScratch::new(),
+            row_buf: Vec::new(),
+            class_buf: Vec::new(),
             last_answer: HashMap::new(),
             reg,
             m_requests,
@@ -251,6 +243,31 @@ impl ServeEngine {
             m_admission_wait,
             tenant_ids,
         })
+    }
+
+    /// The config rules shared by every engine kind (single and
+    /// sharded): a nonsensical config is refused up front.
+    pub(crate) fn validate_config(cfg: &ServeConfig) -> Result<(), QiError> {
+        if cfg.max_batch == 0 {
+            return Err(QiError::Serve("max_batch must be at least 1".into()));
+        }
+        if cfg.queue_cap < cfg.max_batch {
+            return Err(QiError::Serve(format!(
+                "queue_cap {} smaller than max_batch {}",
+                cfg.queue_cap, cfg.max_batch
+            )));
+        }
+        if cfg.max_delay.as_nanos() == 0 {
+            return Err(QiError::Serve("max_delay must be positive".into()));
+        }
+        if let Some((rate, burst)) = cfg.admission {
+            if rate <= 0.0 || burst <= 0.0 {
+                return Err(QiError::Serve(format!(
+                    "admission rate/burst must be positive, got ({rate}, {burst})"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The model registry (inspection).
@@ -393,23 +410,21 @@ impl ServeEngine {
         if self.pending.is_empty() {
             return Ok(Vec::new());
         }
-        let shape = self.registry.expected_shape();
-        let model = self
+        let version = self
             .registry
-            .active_model_mut()
+            .active_version()
             .ok_or_else(|| QiError::Serve("no active model version".into()))?;
+        let model = self.registry.active_model().expect("active version stored");
         let batch = std::mem::take(&mut self.pending);
         let k = batch.len();
-        let mut rows = Vec::with_capacity(k * shape.n_servers * shape.n_features);
+        self.row_buf.clear();
         for p in &batch {
-            rows.extend_from_slice(&p.req.block);
+            self.row_buf.extend_from_slice(&p.req.block);
         }
-        let stacked = Matrix::from_vec(k * shape.n_servers, shape.n_features, rows);
-        let classes = match &self.pool {
-            Some(p) => p.install(|| model.predict_batch(&stacked)),
-            None => model.predict_batch(&stacked),
-        };
-        debug_assert_eq!(classes.len(), k);
+        // Fused immutable forward: no Matrix clone, no per-layer
+        // allocation — everything runs in the engine-owned scratch.
+        model.predict_batch_into(&self.row_buf, k, &mut self.scratch, &mut self.class_buf);
+        debug_assert_eq!(self.class_buf.len(), k);
 
         let cost = SimDuration::from_micros(INFER_BASE_US + INFER_PER_SAMPLE_US * k as u64);
         let done_at = now + cost;
@@ -418,7 +433,7 @@ impl ServeEngine {
         self.reg
             .observe(self.m_infer, cost.as_nanos() as f64 / 1_000.0);
         let mut out = Vec::with_capacity(k);
-        for (p, class) in batch.into_iter().zip(classes) {
+        for (p, &class) in batch.into_iter().zip(&self.class_buf) {
             let queued = now.saturating_since(p.arrival);
             self.reg
                 .observe(self.m_queue_wait, queued.as_nanos() as f64 / 1_000.0);
@@ -432,6 +447,7 @@ impl ServeEngine {
                 queued,
                 batch: k,
                 done_at,
+                version,
             });
         }
         Ok(out)

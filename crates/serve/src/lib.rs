@@ -20,28 +20,38 @@
 //!   ([`engine::OverloadPolicy`]: shed, block, or degrade to stale
 //!   answers) so the service degrades gracefully instead of growing
 //!   unbounded queues.
+//! - [`sharded`] — the scale-out engine: N independent worker shards
+//!   routed by tenant hash, each owning its own micro-batcher, token
+//!   buckets, scratch buffers, and statistics, all serving from ONE
+//!   shared registry through the fused immutable inference path. Per
+//!   the module's determinism argument, predicted classes and telemetry
+//!   snapshots are byte-identical at any shard count and thread count.
 //! - [`driver`] — replays a finished [`qi_pfs::ops::RunTrace`] through
-//!   the [`qi_monitor::FeaturePipeline`] and the engine in event-time
-//!   order, the deterministic stand-in for a live metric stream. The
-//!   pipeline configuration is derived from the registry's expected
-//!   schema, so replay and validation can never disagree.
+//!   the [`qi_monitor::FeaturePipeline`] and any [`PredictService`]
+//!   (single or sharded engine) in event-time order, the deterministic
+//!   stand-in for a live metric stream. The pipeline configuration is
+//!   derived from the registry's expected schema, so replay and
+//!   validation can never disagree.
 //!
 //! Determinism argument: no wall clock is ever read — arrival times,
 //! batch-delay deadlines, admission grants, and the modelled inference
 //! cost are all [`qi_simkit::time::SimTime`] arithmetic; the batched
-//! forward pass runs on the PR-2 work-stealing pool whose kernels are
-//! bit-identical to sequential execution at any thread count; and the
-//! serving telemetry ([`qi_telemetry`]) registers every key up front so
+//! forward pass runs through `qi_ml`'s fused immutable kernels, which
+//! are bit-identical to the training-path forward (proven by property
+//! tests) and identical at any shard or thread count; and the serving
+//! telemetry ([`qi_telemetry`]) registers every key up front so
 //! snapshot key sets are stable across scenarios. Identical inputs
 //! therefore produce byte-identical outputs and telemetry, replay after
-//! replay, at 1, 2, or 8 worker threads.
+//! replay, at 1, 2, or 8 worker threads and 1..N shards.
 
 #![forbid(unsafe_code)]
 
 pub mod driver;
 pub mod engine;
 pub mod registry;
+pub mod sharded;
 
-pub use driver::{replay_trace, ReplaySummary};
+pub use driver::{replay_trace, PredictService, ReplaySummary};
 pub use engine::{Admission, OverloadPolicy, PredictRequest, Prediction, ServeConfig, ServeEngine};
 pub use registry::ModelRegistry;
+pub use sharded::{shard_of_tenant, ShardWorker, ShardedServeEngine};

@@ -134,7 +134,17 @@ impl ModelRegistry {
         self.active
     }
 
-    /// Mutable access to the active model (the engine's forward pass).
+    /// The active model, immutably — the serving forward pass. Since
+    /// the fused inference path (`TrainedModel::predict_batch_into`)
+    /// takes `&self`, any number of shards can serve from one registry
+    /// without cloning the model.
+    pub fn active_model(&self) -> Option<&TrainedModel> {
+        let v = self.active?;
+        self.versions.get(&v)
+    }
+
+    /// Mutable access to the active model (training-path inference,
+    /// e.g. `predict_batch`, which caches activations).
     pub fn active_model_mut(&mut self) -> Option<&mut TrainedModel> {
         let v = self.active?;
         self.versions.get_mut(&v)
