@@ -246,7 +246,6 @@ impl DatasetSpec {
             } else {
                 SimDuration::from_secs(6)
             },
-            noise_throttle: None,
             fault_plan: None,
         }
     }

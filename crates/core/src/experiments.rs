@@ -132,7 +132,6 @@ fn scenario_for(cfg: &TableOneConfig, target: WorkloadKind, seed: u64) -> Scenar
         deadline: cfg.deadline,
         small: cfg.small,
         warmup: cfg.warmup,
-        noise_throttle: None,
         fault_plan: None,
     }
 }
@@ -325,7 +324,6 @@ pub fn fig_one_a(cfg: &FigOneConfig, levels: u32) -> Result<Vec<EnzoSeries>, QiE
                 deadline: cfg.deadline,
                 small: cfg.small,
                 warmup: cfg.warmup,
-                noise_throttle: None,
                 fault_plan: None,
             };
             if *instances > 0 {
@@ -370,7 +368,6 @@ pub fn fig_one_b(cfg: &FigOneConfig, instances: u32) -> Result<Vec<EnzoSeries>, 
                 deadline: cfg.deadline,
                 small: cfg.small,
                 warmup: cfg.warmup,
-                noise_throttle: None,
                 fault_plan: None,
             };
             if let Some(k) = kind {

@@ -51,11 +51,15 @@ pub mod prelude {
     pub use crate::importance::{permutation_importance, FeatureImportance};
     pub use crate::labeling::{window_degradation, BaselineIndex, Bins};
     pub use crate::mitigation::{
-        prediction_guided_throttling, uniform_tbf_throttling, MitigationOutcome,
+        evaluate_mitigation, noise_app_ids, serve_predictor, MitigationOutcome,
     };
     pub use crate::predict::{family_spec, train_and_evaluate, EvalReport, Predictor};
     pub use crate::report::{summarize, RunReport};
     pub use crate::scenario::{completion_slowdown, target_duration, InterferenceSpec, Scenario};
+    pub use qi_control::{
+        ControlLoop, ControlLoopBuilder, GuidedThrottle, Hysteresis, MitigationPolicy,
+        UniformThrottle, WindowObservation,
+    };
     pub use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
     pub use qi_ml::train::TrainConfig;
     pub use qi_monitor::features::{FeatureAvailability, FeatureConfig, Imputation};
@@ -63,7 +67,10 @@ pub mod prelude {
     pub use qi_monitor::window::WindowConfig;
     pub use qi_pfs::cluster::{Cluster, ClusterBuilder};
     pub use qi_pfs::config::ClusterConfig;
+    pub use qi_pfs::control::{ControlDirective, DirectiveRecord};
+    pub use qi_pfs::ids::AppId;
     pub use qi_pfs::ops::RunTrace;
+    pub use qi_serve::{PredictService, ShardedServeEngine};
     pub use qi_simkit::QiError;
     pub use qi_workloads::registry::WorkloadKind;
 }

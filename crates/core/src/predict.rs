@@ -311,7 +311,6 @@ mod tests {
             deadline: spec.deadline,
             small: true,
             warmup: qi_simkit::time::SimDuration::from_secs(3),
-            noise_throttle: None,
             fault_plan: None,
         };
         let (app, base) = scenario.run_baseline().expect("baseline runs");

@@ -11,7 +11,7 @@ use qi_pfs::ids::{AppId, NodeId};
 use qi_pfs::ops::RunTrace;
 use qi_simkit::error::QiError;
 use qi_simkit::time::{SimDuration, SimTime};
-use qi_workloads::common::{deploy_delayed, deploy_full, ThrottleSchedule};
+use qi_workloads::common::deploy_delayed;
 use qi_workloads::registry::WorkloadKind;
 
 /// One interference source: `instances` concurrent looping copies of a
@@ -47,9 +47,6 @@ pub struct Scenario {
     /// system reach steady state (caches filled, queues deep) — Table I
     /// keeps background noise active for the entirety of measured runs.
     pub warmup: SimDuration,
-    /// Optional mitigation plan rate-limiting the interference (see
-    /// `quanterference::mitigation`). `None` = unmitigated.
-    pub noise_throttle: Option<std::sync::Arc<ThrottleSchedule>>,
     /// Optional fault plan injected into the cluster (degraded servers,
     /// lossy links, …). `None` = healthy hardware. The baseline variant
     /// strips it, so degradation labels measure the faulted run against
@@ -69,7 +66,6 @@ impl Scenario {
             deadline: SimDuration::from_secs(600),
             small: false,
             warmup: SimDuration::from_secs(6),
-            noise_throttle: None,
             fault_plan: None,
         }
     }
@@ -167,7 +163,7 @@ impl Scenario {
                 for i in 0..noise_nodes.len() {
                     nodes.push(noise_nodes[(inst as usize + i) % noise_nodes.len()]);
                 }
-                deploy_full(
+                deploy_delayed(
                     &mut cl,
                     &w,
                     spec.ranks,
@@ -175,7 +171,6 @@ impl Scenario {
                     self.seed ^ (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                     true,
                     SimDuration::ZERO,
-                    self.noise_throttle.clone(),
                 );
                 salt += 1;
             }

@@ -303,6 +303,19 @@ impl FeaturePipeline {
         Ok(out)
     }
 
+    /// Advance the watermark to `t`, emitting every window that closed
+    /// strictly before it — even windows no event ever crossed. The
+    /// online control loop calls this at each tick so a quiet window
+    /// still closes (and still yields feature blocks for the apps that
+    /// were active in it) at its boundary rather than whenever the next
+    /// event happens to arrive.
+    pub fn advance_to(&mut self, t: SimTime) -> Result<Vec<EmittedWindow>, QiError> {
+        self.check_order(t)?;
+        let mut out = Vec::new();
+        self.roll_to(t, &mut out);
+        Ok(out)
+    }
+
     /// Feed one per-second server sample.
     pub fn push_sample(&mut self, sample: &ServerSample) -> Result<Vec<EmittedWindow>, QiError> {
         self.check_order(sample.time)?;

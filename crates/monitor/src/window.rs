@@ -27,6 +27,14 @@ impl WindowConfig {
         }
     }
 
+    /// A window of `ms` milliseconds — sub-second windows give an online
+    /// controller several decision points within a short target run.
+    pub fn millis(ms: u64) -> Self {
+        WindowConfig {
+            window: SimDuration::from_millis(ms),
+        }
+    }
+
     /// Index of the window containing instant `t` (0-based).
     pub fn index_of(&self, t: SimTime) -> u64 {
         debug_assert!(self.window.as_nanos() > 0);

@@ -9,7 +9,7 @@
 //! network. Metadata ops go to the MDS: CPU, lookup cache, per-directory
 //! locks, and journal writes on the MDT device.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
 use qi_simkit::error::QiError;
@@ -23,6 +23,7 @@ use qi_telemetry::{MetricValue, MetricsSnapshot};
 use crate::arena::{Slab, SlabKey};
 use crate::cache::{Admit, LruSet, SmallObjectCache, WriteCache};
 use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
+use crate::control::{ClusterController, ControlDirective, DirectiveRecord};
 use crate::disk::Disk;
 use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
 use crate::layout::{chunks, chunks_into, Chunk, ExtentMap, FileLayout, ObjKey, SectorRange};
@@ -159,6 +160,8 @@ enum Ev {
     },
     /// Server-side monitor tick.
     Sample,
+    /// Mitigation-controller tick (window close + 1 ns).
+    Control,
     /// A scheduled fail-slow injection fires on a device.
     FailSlow { dev: u32, factor: f64 },
     /// A `DiskStall` fault begins: the device's queue freezes until the
@@ -229,6 +232,26 @@ struct ClusterTelemetry {
     disk_stalls: u64,
     /// Lock revocations forced by an `MdsLockStorm` window.
     lock_storm_revocations: u64,
+    /// Control directives applied successfully.
+    control_applied: u64,
+    /// Control directives rejected as invalid (bad app, bad rate, all
+    /// OSTs avoided).
+    control_rejected: u64,
+    /// Rate-limit installs / clears applied.
+    control_rate_limits: u64,
+    control_rate_clears: u64,
+    /// Admission-cap installs / clears applied.
+    control_caps: u64,
+    control_cap_clears: u64,
+    /// Avoid-OSTs installs / clears applied.
+    control_retargets: u64,
+    control_retarget_clears: u64,
+    /// New file layouts that were steered around avoided OSTs.
+    control_retarget_layouts: u64,
+    /// Data RPCs parked at admission by an inflight cap.
+    control_parked: u64,
+    /// Parked RPCs later admitted (cap headroom or cap cleared).
+    control_resumed: u64,
 }
 
 impl ClusterTelemetry {
@@ -247,6 +270,17 @@ impl ClusterTelemetry {
             rpc_deadline_exceeded: 0,
             disk_stalls: 0,
             lock_storm_revocations: 0,
+            control_applied: 0,
+            control_rejected: 0,
+            control_rate_limits: 0,
+            control_rate_clears: 0,
+            control_caps: 0,
+            control_cap_clears: 0,
+            control_retargets: 0,
+            control_retarget_clears: 0,
+            control_retarget_layouts: 0,
+            control_parked: 0,
+            control_resumed: 0,
         }
     }
 }
@@ -334,6 +368,30 @@ pub struct Cluster {
     scratch_chunks: Vec<Chunk>,
     scratch_ranges: Vec<SectorRange>,
     scratch_members: Vec<Member<DiskTag>>,
+    /// The installed mitigation controller, ticked once per control
+    /// interval; `None` on uncontrolled runs (the common case — every
+    /// control-path check below is a cheap is-empty/is-none test).
+    controller: Option<Box<dyn ClusterController>>,
+    /// Controller tick interval, sampled at install time.
+    control_interval: SimDuration,
+    /// Index of the next window the controller will close.
+    control_window: u64,
+    /// True once a controller was installed or a directive applied;
+    /// gates the `pfs.control.*` snapshot block so uncontrolled runs
+    /// keep their historical (golden) key set.
+    control_used: bool,
+    /// Per-app admission cap on concurrently admitted data RPCs per OST.
+    inflight_caps: BTreeMap<u32, u32>,
+    /// Admitted-RPC counts per (app, OST); entries exist only while the
+    /// app is capped. Ordered map: drain order on cap-clear must be
+    /// deterministic.
+    adm_active: BTreeMap<(u32, u32), u32>,
+    /// RPCs parked at admission, FIFO per (app, OST).
+    adm_waiting: BTreeMap<(u32, u32), VecDeque<Msg>>,
+    /// Per-OST avoidance flags for new layouts; empty means no steering.
+    avoid_osts: Vec<bool>,
+    /// Scratch directive buffer for control ticks.
+    scratch_directives: Vec<ControlDirective>,
 }
 
 /// Deterministic 64-bit mix of a file key, used for placement and inode
@@ -522,6 +580,15 @@ impl Cluster {
             scratch_chunks: Vec::new(),
             scratch_ranges: Vec::new(),
             scratch_members: Vec::new(),
+            controller: None,
+            control_interval: SimDuration::ZERO,
+            control_window: 0,
+            control_used: false,
+            inflight_caps: BTreeMap::new(),
+            adm_active: BTreeMap::new(),
+            adm_waiting: BTreeMap::new(),
+            avoid_osts: Vec::new(),
+            scratch_directives: Vec::new(),
             cfg,
         }
     }
@@ -603,6 +670,189 @@ impl Cluster {
             .insert(app, TokenBucket::new(bytes_per_sec, bytes_per_sec));
     }
 
+    /// Install a mitigation controller: from the run's start it is
+    /// ticked once per [`ClusterController::interval`], 1 ns after each
+    /// window boundary (strictly after every event of the closed
+    /// window), and its directives are applied through
+    /// [`Cluster::apply_directive`]. At most one controller per run.
+    pub fn install_controller(&mut self, controller: Box<dyn ClusterController>) {
+        let interval = controller.interval();
+        assert!(interval > SimDuration::ZERO, "zero control interval");
+        assert!(self.controller.is_none(), "controller already installed");
+        self.control_interval = interval;
+        self.controller = Some(controller);
+        self.control_used = true;
+    }
+
+    /// Apply one typed control directive, the single entry point every
+    /// actuator hangs off. Returns `Err(QiError::Control)` and changes
+    /// nothing when the directive is invalid (unknown app, non-finite
+    /// or non-positive rate, zero cap, every OST avoided); successful
+    /// applications are recorded in [`RunTrace::directives`].
+    pub fn apply_directive(
+        &mut self,
+        at: SimTime,
+        window: u64,
+        directive: ControlDirective,
+    ) -> Result<(), QiError> {
+        self.control_used = true;
+        if let Some(app) = directive.app() {
+            if app.0 as usize >= self.apps.len() {
+                return Err(QiError::Control(format!(
+                    "directive targets unknown app {}",
+                    app.0
+                )));
+            }
+        }
+        match &directive {
+            ControlDirective::RateLimit { app, bytes_per_sec } => {
+                if !bytes_per_sec.is_finite() || *bytes_per_sec <= 0.0 {
+                    return Err(QiError::Control(format!(
+                        "rate limit must be finite and positive, got {bytes_per_sec}"
+                    )));
+                }
+                self.tbf
+                    .insert(*app, TokenBucket::new(*bytes_per_sec, *bytes_per_sec));
+                self.tele.control_rate_limits += 1;
+            }
+            ControlDirective::ClearRateLimit { app } => {
+                self.tbf.remove(app);
+                self.tele.control_rate_clears += 1;
+            }
+            ControlDirective::CapInflight { app, max_inflight } => {
+                if *max_inflight == 0 {
+                    return Err(QiError::Control("inflight cap must be >= 1".into()));
+                }
+                self.inflight_caps.insert(app.0, *max_inflight);
+                self.tele.control_caps += 1;
+                self.admission_recheck(at, app.0);
+            }
+            ControlDirective::ClearCapInflight { app } => {
+                self.inflight_caps.remove(&app.0);
+                self.tele.control_cap_clears += 1;
+                self.admission_recheck(at, app.0);
+            }
+            ControlDirective::AvoidOsts { osts } => {
+                let n_osts = self.cfg.n_osts();
+                let mut avoided = vec![false; n_osts as usize];
+                for d in osts {
+                    if d.0 >= n_osts {
+                        return Err(QiError::Control(format!(
+                            "cannot avoid non-OST device {}",
+                            d.0
+                        )));
+                    }
+                    avoided[d.0 as usize] = true;
+                }
+                if avoided.iter().all(|&b| b) {
+                    return Err(QiError::Control(
+                        "cannot avoid every OST: layouts need a target".into(),
+                    ));
+                }
+                self.avoid_osts = avoided;
+                self.tele.control_retargets += 1;
+            }
+            ControlDirective::ClearAvoidOsts => {
+                self.avoid_osts.clear();
+                self.tele.control_retarget_clears += 1;
+            }
+        }
+        self.tele.control_applied += 1;
+        self.trace.directives.push(DirectiveRecord {
+            at,
+            window,
+            directive,
+        });
+        Ok(())
+    }
+
+    /// One controller tick: close window `control_window`, apply the
+    /// controller's directives, reschedule the next tick.
+    fn control_tick(&mut self, now: SimTime) {
+        let Some(mut ctl) = self.controller.take() else {
+            return;
+        };
+        let window = self.control_window;
+        self.control_window += 1;
+        let mut out = std::mem::take(&mut self.scratch_directives);
+        out.clear();
+        ctl.on_window(now, window, &self.trace, &mut out);
+        for d in out.drain(..) {
+            if self.apply_directive(now, window, d).is_err() {
+                self.tele.control_rejected += 1;
+            }
+        }
+        self.scratch_directives = out;
+        self.controller = Some(ctl);
+        self.events
+            .schedule(now + self.control_interval, Ev::Control);
+    }
+
+    /// After a cap change for `app`: admit parked RPCs while the new cap
+    /// (or its absence) leaves headroom, in ascending OST order then
+    /// FIFO — deterministic regardless of park order across OSTs.
+    fn admission_recheck(&mut self, now: SimTime, app: u32) {
+        if self.adm_waiting.is_empty() {
+            return;
+        }
+        let cap = self.inflight_caps.get(&app).copied().unwrap_or(u32::MAX);
+        let keys: Vec<(u32, u32)> = self
+            .adm_waiting
+            .range((app, 0)..=(app, u32::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            loop {
+                let active = self.adm_active.get(&key).copied().unwrap_or(0);
+                if active >= cap {
+                    break;
+                }
+                let Some(msg) = self.adm_waiting.get_mut(&key).and_then(|q| q.pop_front()) else {
+                    break;
+                };
+                *self.adm_active.entry(key).or_insert(0) += 1;
+                self.tele.control_resumed += 1;
+                self.oss_cpu_start(now, msg);
+            }
+            if self.adm_waiting.get(&key).is_some_and(|q| q.is_empty()) {
+                self.adm_waiting.remove(&key);
+            }
+        }
+    }
+
+    /// A capped data RPC finished its OSS/disk journey: free its
+    /// admission slot and admit the next parked RPC if the cap allows.
+    fn admission_release(&mut self, now: SimTime, app: AppId, dev: DeviceId) {
+        if self.adm_active.is_empty() {
+            return;
+        }
+        let key = (app.0, dev.0);
+        let Some(active) = self.adm_active.get_mut(&key) else {
+            return;
+        };
+        // An RPC admitted before the cap was (re)installed may release
+        // against a fresh counter; saturate instead of underflowing.
+        *active = active.saturating_sub(1);
+        let cap = self.inflight_caps.get(&app.0).copied().unwrap_or(u32::MAX);
+        if *active >= cap {
+            return;
+        }
+        let Some(msg) = self.adm_waiting.get_mut(&key).and_then(|q| q.pop_front()) else {
+            if *self.adm_active.get(&key).expect("entry present") == 0
+                && !self.inflight_caps.contains_key(&app.0)
+            {
+                self.adm_active.remove(&key);
+            }
+            return;
+        };
+        *self.adm_active.get_mut(&key).expect("entry present") += 1;
+        self.tele.control_resumed += 1;
+        if self.adm_waiting.get(&key).is_some_and(|q| q.is_empty()) {
+            self.adm_waiting.remove(&key);
+        }
+        self.oss_cpu_start(now, msg);
+    }
+
     /// Schedule a fail-slow injection: from `at` onward, `dev` services
     /// every request `factor`× slower (1.0 restores health). Models the
     /// gray-failure drives of Lu et al.'s Perseus.
@@ -665,6 +915,24 @@ impl Cluster {
     fn make_layout(&mut self, file: FileKey, stripe: Option<StripeConfig>) -> FileLayout {
         let s = stripe.unwrap_or(self.cfg.stripe);
         let n_osts = self.cfg.n_osts();
+        // Stripe re-targeting: with an avoidance set installed, place
+        // over the allowed OSTs only (same hash-round-robin rule on the
+        // reduced list). The empty set takes the historical formula
+        // verbatim, keeping uncontrolled runs byte-identical.
+        if self.avoid_osts.iter().any(|&b| b) {
+            let allowed: Vec<u32> = (0..n_osts)
+                .filter(|&i| !self.avoid_osts[i as usize])
+                .collect();
+            let count = s.stripe_count.clamp(1, allowed.len() as u32) as usize;
+            let start = (file_hash(file) % allowed.len() as u64) as usize;
+            self.tele.control_retarget_layouts += 1;
+            return FileLayout {
+                stripe_size: s.stripe_size,
+                osts: (0..count)
+                    .map(|i| DeviceId(allowed[(start + i) % allowed.len()]))
+                    .collect(),
+            };
+        }
         let count = s.stripe_count.clamp(1, n_osts);
         let start = (file_hash(file) % n_osts as u64) as u32;
         FileLayout {
@@ -842,6 +1110,16 @@ impl Cluster {
         }
         self.events
             .schedule(SimTime::ZERO + self.cfg.sample_interval, Ev::Sample);
+        if self.controller.is_some() {
+            // First tick 1 ns after the first window boundary: every
+            // event of a window (boundary samples included) is handled
+            // before the tick that closes it, so the controller sees
+            // exactly the batch-pipeline window content.
+            self.events.schedule(
+                SimTime::ZERO + self.control_interval + SimDuration::from_nanos(1),
+                Ev::Control,
+            );
+        }
 
         while let Some((now, ev)) = self.events.pop_until(deadline) {
             self.handle(now, ev);
@@ -957,6 +1235,29 @@ impl Cluster {
             "pfs.faults.lock_storm_revocations",
             MetricValue::Counter(self.tele.lock_storm_revocations),
         );
+        // The control block appears only on controlled runs (a
+        // controller installed or a directive applied), so snapshots of
+        // uncontrolled runs keep their historical golden key set.
+        if self.control_used {
+            for (field, v) in [
+                ("applied", self.tele.control_applied),
+                ("cap_clears", self.tele.control_cap_clears),
+                ("caps", self.tele.control_caps),
+                ("parked", self.tele.control_parked),
+                ("rate_clears", self.tele.control_rate_clears),
+                ("rate_limits", self.tele.control_rate_limits),
+                ("rejected", self.tele.control_rejected),
+                ("resumed", self.tele.control_resumed),
+                ("retarget_clears", self.tele.control_retarget_clears),
+                ("retarget_layouts", self.tele.control_retarget_layouts),
+                ("retargets", self.tele.control_retargets),
+            ] {
+                snap.put(&format!("pfs.control.{field}"), MetricValue::Counter(v));
+            }
+            if let Some(ctl) = &self.controller {
+                ctl.metrics_into(&mut snap);
+            }
+        }
         snap
     }
 
@@ -986,6 +1287,7 @@ impl Cluster {
                 self.events
                     .schedule(now + self.cfg.sample_interval, Ev::Sample);
             }
+            Ev::Control => self.control_tick(now),
             Ev::FailSlow { dev, factor } => {
                 self.devices[dev as usize].disk_mut().set_fail_slow(factor);
             }
@@ -1327,8 +1629,33 @@ impl Cluster {
         self.handle_dispatch(now, dev.0, d);
     }
 
-    /// Schedule a data RPC onto its OSS node's CPU (post-TBF).
+    /// Admit a data RPC to its OSS (post-TBF): if the issuing app has
+    /// an inflight cap and the target OST is at it, park the RPC; else
+    /// count it (capped apps only) and start the CPU stage.
     fn oss_admit(&mut self, now: SimTime, msg: Msg) {
+        if !self.inflight_caps.is_empty() {
+            let (dev, app) = match &msg {
+                Msg::ReadReq { dev, token, .. } | Msg::WriteReq { dev, token, .. } => {
+                    (*dev, token.app)
+                }
+                _ => unreachable!("only data RPCs reach the OSS"),
+            };
+            if let Some(&cap) = self.inflight_caps.get(&app.0) {
+                let key = (app.0, dev.0);
+                let active = self.adm_active.entry(key).or_insert(0);
+                if *active >= cap {
+                    self.tele.control_parked += 1;
+                    self.adm_waiting.entry(key).or_default().push_back(msg);
+                    return;
+                }
+                *active += 1;
+            }
+        }
+        self.oss_cpu_start(now, msg);
+    }
+
+    /// Schedule an admitted data RPC onto its OSS node's CPU.
+    fn oss_cpu_start(&mut self, now: SimTime, msg: Msg) {
         let dev = match &msg {
             Msg::ReadReq { dev, .. } | Msg::WriteReq { dev, .. } => *dev,
             _ => unreachable!("only data RPCs reach the OSS"),
@@ -1373,6 +1700,7 @@ impl Cluster {
                             token,
                         },
                     );
+                    self.admission_release(now, token.app, dev);
                     return;
                 }
                 let mut ranges = std::mem::take(&mut self.scratch_ranges);
@@ -1436,6 +1764,7 @@ impl Cluster {
                                 token,
                             },
                         );
+                        self.admission_release(now, token.app, dev);
                     }
                     Admit::Throttled => {} // released by a later flush
                     Admit::Sync => {
@@ -1654,6 +1983,7 @@ impl Cluster {
                             p.reply_bytes,
                             Msg::OpDone { token: p.token },
                         );
+                        self.admission_release(now, p.token.app, p.dev);
                     }
                 }
                 DiskTag::Flush { dirty_bytes } => flushed_bytes += dirty_bytes,
@@ -1704,6 +2034,7 @@ impl Cluster {
                         token,
                     },
                 );
+                self.admission_release(now, token.app, d);
             }
         }
     }

@@ -1,0 +1,179 @@
+//! The typed control plane: directives a mitigation controller applies
+//! to a running cluster, and the hook the cluster calls at each control
+//! tick.
+//!
+//! A [`ClusterController`] is installed on a [`Cluster`] before the run
+//! starts ([`Cluster::install_controller`]) and is invoked once per
+//! control interval, 1 ns *after* each window boundary — strictly after
+//! every event of the closed window, so the controller observes exactly
+//! the window content a batch pipeline would. It answers with
+//! [`ControlDirective`]s, which the cluster applies through one typed
+//! entry point ([`Cluster::apply_directive`]) driving three actuator
+//! families: server-side token-bucket QoS throttling, per-(app, OST)
+//! admission / queue-depth caps, and stripe re-targeting away from
+//! avoided OSTs. Every applied directive is recorded in
+//! [`RunTrace::directives`], so a finished trace replays the full
+//! decision sequence.
+//!
+//! [`Cluster`]: crate::cluster::Cluster
+//! [`Cluster::install_controller`]: crate::cluster::Cluster::install_controller
+//! [`Cluster::apply_directive`]: crate::cluster::Cluster::apply_directive
+//! [`RunTrace::directives`]: crate::ops::RunTrace::directives
+
+use qi_simkit::time::{SimDuration, SimTime};
+use qi_telemetry::MetricsSnapshot;
+
+use crate::ids::{AppId, DeviceId};
+use crate::ops::RunTrace;
+
+/// One typed mitigation action. Engage directives (`RateLimit`,
+/// `CapInflight`, `AvoidOsts`) install an actuator; each has a matching
+/// clear directive that restores the default behaviour.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControlDirective {
+    /// Install a server-side token-bucket filter for `app`'s data RPCs
+    /// (bytes of payload per second, burst of one second's worth) — the
+    /// classful TBF NRS policy.
+    RateLimit {
+        /// Application to throttle.
+        app: AppId,
+        /// Admitted payload bytes per second; must be finite and > 0.
+        bytes_per_sec: f64,
+    },
+    /// Remove `app`'s token-bucket filter.
+    ClearRateLimit {
+        /// Application to release.
+        app: AppId,
+    },
+    /// Cap the number of `app`'s data RPCs concurrently past admission
+    /// on any single OST; the excess queues FIFO per (app, OST).
+    CapInflight {
+        /// Application to cap.
+        app: AppId,
+        /// Maximum concurrent admitted RPCs per OST; must be ≥ 1.
+        max_inflight: u32,
+    },
+    /// Remove `app`'s admission cap, draining its parked RPCs.
+    ClearCapInflight {
+        /// Application to release.
+        app: AppId,
+    },
+    /// Steer *newly created* file layouts away from these OSTs
+    /// (predicted-hot servers). Replaces any previous avoidance set;
+    /// existing layouts are untouched. At least one OST must remain.
+    AvoidOsts {
+        /// OSTs new layouts should skip.
+        osts: Vec<DeviceId>,
+    },
+    /// Restore default (hash-round-robin over all OSTs) placement.
+    ClearAvoidOsts,
+}
+
+impl ControlDirective {
+    /// The application this directive targets, if it is per-app.
+    pub fn app(&self) -> Option<AppId> {
+        match self {
+            ControlDirective::RateLimit { app, .. }
+            | ControlDirective::ClearRateLimit { app }
+            | ControlDirective::CapInflight { app, .. }
+            | ControlDirective::ClearCapInflight { app } => Some(*app),
+            ControlDirective::AvoidOsts { .. } | ControlDirective::ClearAvoidOsts => None,
+        }
+    }
+
+    /// True for directives that install an actuator (vs. clear one).
+    pub fn is_engage(&self) -> bool {
+        matches!(
+            self,
+            ControlDirective::RateLimit { .. }
+                | ControlDirective::CapInflight { .. }
+                | ControlDirective::AvoidOsts { .. }
+        )
+    }
+
+    /// Short stable label for telemetry keys and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControlDirective::RateLimit { .. } => "rate_limit",
+            ControlDirective::ClearRateLimit { .. } => "clear_rate_limit",
+            ControlDirective::CapInflight { .. } => "cap_inflight",
+            ControlDirective::ClearCapInflight { .. } => "clear_cap_inflight",
+            ControlDirective::AvoidOsts { .. } => "avoid_osts",
+            ControlDirective::ClearAvoidOsts => "clear_avoid_osts",
+        }
+    }
+}
+
+/// One applied directive, as recorded in [`RunTrace::directives`]: what
+/// was done, at which simulated instant, closing which window.
+///
+/// [`RunTrace::directives`]: crate::ops::RunTrace::directives
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectiveRecord {
+    /// Simulated time the directive took effect (window close + 1 ns).
+    pub at: SimTime,
+    /// Index of the window whose close triggered it.
+    pub window: u64,
+    /// The directive itself.
+    pub directive: ControlDirective,
+}
+
+/// The hook a mitigation controller implements. Installed via
+/// [`Cluster::install_controller`]; called once per [`interval`], 1 ns
+/// after each window boundary, with the run's trace so far.
+///
+/// Implementations must be deterministic functions of their inputs (the
+/// trace and their own state): the cluster's replay-determinism
+/// guarantee extends to controlled runs only if the controller holds no
+/// wall-clock or ambient randomness.
+///
+/// [`Cluster::install_controller`]: crate::cluster::Cluster::install_controller
+/// [`interval`]: ClusterController::interval
+pub trait ClusterController: Send {
+    /// Control interval (typically the feature window length). Must be
+    /// non-zero; sampled once at install time.
+    fn interval(&self) -> SimDuration;
+
+    /// One control tick: window `window` just closed at `now - 1 ns`.
+    /// Push the directives to apply into `out` (applied in order;
+    /// invalid ones are counted as rejected, not fatal).
+    fn on_window(
+        &mut self,
+        now: SimTime,
+        window: u64,
+        trace: &RunTrace,
+        out: &mut Vec<ControlDirective>,
+    );
+
+    /// Fold the controller's own metrics into the run snapshot (called
+    /// once when the run ends). Default: nothing.
+    fn metrics_into(&self, snap: &mut MetricsSnapshot) {
+        let _ = snap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_introspection() {
+        let d = ControlDirective::RateLimit {
+            app: AppId(3),
+            bytes_per_sec: 1e6,
+        };
+        assert_eq!(d.app(), Some(AppId(3)));
+        assert!(d.is_engage());
+        assert_eq!(d.label(), "rate_limit");
+        let c = ControlDirective::ClearCapInflight { app: AppId(3) };
+        assert!(!c.is_engage());
+        assert_eq!(c.app(), Some(AppId(3)));
+        let a = ControlDirective::AvoidOsts {
+            osts: vec![DeviceId(0)],
+        };
+        assert_eq!(a.app(), None);
+        assert!(a.is_engage());
+        assert!(!ControlDirective::ClearAvoidOsts.is_engage());
+        assert_eq!(ControlDirective::ClearAvoidOsts.label(), "clear_avoid_osts");
+    }
+}

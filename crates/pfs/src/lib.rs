@@ -16,6 +16,8 @@
 //! - [`cluster`] — the event loop wiring clients, OSS/OSTs, and the
 //!   MDS/MDT (namespace, directory locks, journal) together.
 //! - [`ops`] — workload-facing operations, rank programs, trace records.
+//! - [`control`] — the typed mitigation control plane: directives,
+//!   actuators, and the per-window controller hook.
 //!
 //! ```
 //! use qi_pfs::prelude::*;
@@ -42,6 +44,7 @@ pub mod arena;
 pub mod cache;
 pub mod cluster;
 pub mod config;
+pub mod control;
 pub mod disk;
 pub mod ids;
 pub mod layout;
@@ -54,6 +57,7 @@ pub mod prelude {
     pub use crate::arena::{Slab, SlabKey};
     pub use crate::cluster::{Cluster, ClusterBuilder};
     pub use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
+    pub use crate::control::{ClusterController, ControlDirective, DirectiveRecord};
     pub use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
     pub use crate::ops::{
         IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,

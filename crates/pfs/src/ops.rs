@@ -11,6 +11,7 @@ use qi_simkit::time::{SimDuration, SimTime};
 use qi_telemetry::MetricsSnapshot;
 
 use crate::config::StripeConfig;
+use crate::control::DirectiveRecord;
 use crate::ids::{AppId, DeviceId, DirKey, FileKey, OpToken};
 use crate::queue::DeviceCounters;
 
@@ -242,6 +243,11 @@ pub struct RunTrace {
     /// retry budget exhausted under an injected fault plan). Empty on
     /// healthy runs.
     pub failed_ops: Vec<OpToken>,
+    /// Every control directive applied during the run, in application
+    /// order. Empty unless a controller was installed (or a directive
+    /// was applied by hand); the full mitigation decision sequence is
+    /// replayable from this alone.
+    pub directives: Vec<DirectiveRecord>,
     /// Simulation end time.
     pub end: SimTime,
     /// Events the simulation loop delivered to produce this trace. Not

@@ -39,6 +39,11 @@ pub enum QiError {
     /// operation (model shape mismatch, unknown version, bad engine
     /// configuration, unknown tenant).
     Serve(String),
+    /// The mitigation control plane rejected a configuration or a
+    /// directive (control loop built without a policy, a rate limit
+    /// that is not finite and positive, an actuator target outside the
+    /// cluster, a hysteresis setting that can never engage).
+    Control(String),
     /// A monitor-layer failure, wrapping the underlying error.
     Monitor {
         /// What the monitor was doing.
@@ -77,6 +82,7 @@ impl fmt::Display for QiError {
             ),
             QiError::Pipeline(msg) => write!(f, "pipeline failure: {msg}"),
             QiError::Serve(msg) => write!(f, "serving failure: {msg}"),
+            QiError::Control(msg) => write!(f, "control failure: {msg}"),
             QiError::Monitor { context, source } => {
                 write!(f, "monitor failure while {context}: {source}")
             }
@@ -149,6 +155,15 @@ mod tests {
         assert!(s.contains("loading model version 2"));
         assert!(s.contains("window=1000ms"));
         assert!(s.contains("window=2000ms"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn control_variant_displays_message() {
+        let e = QiError::Control("rate limit must be positive".into());
+        let s = e.to_string();
+        assert!(s.contains("control failure"));
+        assert!(s.contains("rate limit must be positive"));
         assert!(e.source().is_none());
     }
 

@@ -199,70 +199,19 @@ impl RankProgram for DelayedProgram {
     }
 }
 
-/// A time-window throttle plan for interference mitigation: during the
-/// listed windows the wrapped program pauses instead of issuing I/O —
-/// the rate-limiting action a token-bucket scheduler (Qian et al.'s TBF,
-/// cited by the paper) would take when the predictor flags a window.
-#[derive(Clone, Debug)]
-pub struct ThrottleSchedule {
-    /// Window length the plan is expressed in.
-    pub window: SimDuration,
-    /// Window indices during which the program must back off.
-    pub windows: std::collections::HashSet<u64>,
-    /// How long to pause before re-checking the schedule.
-    pub pause: SimDuration,
-}
-
-impl ThrottleSchedule {
-    /// A plan throttling exactly `windows` (of length `window`).
-    pub fn new(window: SimDuration, windows: std::collections::HashSet<u64>) -> Self {
-        ThrottleSchedule {
-            window,
-            windows,
-            pause: SimDuration::from_millis(20),
-        }
-    }
-
-    /// Whether the instant `now` falls in a throttled window.
-    pub fn throttled(&self, now: SimTime) -> bool {
-        let w = now.as_nanos() / self.window.as_nanos().max(1);
-        self.windows.contains(&w)
-    }
-}
-
-/// Wraps a program so it pauses during throttled windows. Unlike the
-/// script programs, this wrapper IS timing-dependent by design — it is a
-/// mitigation actuator, not a measured workload.
-pub struct ThrottledProgram {
-    inner: Box<dyn RankProgram>,
-    schedule: std::sync::Arc<ThrottleSchedule>,
-}
-
-impl ThrottledProgram {
-    /// Throttle `inner` according to `schedule`.
-    pub fn new(inner: Box<dyn RankProgram>, schedule: std::sync::Arc<ThrottleSchedule>) -> Self {
-        ThrottledProgram { inner, schedule }
-    }
-}
-
-impl RankProgram for ThrottledProgram {
-    fn next(&mut self, now: SimTime) -> ProgramStep {
-        if self.schedule.throttled(now) {
-            ProgramStep::Compute(self.schedule.pause)
-        } else {
-            self.inner.next(now)
-        }
-    }
-}
-
 /// Install a workload on the cluster: precreate its inputs and register
 /// its ranks as an application on `nodes`. When `looping` is set the
 /// ranks replay their scripts forever (interference mode); otherwise the
 /// application finishes after one pass (target mode). `start_delay`
-/// holds every rank in compute before its first operation; `throttle`
-/// optionally rate-limits the ranks per a mitigation plan.
+/// holds every rank in compute before its first operation.
+///
+/// Mitigation is NOT deployed here: rate limiting, admission caps, and
+/// layout steering are server-side actuators applied through
+/// `qi_pfs::cluster::Cluster::apply_directive` (normally by an installed
+/// `qi-control` control loop), so workload programs stay
+/// timing-independent.
 #[allow(clippy::too_many_arguments)]
-pub fn deploy_full(
+pub fn deploy_delayed(
     cl: &mut Cluster,
     workload: &Arc<dyn Workload>,
     ranks: u32,
@@ -270,7 +219,6 @@ pub fn deploy_full(
     seed: u64,
     looping: bool,
     start_delay: SimDuration,
-    throttle: Option<std::sync::Arc<ThrottleSchedule>>,
 ) -> AppId {
     assert!(ranks > 0);
     let ns = cl.next_app_id();
@@ -299,10 +247,6 @@ pub fn deploy_full(
                     workload.script(ns, r, ranks, seed, &cfg),
                 ))
             };
-            let inner: Box<dyn RankProgram> = match &throttle {
-                Some(sched) => Box::new(ThrottledProgram::new(inner, Arc::clone(sched))),
-                None => inner,
-            };
             if start_delay > SimDuration::ZERO {
                 Box::new(DelayedProgram::new(start_delay, inner))
             } else {
@@ -313,20 +257,6 @@ pub fn deploy_full(
     let app = cl.add_app(&workload.name(), programs, nodes);
     debug_assert_eq!(app, ns, "namespace/app id mismatch");
     app
-}
-
-/// [`deploy_full`] without a throttle plan.
-#[allow(clippy::too_many_arguments)]
-pub fn deploy_delayed(
-    cl: &mut Cluster,
-    workload: &Arc<dyn Workload>,
-    ranks: u32,
-    nodes: &[NodeId],
-    seed: u64,
-    looping: bool,
-    start_delay: SimDuration,
-) -> AppId {
-    deploy_full(cl, workload, ranks, nodes, seed, looping, start_delay, None)
 }
 
 /// [`deploy_delayed`] with no start delay.

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Reproduce BENCH_parallel.json, BENCH_serve.json, and BENCH_sim.json:
-# build in release mode, run the fault-injection smoke sweep, the
-# online-serving loop, and the simulator-core differential replay
-# harness (all replay-determinism gates), then the parallel execution
-# bench at 1/2/N threads, the serving-throughput bench, and the
-# simulator-core scaling bench, leaving the JSON reports at the
-# repository root.
+# Reproduce BENCH_parallel.json, BENCH_serve.json, BENCH_sim.json, and
+# BENCH_control.json: build in release mode, run the fault-injection
+# smoke sweep, the online-serving loop, and the simulator-core
+# differential replay harness (all replay-determinism gates), then the
+# parallel execution bench at 1/2/N threads, the serving-throughput
+# bench, the simulator-core scaling bench, and the closed-loop control
+# bench, leaving the JSON reports at the repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run (5 samples per point, 512^3 matmul)
@@ -27,6 +27,13 @@
 #                            (re-baselining on different hardware)
 #   QI_SKIP_SIM=1            skip the sim-equivalence harness + scaling bench
 #   QI_SKIP_SIM_GATE=1       run the scaling bench but waive its 3x gate
+#   QI_CONTROL_OUT=path.json where to write the closed-loop report
+#   QI_SKIP_CONTROL=1        skip the control-determinism harness + the
+#                            closed-loop bench
+#   QI_SKIP_CONTROL_GATE=1   run the closed-loop bench but waive its
+#                            mitigated<=unmitigated / guided-beats-uniform
+#                            gate (recorded in the JSON); the controlled
+#                            replay determinism gate is NEVER waived
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,6 +82,25 @@ if [[ "${QI_SKIP_SIM:-}" != "1" ]]; then
         env -u QI_BENCH_OUT "${sim_env[@]}" cargo bench -p qi-bench --bench sim_scale
     else
         env -u QI_BENCH_OUT cargo bench -p qi-bench --bench sim_scale
+    fi
+fi
+
+# Closed-loop control: the controlled-replay determinism harness
+# (guided + uniform controllers, healthy + faulted, byte-identical
+# traces, directive sequences, and telemetry across 1/2/8 threads and
+# reruns, plus the hysteresis-gate property test), then the closed-loop
+# bench: guided vs uniform throttling across three interference regimes
+# with a hard gate — in every regime the guided run must not be slower
+# than the unmitigated run, must emit directives, and must cost less
+# background throughput than uniform throttling (QI_SKIP_CONTROL_GATE=1
+# to waive). Controller overhead per simulated window and the full
+# guided/uniform table land in BENCH_control.json.
+if [[ "${QI_SKIP_CONTROL:-}" != "1" ]]; then
+    cargo test --release -q --test control_determinism
+    if [[ -n "${QI_CONTROL_OUT:-}" ]]; then
+        QI_BENCH_OUT="$QI_CONTROL_OUT" cargo bench -p qi-bench --bench control_loop
+    else
+        env -u QI_BENCH_OUT cargo bench -p qi-bench --bench control_loop
     fi
 fi
 

@@ -14,6 +14,8 @@
 //! - [`ml`] — the from-scratch kernel-based neural network (paper §III-C).
 //! - [`telemetry`] — deterministic metrics registry and snapshot renderers.
 //! - [`serve`] — online prediction service (model registry, micro-batching).
+//! - [`control`] — the online mitigation control plane (policies,
+//!   hysteresis gate, in-simulation control loop).
 //! - [`framework`] — scenarios, labelling, datasets, training, prediction.
 //!
 //! Quick start (see `examples/quickstart.rs` for the full version):
@@ -44,6 +46,7 @@
 
 pub mod serve_demo;
 
+pub use qi_control as control;
 pub use qi_faults as faults;
 pub use qi_ml as ml;
 pub use qi_monitor as monitor;
