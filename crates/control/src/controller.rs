@@ -130,8 +130,15 @@ impl ControlLoop {
         let ops = &ops[..ops.partition_point(|o| o.completed <= bound)];
         let rpcs = &trace.rpcs[self.cur_rpc..];
         let rpcs = &rpcs[..rpcs.partition_point(|r| r.issued <= bound)];
-        let samples = &trace.samples[self.cur_sample..];
-        let samples = &samples[..samples.partition_point(|s| s.time <= bound)];
+        // The sample store may be a bounded ring; read it through the
+        // logical-index accessor, which resumes exactly where the last
+        // tick stopped regardless of representation.
+        let samples: Vec<_> = trace
+            .samples
+            .iter_from(self.cur_sample as u64)
+            .take_while(|s| s.time <= bound)
+            .collect();
+        let samples = &samples[..];
         self.cur_op += ops.len();
         self.cur_rpc += rpcs.len();
         self.cur_sample += samples.len();

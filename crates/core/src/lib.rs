@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+pub mod anomaly;
 pub mod dataset;
 pub mod experiments;
 pub mod importance;
@@ -43,6 +44,7 @@ pub mod scenario;
 /// cluster construction, fault injection, dataset generation, and the
 /// training/prediction pipeline.
 pub mod prelude {
+    pub use crate::anomaly::{feature_rows, AnomalyDetector, AnomalyReport, WindowScore};
     pub use crate::dataset::{
         generate, generate_on, window_vectors, window_vectors_with, DatasetSpec, FaultSpec,
         GeneratedDataset, SampleMeta,
@@ -61,8 +63,10 @@ pub mod prelude {
         UniformThrottle, WindowObservation,
     };
     pub use qi_faults::{FaultEvent, FaultPlan, RetryPolicy};
+    pub use qi_ml::anomaly::{AnomalyScorer, AnomalyVerdict, ForestConfig, IsolationForest};
     pub use qi_ml::train::TrainConfig;
     pub use qi_monitor::features::{FeatureAvailability, FeatureConfig, Imputation};
+    pub use qi_monitor::sampler::{AdaptiveSampler, SamplerConfig, SamplerStats};
     pub use qi_monitor::schema::{FeatureSchema, SCHEMA_VERSION};
     pub use qi_monitor::window::WindowConfig;
     pub use qi_pfs::cluster::{Cluster, ClusterBuilder};

@@ -1,0 +1,540 @@
+//! Unsupervised anomaly scoring: a deterministic isolation forest.
+//!
+//! The paper's classifier (§III-C) can only recognise interference
+//! regimes it was trained on. This module adds the observability half
+//! for *novel* degradation: an isolation forest (Liu et al., 2008)
+//! fitted on healthy-baseline window vectors from the one
+//! [`FeaturePipeline`](qi_monitor::pipeline::FeaturePipeline)
+//! featurization path, scoring each window by how easy it is to isolate
+//! with random axis-aligned splits. Faulted windows sit far from the
+//! healthy manifold, take few splits to isolate, and score near 1.
+//!
+//! One departure from the 2008 construction: leaves are
+//! **range-aware** (in the spirit of SCiForest's acceptance ranges).
+//! Simulator feature sets are heavily duplicated — distinct seeds
+//! produce many identical healthy windows — so multi-point leaves are
+//! usually *pure* clusters that no axis-aligned cut can subdivide. The
+//! textbook scoring rule grants every point landing in a leaf the full
+//! `c(size)` average-subtree credit, which hands an out-of-manifold
+//! window the same long path as the duplicates it rode in with and
+//! caps its score at the healthy ceiling. Each leaf therefore records
+//! the bounding box of its training points: a scored point inside the
+//! box earns the usual `c(size)` credit, while a point outside it
+//! would be separated from the cluster by roughly one more cut and
+//! earns exactly `+1`.
+//!
+//! Determinism contract (the headline differential suite pins it):
+//!
+//! - All randomness flows from per-tree [`SimRng`] substreams derived
+//!   from `ForestConfig::seed` alone — fitting is single-threaded and
+//!   split order is fixed, so the forest is a pure function of
+//!   `(row multiset, config)`.
+//! - Training rows are first sorted into a canonical content order
+//!   (lexicographic `f32::total_cmp`), so *permuting* the training rows
+//!   yields a bit-identical forest.
+//! - Scoring a vector is a pure function of the vector, so duplicate
+//!   points score equal and thread pools cannot perturb results;
+//!   [`IsolationForest::score_batch`] fans rows out over rayon and
+//!   collects in index order, byte-identical at any worker count.
+
+use qi_simkit::rng::SimRng;
+use qi_simkit::stats::percentile;
+use rayon::prelude::*;
+
+/// Euler–Mascheroni constant, for the average BST path length.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Average unsuccessful-search path length of a BST over `n` points —
+/// the isolation-forest normaliser `c(n)`.
+fn avg_path(n: u64) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        2 => 1.0,
+        _ => {
+            let n = n as f64;
+            2.0 * ((n - 1.0).ln() + EULER_GAMMA) - 2.0 * (n - 1.0) / n
+        }
+    }
+}
+
+/// Isolation-forest hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForestConfig {
+    /// Trees in the ensemble.
+    pub n_trees: usize,
+    /// Subsample size ψ per tree (capped at the training-set size).
+    pub sample_size: usize,
+    /// Seed for the per-tree [`SimRng`] substreams.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            sample_size: 256,
+            seed: 0,
+        }
+    }
+}
+
+/// One node of an isolation tree, stored in a flat arena.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    /// Unsplit external node holding `size` training points. `bbox`
+    /// indexes the tree's bounding-box arena (in units of `2 × dim`
+    /// floats); [`NO_BBOX`] for leaves of fewer than two points, which
+    /// never consult it.
+    Leaf { size: u32, bbox: u32 },
+    /// `x[dim] < thresh` goes left, else right.
+    Split {
+        dim: u32,
+        thresh: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// Bounding-box sentinel for leaves that carry none.
+const NO_BBOX: u32 = u32::MAX;
+
+/// One isolation tree: a flat node arena (root at index 0) plus the
+/// leaf bounding boxes, flattened `[lo₀, hi₀, lo₁, hi₁, …]` per box.
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+    boxes: Vec<f32>,
+}
+
+/// A fitted ensemble of isolation trees.
+#[derive(Clone, Debug)]
+pub struct IsolationForest {
+    trees: Vec<Tree>,
+    dim: usize,
+    /// Effective subsample size ψ (normalises path lengths).
+    sample_size: u64,
+}
+
+/// Lexicographic total order on feature rows.
+fn row_cmp(a: &[f32], b: &[f32]) -> std::cmp::Ordering {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.total_cmp(y))
+        .find(|o| o.is_ne())
+        .unwrap_or(std::cmp::Ordering::Equal)
+}
+
+impl IsolationForest {
+    /// Fit on `rows` (all the same nonzero length). Panics on an empty
+    /// training set or ragged rows — those are caller bugs, not data
+    /// conditions.
+    pub fn fit(cfg: ForestConfig, rows: &[Vec<f32>]) -> IsolationForest {
+        assert!(!rows.is_empty(), "isolation forest needs training rows");
+        assert!(cfg.n_trees > 0, "isolation forest needs at least one tree");
+        let dim = rows[0].len();
+        assert!(dim > 0, "feature rows must be non-empty");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "ragged feature rows: expected dim {dim}"
+        );
+        let n = rows.len();
+        let psi = cfg.sample_size.clamp(1, n);
+        let max_depth = if psi > 1 {
+            (usize::BITS - (psi - 1).leading_zeros()) as usize
+        } else {
+            0
+        };
+        // Canonical content order: permutation invariance. Duplicate
+        // rows tie, but ties carry identical content, so any resolution
+        // builds the same trees.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| row_cmp(&rows[a], &rows[b]));
+        let parent = SimRng::new(cfg.seed);
+        let trees = (0..cfg.n_trees)
+            .map(|t| {
+                let mut rng = parent.substream(0xA0_0000 + t as u64);
+                let perm = rng.permutation(n);
+                let chosen: Vec<usize> = perm[..psi].iter().map(|&i| order[i]).collect();
+                let mut tree = Tree {
+                    nodes: Vec::new(),
+                    boxes: Vec::new(),
+                };
+                build_tree(&mut tree, rows, chosen, 0, max_depth, &mut rng);
+                tree
+            })
+            .collect();
+        IsolationForest {
+            trees,
+            dim,
+            sample_size: psi as u64,
+        }
+    }
+
+    /// Feature dimensionality this forest was fitted on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Anomaly score of `x` in `[0, 1]`: `2^(−E[h(x)]/c(ψ))`. Scores
+    /// near 1 isolate in far fewer splits than a healthy point; scores
+    /// near or below 0.5 are unremarkable.
+    pub fn score(&self, x: &[f32]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dim mismatch");
+        let denom = avg_path(self.sample_size);
+        if denom <= 0.0 {
+            // ψ = 1: every path has length 0; no isolation signal.
+            return 0.5;
+        }
+        let total: f64 = self.trees.iter().map(|t| path_length(t, x, self.dim)).sum();
+        let mean = total / self.trees.len() as f64;
+        2f64.powf(-mean / denom).clamp(0.0, 1.0)
+    }
+
+    /// Score many rows, fanned out over the current rayon pool and
+    /// collected in index order (byte-identical at any thread count).
+    pub fn score_batch(&self, rows: &[Vec<f32>]) -> Vec<f64> {
+        rows.par_iter().map(|r| self.score(r)).collect()
+    }
+}
+
+/// Observed `[lo, hi]` of dimension `d` among `items` (total-order
+/// comparisons, so NaNs cannot poison the range).
+fn dim_range(rows: &[Vec<f32>], items: &[usize], d: usize) -> (f32, f32) {
+    let mut lo = rows[items[0]][d];
+    let mut hi = lo;
+    for &i in &items[1..] {
+        let v = rows[i][d];
+        if v.total_cmp(&lo).is_lt() {
+            lo = v;
+        }
+        if v.total_cmp(&hi).is_gt() {
+            hi = v;
+        }
+    }
+    (lo, hi)
+}
+
+/// Register the bounding box of `items` in the tree's box arena (for
+/// leaves of two or more points; smaller leaves take [`NO_BBOX`]).
+fn push_bbox(tree: &mut Tree, rows: &[Vec<f32>], items: &[usize]) -> u32 {
+    if items.len() < 2 {
+        return NO_BBOX;
+    }
+    let dim = rows[items[0]].len();
+    let idx = (tree.boxes.len() / (2 * dim)) as u32;
+    for d in 0..dim {
+        let (lo, hi) = dim_range(rows, items, d);
+        tree.boxes.push(lo);
+        tree.boxes.push(hi);
+    }
+    idx
+}
+
+/// Recursively build one isolation tree over `items` (indices into
+/// `rows`), returning the arena index of the built node.
+fn build_tree(
+    tree: &mut Tree,
+    rows: &[Vec<f32>],
+    items: Vec<usize>,
+    depth: usize,
+    max_depth: usize,
+    rng: &mut SimRng,
+) -> u32 {
+    let here = tree.nodes.len() as u32;
+    if items.len() <= 1 || depth >= max_depth {
+        let bbox = push_bbox(tree, rows, &items);
+        tree.nodes.push(Node::Leaf {
+            size: items.len() as u32,
+            bbox,
+        });
+        return here;
+    }
+    // Dims with spread among the points at this node.
+    let dim = rows[items[0]].len();
+    let mut splittable = Vec::new();
+    for d in 0..dim {
+        let (lo, hi) = dim_range(rows, &items, d);
+        if lo.total_cmp(&hi).is_lt() {
+            splittable.push((d, lo, hi));
+        }
+    }
+    if splittable.is_empty() {
+        // All remaining points identical: a pure leaf (its bounding
+        // box is the one shared point).
+        let bbox = push_bbox(tree, rows, &items);
+        tree.nodes.push(Node::Leaf {
+            size: items.len() as u32,
+            bbox,
+        });
+        return here;
+    }
+    let (d, lo, hi) = splittable[rng.index(splittable.len())];
+    let thresh = rng.range_f64(lo as f64, hi as f64) as f32;
+    let (left_items, right_items): (Vec<usize>, Vec<usize>) =
+        items.iter().partition(|&&i| rows[i][d] < thresh);
+    // Reserve the split slot, then build children (left first: fixed
+    // split order is part of the determinism contract).
+    tree.nodes.push(Node::Leaf {
+        size: 0,
+        bbox: NO_BBOX,
+    });
+    let left = build_tree(tree, rows, left_items, depth + 1, max_depth, rng);
+    let right = build_tree(tree, rows, right_items, depth + 1, max_depth, rng);
+    tree.nodes[here as usize] = Node::Split {
+        dim: d as u32,
+        thresh,
+        left,
+        right,
+    };
+    here
+}
+
+/// Path length of `x` through one tree: splits taken, plus the average
+/// sub-tree depth `c(size)` of the leaf it lands in when `x` sits
+/// inside the leaf's bounding box — or `+1` when it does not (one more
+/// cut would separate it from the leaf cluster; see the module docs).
+fn path_length(tree: &Tree, x: &[f32], dim: usize) -> f64 {
+    let mut at = 0u32;
+    let mut depth = 0u64;
+    loop {
+        match tree.nodes[at as usize] {
+            Node::Leaf { size, bbox } => {
+                if size < 2 {
+                    return depth as f64;
+                }
+                let b = bbox as usize * 2 * dim;
+                let inside = (0..dim)
+                    .all(|d| tree.boxes[b + 2 * d] <= x[d] && x[d] <= tree.boxes[b + 2 * d + 1]);
+                return if inside {
+                    depth as f64 + avg_path(size as u64)
+                } else {
+                    depth as f64 + 1.0
+                };
+            }
+            Node::Split {
+                dim,
+                thresh,
+                left,
+                right,
+            } => {
+                at = if x[dim as usize] < thresh {
+                    left
+                } else {
+                    right
+                };
+                depth += 1;
+            }
+        }
+    }
+}
+
+/// One thresholded scoring decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnomalyVerdict {
+    /// Isolation score of the window in `[0, 1]`.
+    pub score: f64,
+    /// Healthy-calibration threshold the score was compared against.
+    pub threshold: f64,
+    /// `score > threshold` (strict).
+    pub anomalous: bool,
+}
+
+/// A forest plus a threshold calibrated on its healthy training scores.
+#[derive(Clone, Debug)]
+pub struct AnomalyScorer {
+    forest: IsolationForest,
+    threshold: f64,
+}
+
+impl AnomalyScorer {
+    /// Fit a forest on healthy window vectors and set the alert
+    /// threshold at the `pct`-th percentile (e.g. 95.0) of the training
+    /// rows' own scores — the ROC operating point the differential
+    /// suite checks faulted windows against.
+    pub fn fit_healthy(cfg: ForestConfig, rows: &[Vec<f32>], pct: f64) -> AnomalyScorer {
+        let forest = IsolationForest::fit(cfg, rows);
+        let scores = forest.score_batch(rows);
+        let threshold = percentile(&scores, pct);
+        AnomalyScorer { forest, threshold }
+    }
+
+    /// The calibrated alert threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The underlying forest.
+    pub fn forest(&self) -> &IsolationForest {
+        &self.forest
+    }
+
+    /// Score one window vector.
+    pub fn score(&self, x: &[f32]) -> f64 {
+        self.forest.score(x)
+    }
+
+    /// Score and threshold one window vector.
+    pub fn verdict(&self, x: &[f32]) -> AnomalyVerdict {
+        let score = self.forest.score(x);
+        AnomalyVerdict {
+            score,
+            threshold: self.threshold,
+            anomalous: score > self.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tight healthy cluster plus knobs for outliers.
+    fn cluster_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal(1.0, 0.05) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn refit_is_bit_identical() {
+        let rows = cluster_rows(200, 6, 11);
+        let cfg = ForestConfig {
+            n_trees: 25,
+            sample_size: 64,
+            seed: 5,
+        };
+        let a = IsolationForest::fit(cfg, &rows);
+        let b = IsolationForest::fit(cfg, &rows);
+        for r in &rows {
+            assert_eq!(a.score(r).to_bits(), b.score(r).to_bits());
+        }
+    }
+
+    #[test]
+    fn outliers_score_above_the_cluster() {
+        let rows = cluster_rows(300, 4, 3);
+        let f = IsolationForest::fit(
+            ForestConfig {
+                n_trees: 50,
+                sample_size: 128,
+                seed: 9,
+            },
+            &rows,
+        );
+        let healthy_max = rows
+            .iter()
+            .map(|r| f.score(r))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let outlier = vec![25.0f32; 4];
+        assert!(
+            f.score(&outlier) > healthy_max,
+            "outlier {} vs healthy max {healthy_max}",
+            f.score(&outlier)
+        );
+    }
+
+    #[test]
+    fn scores_are_finite_unit_interval() {
+        let rows = cluster_rows(50, 3, 1);
+        let f = IsolationForest::fit(ForestConfig::default(), &rows);
+        for r in &rows {
+            let s = f.score(r);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let rows = cluster_rows(80, 5, 2);
+        let f = IsolationForest::fit(
+            ForestConfig {
+                n_trees: 10,
+                sample_size: 32,
+                seed: 1,
+            },
+            &rows,
+        );
+        let batch = f.score_batch(&rows);
+        for (r, s) in rows.iter().zip(&batch) {
+            assert_eq!(f.score(r).to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn scorer_thresholds_at_the_percentile() {
+        let rows = cluster_rows(100, 4, 8);
+        let sc = AnomalyScorer::fit_healthy(
+            ForestConfig {
+                n_trees: 30,
+                sample_size: 64,
+                seed: 4,
+            },
+            &rows,
+            95.0,
+        );
+        // ~5% of training rows sit above their own p95.
+        let above = rows.iter().filter(|r| sc.verdict(r).anomalous).count();
+        assert!(
+            above <= rows.len() / 10,
+            "{above} of {} flagged",
+            rows.len()
+        );
+        let v = sc.verdict(&[50.0f32; 4]);
+        assert!(v.anomalous);
+        assert_eq!(v.threshold, sc.threshold());
+        assert!(v.score > v.threshold);
+    }
+
+    #[test]
+    fn duplicate_heavy_training_still_exposes_outliers() {
+        // Three distinct healthy windows, each repeated 40× — the
+        // simulator-trace shape that defeats textbook leaf credit.
+        // Range-aware leaves must still put a novel point above every
+        // healthy score.
+        let mut rows = Vec::new();
+        for _ in 0..40 {
+            rows.push(vec![1.0f32, 2.0, 3.0]);
+            rows.push(vec![1.5f32, 2.5, 3.5]);
+            rows.push(vec![0.5f32, 1.5, 2.5]);
+        }
+        let f = IsolationForest::fit(
+            ForestConfig {
+                n_trees: 50,
+                sample_size: 64,
+                seed: 2,
+            },
+            &rows,
+        );
+        let healthy_max = rows
+            .iter()
+            .map(|r| f.score(r))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let novel = f.score(&[8.0, 0.1, 9.0]);
+        assert!(
+            novel > healthy_max,
+            "novel {novel} vs healthy max {healthy_max}"
+        );
+    }
+
+    #[test]
+    fn degenerate_single_row_training() {
+        let rows = vec![vec![1.0f32, 2.0]];
+        let f = IsolationForest::fit(
+            ForestConfig {
+                n_trees: 5,
+                sample_size: 64,
+                seed: 0,
+            },
+            &rows,
+        );
+        // ψ = 1: no isolation signal, everything scores 0.5.
+        assert_eq!(f.score(&[1.0, 2.0]), 0.5);
+        assert_eq!(f.score(&[9.0, 9.0]), 0.5);
+    }
+}

@@ -10,6 +10,8 @@
 //! matters more than GPU throughput here: training is seeded and
 //! bit-deterministic.
 //!
+//! - [`anomaly`] — deterministic isolation forest for unsupervised
+//!   novel-fault detection over pipeline window vectors.
 //! - [`matrix`] — row-major matrix ops (rayon-parallel matmul rows).
 //! - [`layers`] — dense layers / ReLU / MLP with manual backprop.
 //! - [`infer`] — immutable, fused, allocation-free serving forward pass.
@@ -20,6 +22,7 @@
 //! - [`train`] — the training loop.
 //! - [`metrics`] — confusion matrices, precision/recall/F1.
 
+pub mod anomaly;
 pub mod attention;
 pub mod data;
 pub mod infer;
@@ -33,6 +36,7 @@ pub mod regress;
 pub mod serialize;
 pub mod train;
 
+pub use anomaly::{AnomalyScorer, AnomalyVerdict, ForestConfig, IsolationForest};
 pub use attention::AttentionNet;
 pub use data::{Dataset, Standardizer};
 pub use infer::InferScratch;

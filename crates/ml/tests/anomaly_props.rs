@@ -1,0 +1,136 @@
+//! Property-based tests for the deterministic isolation forest.
+//!
+//! The contracts under test are the ones the PR-9 differential suite
+//! leans on: scores are always finite probabilities, the fitted forest
+//! is a pure function of the training *multiset* (permutation
+//! invariant), and scoring is a pure function of the probe vector
+//! (duplicate probes score bit-identically).
+
+use proptest::prelude::*;
+use qi_ml::anomaly::{AnomalyScorer, ForestConfig, IsolationForest};
+
+/// A seeded Fisher–Yates permutation of `0..n` (the vendored proptest
+/// has no shuffle strategy; determinism is a feature here anyway).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Training sets with a shared dimensionality plus probe vectors of the
+/// same dimension.
+fn arb_rows_and_probes() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<Vec<f32>>)> {
+    (1usize..6).prop_flat_map(|dim| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(-1_000.0f32..1_000.0, dim..=dim),
+                1..40,
+            ),
+            prop::collection::vec(
+                prop::collection::vec(-10_000.0f32..10_000.0, dim..=dim),
+                1..10,
+            ),
+        )
+    })
+}
+
+proptest! {
+    /// Every score — on training rows and on arbitrary probes far
+    /// outside the training range — is a finite value in [0, 1].
+    #[test]
+    fn scores_are_finite_unit_interval(
+        rp in arb_rows_and_probes(),
+        n_trees in 1usize..30,
+        sample_size in 1usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let (rows, probes) = rp;
+        let f = IsolationForest::fit(
+            ForestConfig { n_trees, sample_size, seed },
+            &rows,
+        );
+        for r in rows.iter().chain(&probes) {
+            let s = f.score(r);
+            prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    /// Permuting the training rows while keeping the same config yields
+    /// a bit-identical forest: every probe scores to the same bits.
+    #[test]
+    fn training_permutation_is_bit_invariant(
+        rp in arb_rows_and_probes(),
+        perm_seed in 0u64..1_000,
+        seed in 0u64..1_000,
+    ) {
+        let (rows, probes) = rp;
+        let cfg = ForestConfig { n_trees: 10, sample_size: 32, seed };
+        let shuffled: Vec<Vec<f32>> = permutation(rows.len(), perm_seed)
+            .into_iter()
+            .map(|i| rows[i].clone())
+            .collect();
+        let a = IsolationForest::fit(cfg, &rows);
+        let b = IsolationForest::fit(cfg, &shuffled);
+        for p in rows.iter().chain(&probes) {
+            prop_assert_eq!(a.score(p).to_bits(), b.score(p).to_bits());
+        }
+    }
+
+    /// Scoring is pure: duplicate probe vectors score bit-identically,
+    /// serially and through the rayon batch path.
+    #[test]
+    fn duplicate_probes_score_identically(
+        rp in arb_rows_and_probes(),
+        seed in 0u64..1_000,
+    ) {
+        let (rows, probes) = rp;
+        let f = IsolationForest::fit(
+            ForestConfig { n_trees: 8, sample_size: 16, seed },
+            &rows,
+        );
+        let doubled: Vec<Vec<f32>> = probes
+            .iter()
+            .flat_map(|p| [p.clone(), p.clone()])
+            .collect();
+        let batch = f.score_batch(&doubled);
+        for (pair, p) in batch.chunks(2).zip(&probes) {
+            prop_assert_eq!(pair[0].to_bits(), pair[1].to_bits());
+            prop_assert_eq!(pair[0].to_bits(), f.score(p).to_bits());
+        }
+    }
+
+    /// The calibrated threshold is one of the achievable score values'
+    /// interpolation range and flags at most the expected tail of the
+    /// training set itself.
+    #[test]
+    fn healthy_threshold_bounds_the_training_tail(
+        rp in arb_rows_and_probes(),
+        seed in 0u64..1_000,
+    ) {
+        let (rows, _probes) = rp;
+        let sc = AnomalyScorer::fit_healthy(
+            ForestConfig { n_trees: 10, sample_size: 32, seed },
+            &rows,
+            95.0,
+        );
+        prop_assert!(sc.threshold().is_finite());
+        let flagged = rows.iter().filter(|r| sc.verdict(r).anomalous).count();
+        // Strictly-above p95 leaves at most 5% of rows (plus rounding).
+        prop_assert!(
+            flagged * 20 <= rows.len() + 19,
+            "{flagged} of {} above own p95",
+            rows.len()
+        );
+    }
+}

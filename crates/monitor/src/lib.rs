@@ -18,12 +18,16 @@
 //!   `server_windows` is a batch adapter over the pipeline.
 //! - [`features`] — assembly of the per-server vectors fed to the
 //!   kernel-based network (paper §III-C).
+//! - [`sampler`] — the budget-bounded adaptive downsampler that thins
+//!   quiet per-device series (and restores full rate on activity or an
+//!   anomaly alert) before they reach the pipeline.
 //! - [`window`] — shared window indexing.
 
 pub mod client;
 pub mod dxt;
 pub mod features;
 pub mod pipeline;
+pub mod sampler;
 pub mod schema;
 pub mod server;
 pub mod window;
@@ -32,6 +36,7 @@ pub use client::{client_windows, ClientWindow, DevTargeting};
 pub use dxt::{export_dxt, import_dxt, DxtParseError};
 pub use features::{feature_names, server_vector, FeatureConfig, Imputation, N_FEATURES};
 pub use pipeline::{EmittedWindow, FeaturePipeline, OutOfOrder};
+pub use sampler::{AdaptiveSampler, SamplerConfig, SamplerStats};
 pub use schema::{FeatureSchema, SCHEMA_VERSION};
 pub use server::{server_windows, SeriesStats, ServerWindow, N_SERVER_SERIES, SERVER_SERIES};
 pub use window::WindowConfig;

@@ -393,9 +393,10 @@ impl FeaturePipeline {
     pub fn ingest_trace(&mut self, trace: &RunTrace) -> Result<Vec<EmittedWindow>, QiError> {
         let ops: Vec<&OpRecord> = trace.ops.iter().collect();
         let rpcs: Vec<&RpcRecord> = trace.rpcs.iter().collect();
-        let samples: Vec<&ServerSample> = trace.samples.iter().collect();
+        let samples: Vec<ServerSample> = trace.samples.to_vec();
+        let sample_refs: Vec<&ServerSample> = samples.iter().collect();
         let mut out = Vec::new();
-        self.drive_merged(&ops, &rpcs, &samples, &mut out)?;
+        self.drive_merged(&ops, &rpcs, &sample_refs, &mut out)?;
         Ok(out)
     }
 
@@ -404,7 +405,7 @@ impl FeaturePipeline {
     /// time first, so any trace is accepted (already-sorted simulator
     /// traces keep their within-tie order and sort in linear time).
     pub fn run_windows(self, trace: &RunTrace) -> Vec<EmittedWindow> {
-        self.run_streams(&trace.ops, &trace.rpcs, &trace.samples)
+        self.run_streams(&trace.ops, &trace.rpcs, &trace.samples.to_vec())
     }
 
     /// Like [`FeaturePipeline::run_windows`] over bare event slices —
@@ -720,7 +721,8 @@ mod tests {
         let w1 = emitted.iter().find(|e| e.window == 1).expect("window 1");
         assert_eq!(w1.clients[&AppId(0)].reads, 1);
         // And the batch adapter sees the identical split.
-        let batch = crate::server::server_windows(&trace.samples, WindowConfig::seconds(1));
+        let batch =
+            crate::server::server_windows(&trace.samples.to_vec(), WindowConfig::seconds(1));
         assert_eq!(batch[&(DeviceId(0), 0)].series[0].sum, 40.0);
         assert!(!batch.contains_key(&(DeviceId(0), 1)));
     }

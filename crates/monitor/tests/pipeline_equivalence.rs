@@ -111,6 +111,7 @@ fn build_trace(
     trace.rpcs.sort_by_key(|r| r.issued);
     let mut clocks: HashMap<u32, u64> = HashMap::new();
     let mut counters: HashMap<u32, DeviceCounters> = HashMap::new();
+    let mut svec: Vec<ServerSample> = Vec::new();
     for &(
         dev,
         gap_ms,
@@ -130,7 +131,7 @@ fn build_trace(
         c.wait_ns += d_wait;
         c.weighted_depth_ns += d_depth;
         c.busy_ns += d_busy;
-        trace.samples.push(ServerSample {
+        svec.push(ServerSample {
             time: SimTime::from_millis(*t),
             dev: DeviceId(dev),
             counters: *c,
@@ -138,7 +139,8 @@ fn build_trace(
             throttled_now: 0,
         });
     }
-    trace.samples.sort_by_key(|s| s.time);
+    svec.sort_by_key(|s| s.time);
+    trace.samples = svec.into_iter().collect();
     trace
 }
 
@@ -148,17 +150,18 @@ fn build_trace(
 fn stream_trace(trace: &RunTrace, cfg: WindowConfig, n_devices: u32) -> Vec<EmittedWindow> {
     let mut p = FeaturePipeline::new(cfg, FeatureConfig::default(), n_devices);
     let mut emitted = Vec::new();
+    let samples = trace.samples.to_vec();
     let (mut oi, mut ri, mut si) = (0, 0, 0);
     loop {
         let t_op = trace.ops.get(oi).map(|o| o.completed);
         let t_rpc = trace.rpcs.get(ri).map(|r| r.issued);
-        let t_smp = trace.samples.get(si).map(|s| s.time);
+        let t_smp = samples.get(si).map(|s| s.time);
         let Some(next) = [t_smp, t_rpc, t_op].into_iter().flatten().min() else {
             break;
         };
         let step = if t_smp == Some(next) {
             si += 1;
-            p.push_sample(&trace.samples[si - 1])
+            p.push_sample(&samples[si - 1])
         } else if t_rpc == Some(next) {
             ri += 1;
             p.push_rpc(&trace.rpcs[ri - 1])
@@ -226,7 +229,7 @@ proptest! {
         let fcfg = FeatureConfig::default();
 
         let batch_clients = client_windows(&trace, cfg, n_devices);
-        let batch_servers = server_windows(&trace.samples, cfg);
+        let batch_servers = server_windows(&trace.samples.to_vec(), cfg);
         let emitted = stream_trace(&trace, cfg, n_devices);
 
         // Every streamed cell equals its batch counterpart, field for

@@ -32,6 +32,7 @@ use crate::ops::{
     IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
 };
 use crate::queue::{BlockDevice, Dispatch, Member, ReqKind};
+use crate::store::SampleStore;
 
 /// Client-side per-op syscall/dispatch overhead.
 const CLIENT_OP_OVERHEAD: SimDuration = SimDuration::from_micros(5);
@@ -568,7 +569,10 @@ impl Cluster {
             apps: Vec::new(),
             chunk_pending: Slab::with_capacity(64),
             tbf: HashMap::new(),
-            trace: RunTrace::default(),
+            trace: RunTrace {
+                samples: SampleStore::with_config(cfg.trace_store),
+                ..RunTrace::default()
+            },
             rng,
             tele: ClusterTelemetry::new(),
             fault_plan,

@@ -5,6 +5,8 @@
 //! 7200 rpm SATA disks and ~1 GB/s network interfaces.
 
 use qi_simkit::event::QueueBackend;
+
+use crate::store::TraceStoreConfig;
 use qi_simkit::time::SimDuration;
 
 /// Bytes per simulated disk sector.
@@ -238,6 +240,11 @@ pub struct ClusterConfig {
     /// replay harness); this knob exists for performance comparisons
     /// and for driving whole runs through the reference double.
     pub event_queue: QueueBackend,
+    /// Storage policy for the run's server-sample series. The default
+    /// unbounded `Vec` keeps the exact full history (byte-identical to
+    /// prior releases); the RLE ring bounds trace memory on long runs
+    /// and is proven read-equivalent by the differential suite.
+    pub trace_store: TraceStoreConfig,
 }
 
 impl Default for ClusterConfig {
@@ -257,6 +264,7 @@ impl Default for ClusterConfig {
             stripe: StripeConfig::default(),
             sample_interval: SimDuration::from_secs(1),
             event_queue: QueueBackend::Calendar,
+            trace_store: TraceStoreConfig::default(),
         }
     }
 }

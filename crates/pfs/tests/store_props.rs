@@ -1,0 +1,167 @@
+//! Property-based tests for the RLE ring-buffer trace store.
+//!
+//! The store must be a drop-in read-equivalent of the unbounded `Vec`
+//! it replaced: same logical sample sequence when nothing evicts, exact
+//! eviction accounting when capacity bites (including the degenerate
+//! capacities 0 and 1), and per-device suffixes preserved through
+//! wrap-around.
+
+use proptest::prelude::*;
+use qi_pfs::ids::DeviceId;
+use qi_pfs::ops::ServerSample;
+use qi_pfs::queue::DeviceCounters;
+use qi_pfs::store::{SampleStore, TraceStoreConfig};
+use qi_simkit::time::{SimDuration, SimTime};
+
+/// A cluster-shaped stream: per tick, every device reports once (in
+/// device order), with cumulative counters that only move on active
+/// ticks. Folding half the delta draws to zero keeps long idle runs
+/// common, which is what the RLE is for.
+fn build_stream(deltas: &[Vec<u64>], tick_ms: u64) -> Vec<ServerSample> {
+    let n_dev = deltas.first().map(Vec::len).unwrap_or(0);
+    let mut cum = vec![DeviceCounters::default(); n_dev];
+    let mut out = Vec::new();
+    for (t, row) in deltas.iter().enumerate() {
+        let time = SimTime::ZERO + SimDuration::from_millis((t as u64 + 1) * tick_ms);
+        for (d, &delta) in row.iter().enumerate() {
+            cum[d].writes_completed += delta;
+            cum[d].sectors_written += delta * 8;
+            cum[d].wait_ns += delta * 500;
+            out.push(ServerSample {
+                time,
+                dev: DeviceId(d as u32),
+                counters: cum[d],
+                dirty_bytes: delta % 3,
+                throttled_now: 0,
+            });
+        }
+    }
+    out
+}
+
+fn arb_deltas() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    (1usize..5).prop_flat_map(|n_dev| {
+        prop::collection::vec(
+            prop::collection::vec((0u64..40).prop_map(|v| v.saturating_sub(20)), n_dev..=n_dev),
+            0..60,
+        )
+    })
+}
+
+fn fill(cfg: TraceStoreConfig, stream: &[ServerSample]) -> SampleStore {
+    let mut store = SampleStore::with_config(cfg);
+    for s in stream {
+        store.push(*s);
+    }
+    store
+}
+
+proptest! {
+    /// With a capacity nothing evicts under, the ring round-trips the
+    /// exact sample sequence of the unbounded reference — via to_vec,
+    /// via the logical-equality PartialEq, and via iter_from at every
+    /// offset.
+    #[test]
+    fn unevicted_ring_round_trips(
+        deltas in arb_deltas(),
+        tick_ms in 1u64..2_000,
+    ) {
+        let stream = build_stream(&deltas, tick_ms);
+        let reference = fill(TraceStoreConfig::Unbounded, &stream);
+        let ring = fill(
+            TraceStoreConfig::RleRing { capacity: stream.len() + 1 },
+            &stream,
+        );
+        prop_assert_eq!(ring.evicted(), 0);
+        prop_assert_eq!(&ring, &reference);
+        prop_assert_eq!(ring.to_vec(), stream.clone());
+        for from in [0u64, 1, stream.len() as u64 / 2, stream.len() as u64] {
+            let got: Vec<_> = ring.iter_from(from).collect();
+            let want: Vec<_> = stream
+                .iter()
+                .skip(from as usize)
+                .cloned()
+                .collect();
+            prop_assert_eq!(got, want, "iter_from({})", from);
+        }
+    }
+
+    /// Any capacity (including 0 and 1): accounting is exact, iteration
+    /// length matches, and the held samples are a per-device suffix of
+    /// the pushed series — wrap-around never reorders or corrupts.
+    #[test]
+    fn eviction_accounting_is_exact_at_any_capacity(
+        deltas in arb_deltas(),
+        tick_ms in 1u64..2_000,
+        capacity in 0usize..12,
+    ) {
+        let stream = build_stream(&deltas, tick_ms);
+        let store = fill(TraceStoreConfig::RleRing { capacity }, &stream);
+        prop_assert_eq!(store.recorded(), stream.len() as u64);
+        prop_assert_eq!(store.evicted() + store.len() as u64, stream.len() as u64);
+        let held = store.to_vec();
+        prop_assert_eq!(held.len(), store.len());
+        prop_assert_eq!(store.iter().count(), store.len());
+        let n_dev = deltas.first().map(Vec::len).unwrap_or(0);
+        for d in 0..n_dev as u32 {
+            let held_d: Vec<_> = held.iter().filter(|s| s.dev.0 == d).collect();
+            let all_d: Vec<_> = stream.iter().filter(|s| s.dev.0 == d).collect();
+            prop_assert!(held_d.len() <= all_d.len());
+            prop_assert_eq!(
+                &held_d[..],
+                &all_d[all_d.len() - held_d.len()..],
+                "device {} held a non-suffix", d
+            );
+        }
+        // iter_from(evicted) resumes at the oldest held sample.
+        let resumed: Vec<_> = store.iter_from(store.evicted()).collect();
+        prop_assert_eq!(resumed, held);
+    }
+
+    /// Idle devices compress: when every device repeats its counters on
+    /// most ticks, the RLE stores far fewer cells than raw samples.
+    #[test]
+    fn idle_runs_compress(
+        n_dev in 1usize..5,
+        n_ticks in 20usize..120,
+        tick_ms in 1u64..2_000,
+    ) {
+        // Entirely idle after one active tick per device.
+        let mut deltas = vec![vec![1u64; n_dev]];
+        deltas.extend(std::iter::repeat_n(vec![0u64; n_dev], n_ticks - 1));
+        let stream = build_stream(&deltas, tick_ms);
+        let store = fill(
+            TraceStoreConfig::RleRing { capacity: stream.len() },
+            &stream,
+        );
+        prop_assert_eq!(store.to_vec(), stream.clone());
+        // One active + one idle segment per device at most (plus slack
+        // for the live tails): far below the raw count.
+        prop_assert!(
+            store.storage_cells() <= 3 * n_dev,
+            "{} cells for {} samples",
+            store.storage_cells(),
+            stream.len()
+        );
+    }
+
+    /// Logical equality is representation-agnostic: a ring that evicted
+    /// nothing equals the unbounded store, and differs once it evicts.
+    #[test]
+    fn equality_tracks_content_not_backend(
+        deltas in arb_deltas(),
+        tick_ms in 1u64..2_000,
+    ) {
+        let stream = build_stream(&deltas, tick_ms);
+        let unbounded = fill(TraceStoreConfig::Unbounded, &stream);
+        let roomy = fill(
+            TraceStoreConfig::RleRing { capacity: stream.len() + 1 },
+            &stream,
+        );
+        prop_assert_eq!(&roomy, &unbounded);
+        let tight = fill(TraceStoreConfig::RleRing { capacity: 1 }, &stream);
+        if tight.evicted() > 0 {
+            prop_assert_ne!(&tight, &unbounded);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! - [`reference`] — the naive sorted-`Vec` queue double backing the
 //!   differential tests.
 //! - [`rng`] — seeded [`SimRng`] with substream derivation.
+//! - [`ring`] — bounded [`RingBuffer`] with eviction accounting.
 //! - [`stats`] — Welford accumulators, percentiles, histograms, smoothing.
 //! - [`table`] — ASCII/CSV table output for experiment results.
 //! - [`ratelimit`] — a token bucket over simulated time.
@@ -24,6 +25,7 @@ pub mod error;
 pub mod event;
 pub mod ratelimit;
 pub mod reference;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -32,6 +34,7 @@ pub mod time;
 pub use error::QiError;
 pub use event::{EventQueue, QueueBackend};
 pub use ratelimit::TokenBucket;
+pub use ring::RingBuffer;
 pub use rng::SimRng;
 pub use stats::{moving_average, percentile, Histogram, OnlineStats};
 pub use table::{fmt_bytes, fmt_f64, AsciiTable};

@@ -1,0 +1,167 @@
+//! Bounded ring buffer with eviction accounting.
+//!
+//! [`RingBuffer`] is the storage primitive behind the bounded trace
+//! stores: a FIFO that holds at most `capacity` items and evicts from the
+//! front when full, while keeping an exact count of everything it has
+//! ever dropped. That accounting is what lets a bounded store report how
+//! much history it *would* have held, so differential tests and benches
+//! can compare a ring-backed run against an unbounded reference without
+//! guessing.
+//!
+//! Degenerate capacities are well defined: a capacity-0 ring immediately
+//! evicts every push (it still counts them), and a capacity-1 ring holds
+//! only the most recent item.
+
+use std::collections::VecDeque;
+
+/// A FIFO buffer holding at most `capacity` items, evicting the oldest
+/// on overflow and counting every eviction.
+#[derive(Clone, Debug)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Create an empty ring holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            // Degenerate capacities must not pre-reserve huge blocks.
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Maximum number of items held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Items evicted (dropped from the front) since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Items ever pushed: still held plus evicted.
+    pub fn pushed(&self) -> u64 {
+        self.evicted + self.buf.len() as u64
+    }
+
+    /// Append `item`, returning the evicted item if the ring was full.
+    ///
+    /// With `capacity == 0` the pushed item itself is returned (and
+    /// counted as evicted) without ever being stored.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return Some(item);
+        }
+        let dropped = if self.buf.len() == self.capacity {
+            self.evicted += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        dropped
+    }
+
+    /// Oldest held item.
+    pub fn front(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Newest held item.
+    pub fn back(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Mutable access to the newest held item (used by run-length
+    /// stores to extend the live tail in place).
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        self.buf.back_mut()
+    }
+
+    /// Item at position `i` from the front (0 = oldest).
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.buf.get(i)
+    }
+
+    /// Iterate held items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_up_to_capacity() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        for i in 0..3 {
+            assert_eq!(r.push(i), None);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn evicts_oldest_first() {
+        let mut r = RingBuffer::new(2);
+        r.push(10);
+        r.push(11);
+        assert_eq!(r.push(12), Some(10));
+        assert_eq!(r.push(13), Some(11));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![12, 13]);
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.pushed(), 4);
+        assert_eq!(r.front(), Some(&12));
+        assert_eq!(r.back(), Some(&13));
+    }
+
+    #[test]
+    fn capacity_zero_drops_everything() {
+        let mut r = RingBuffer::new(0);
+        for i in 0..5 {
+            assert_eq!(r.push(i), Some(i));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.evicted(), 5);
+        assert_eq!(r.pushed(), 5);
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest() {
+        let mut r = RingBuffer::new(1);
+        assert_eq!(r.push('a'), None);
+        assert_eq!(r.push('b'), Some('a'));
+        assert_eq!(r.back(), Some(&'b'));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn back_mut_edits_tail() {
+        let mut r = RingBuffer::new(4);
+        r.push(1);
+        r.push(2);
+        *r.back_mut().unwrap() = 9;
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 9]);
+        assert_eq!(r.get(1), Some(&9));
+    }
+}

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Reproduce BENCH_parallel.json, BENCH_serve.json, BENCH_sim.json, and
-# BENCH_control.json: build in release mode, run the fault-injection
-# smoke sweep, the online-serving loop, and the simulator-core
-# differential replay harness (all replay-determinism gates), then the
+# Reproduce BENCH_parallel.json, BENCH_serve.json, BENCH_sim.json,
+# BENCH_control.json, and BENCH_anomaly.json: build in release mode,
+# run the fault-injection smoke sweep, the online-serving loop, the
+# simulator-core differential replay harness, and the anomaly-detection
+# differential harness (all replay-determinism gates), then the
 # parallel execution bench at 1/2/N threads, the serving-throughput
-# bench, the simulator-core scaling bench, and the closed-loop control
-# bench, leaving the JSON reports at the repository root.
+# bench, the simulator-core scaling bench, the closed-loop control
+# bench, and the anomaly-scale bench, leaving the JSON reports at the
+# repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run (5 samples per point, 512^3 matmul)
@@ -34,6 +36,13 @@
 #                            mitigated<=unmitigated / guided-beats-uniform
 #                            gate (recorded in the JSON); the controlled
 #                            replay determinism gate is NEVER waived
+#   QI_ANOMALY_OUT=path.json where to write the anomaly report
+#   QI_SKIP_ANOMALY=1        skip the anomaly differential harness + the
+#                            anomaly-scale bench
+#   QI_SKIP_ANOMALY_GATE=1   run the anomaly bench but waive its
+#                            >=30%-ingest-saved / zero-drift gate
+#                            (recorded in the JSON); the scorer/sampler/
+#                            store determinism gates are NEVER waived
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,6 +110,25 @@ if [[ "${QI_SKIP_CONTROL:-}" != "1" ]]; then
         QI_BENCH_OUT="$QI_CONTROL_OUT" cargo bench -p qi-bench --bench control_loop
     else
         env -u QI_BENCH_OUT cargo bench -p qi-bench --bench control_loop
+    fi
+fi
+
+# Anomaly detection & adaptive monitoring: the differential harness
+# (scorer bit-determinism across reruns and 1/2/8-thread pools,
+# unbounded-sampler pass-through equivalence, ring-store vs unbounded
+# read-back equivalence, faulted-above-healthy-p95 ROC separation),
+# then the scale bench: isolation-forest scoring throughput, sampler
+# ingest reduction on a quiet synthetic cluster and on the faulted
+# session, and the RLE ring's memory proxy, written to
+# BENCH_anomaly.json. The bench enforces >=30% ingest saved on both
+# regimes at zero window-boundary counter drift (QI_SKIP_ANOMALY_GATE=1
+# to waive; recorded in the JSON).
+if [[ "${QI_SKIP_ANOMALY:-}" != "1" ]]; then
+    cargo test --release -q --test anomaly_detection
+    if [[ -n "${QI_ANOMALY_OUT:-}" ]]; then
+        QI_BENCH_OUT="$QI_ANOMALY_OUT" cargo bench -p qi-bench --bench anomaly_scale
+    else
+        env -u QI_BENCH_OUT cargo bench -p qi-bench --bench anomaly_scale
     fi
 fi
 

@@ -1,0 +1,193 @@
+//! The canonical anomaly-detection session, shared by the golden
+//! snapshot in `tests/telemetry_golden.rs` and the differential
+//! harness in `tests/anomaly_detection.rs`.
+//!
+//! One fixed, smoke-scale story: fit a deterministic isolation forest
+//! on three healthy baseline runs, then score (a) a *held-out* healthy
+//! run the forest never saw, (b) the same held-out run executed under
+//! an aggressive fault plan (one disk slowed 7×, plus an MDS lock
+//! storm) — faults **outside** the supervised label space — and (c)
+//! the faulted run again behind the budget-bounded adaptive sampler.
+//! Everything is seeded and driven from simulated time, so the whole
+//! session — scores, verdicts, sampler accounting, telemetry — is
+//! byte-identical across reruns and worker-thread counts.
+
+use qi_telemetry::MetricsSnapshot;
+
+use crate::framework::prelude::*;
+use qi_simkit::time::{SimDuration, SimTime};
+
+/// Everything one anomaly session produced.
+pub struct AnomalySession {
+    /// The healthy-p95 verdict threshold the detector fitted.
+    pub threshold: f64,
+    /// Report on the held-out healthy run (no sampler).
+    pub healthy: AnomalyReport,
+    /// Report on the faulted run (no sampler).
+    pub faulted: AnomalyReport,
+    /// Report on the faulted run read through the adaptive sampler.
+    pub sampled: AnomalyReport,
+    /// The three reports' telemetry folded under the `healthy.`,
+    /// `faulted.`, and `sampled.` prefixes — the golden artefact.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl AnomalySession {
+    /// The detection invariant of the session: the faulted run must
+    /// stand out (its peak score clears the healthy threshold and at
+    /// least one window is flagged, sampled or not), the held-out
+    /// healthy run must stay mostly quiet, and the sampler must have
+    /// actually saved ingest. Returns the first violation, if any.
+    pub fn check_detection(&self) -> Result<(), String> {
+        if self.faulted.max_score() <= self.threshold {
+            return Err(format!(
+                "faulted peak score {:.4} does not clear the healthy threshold {:.4}",
+                self.faulted.max_score(),
+                self.threshold
+            ));
+        }
+        if self.faulted.n_flagged() == 0 {
+            return Err("faulted run raised no anomaly verdicts".into());
+        }
+        if self.sampled.n_flagged() == 0 {
+            return Err("sampled faulted run raised no anomaly verdicts".into());
+        }
+        // The held-out healthy run should look like the training
+        // distribution: no more than a quarter of its windows flagged.
+        if self.healthy.n_flagged() * 4 > self.healthy.scores.len() {
+            return Err(format!(
+                "held-out healthy run flagged {}/{} windows",
+                self.healthy.n_flagged(),
+                self.healthy.scores.len()
+            ));
+        }
+        let stats = self
+            .sampled
+            .sampler
+            .as_ref()
+            .ok_or("sampled report carries no sampler stats")?;
+        if stats.dropped() == 0 {
+            return Err("adaptive sampler dropped nothing".into());
+        }
+        Ok(())
+    }
+}
+
+/// The scenario every leg of the session runs: the smoke-scale target
+/// under steady background interference (normal operation for this
+/// cluster), a dense 100 ms server monitor so 1 s windows hold ten
+/// samples per device, and — for the faulted leg — the novel-fault
+/// plan the supervised label space knows nothing about.
+pub fn session_scenario(seed: u64, faulted: bool) -> Scenario {
+    let mut cluster = ClusterConfig::small();
+    cluster.sample_interval = SimDuration::from_millis(100);
+    let scenario = Scenario {
+        cluster,
+        small: true,
+        target_ranks: 2,
+        ..Scenario::baseline(WorkloadKind::IorEasyRead, seed)
+    }
+    .with_interference(InterferenceSpec {
+        kind: WorkloadKind::IorEasyWrite,
+        instances: 2,
+        ranks: 2,
+    });
+    if !faulted {
+        return scenario;
+    }
+    // Every OST degrades at once (a RAID-rebuild-like event) while the
+    // MDS lock path storms — nothing the supervised bins were trained
+    // to recognise.
+    let mut plan = FaultPlan::new().with(FaultEvent::MdsLockStorm {
+        from: SimTime::ZERO,
+        until: SimTime::ZERO + SimDuration::from_secs(40),
+        revoke_factor: 4.0,
+    });
+    for dev in 0..scenario.cluster.n_osts() {
+        plan = plan.with(FaultEvent::SlowDisk {
+            dev,
+            factor: 7.0,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_secs(40),
+        });
+    }
+    scenario.with_fault_plan(plan)
+}
+
+/// Run the whole session. The returned telemetry must be byte-identical
+/// across reruns and rayon worker-thread counts — the golden test gates
+/// on that at 1, 2, and 8 threads.
+pub fn run_anomaly_session() -> Result<AnomalySession, QiError> {
+    let wcfg = WindowConfig::seconds(1);
+    // Server-side features only: hardware degradation lives in the
+    // device counters (§III-B), while client blocks mostly add healthy
+    // cross-seed variance that blunts the detector.
+    let fcfg = FeatureConfig {
+        client: false,
+        server: true,
+    };
+
+    // ------------------------------------------------------------------
+    // 1. Healthy baselines: three seeded runs of the smoke scenario
+    //    (interference present — that IS normal operation here).
+    //    These are the ONLY data the forest ever trains on.
+    // ------------------------------------------------------------------
+    let mut healthy_traces = Vec::new();
+    let mut n_devices = 0;
+    for seed in [1, 2, 3] {
+        let scenario = session_scenario(seed, false);
+        n_devices = scenario.cluster.n_devices();
+        let (_, trace) = scenario.run()?;
+        healthy_traces.push(trace);
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Fit the detector: seeded isolation forest, verdict threshold
+    //    at the p95 of the healthy training scores.
+    // ------------------------------------------------------------------
+    let forest = ForestConfig {
+        n_trees: 50,
+        sample_size: 64,
+        seed: 7,
+    };
+    let detector =
+        AnomalyDetector::fit_healthy(forest, wcfg, fcfg, n_devices, &healthy_traces, 95.0);
+    let threshold = detector.threshold();
+
+    // ------------------------------------------------------------------
+    // 3. Held-out runs the forest never saw: the same scenario at a
+    //    fresh seed, healthy and under the novel-fault plan.
+    // ------------------------------------------------------------------
+    let (_, healthy_trace) = session_scenario(11, false).run()?;
+    let (_, faulted_trace) = session_scenario(11, true).run()?;
+
+    let healthy = detector.analyze(&healthy_trace);
+    let faulted = detector.analyze(&faulted_trace);
+
+    // ------------------------------------------------------------------
+    // 4. The same faulted trace read through the adaptive sampler:
+    //    quiet device-windows thin to one sample, active ones keep up
+    //    to the budget — detection must survive the thinning.
+    // ------------------------------------------------------------------
+    let sampled = detector
+        .clone()
+        .with_sampler(SamplerConfig {
+            budget: 4,
+            quiet_keep: 1,
+            seed: 9,
+        })
+        .analyze(&faulted_trace);
+
+    let mut snapshot = MetricsSnapshot::new();
+    snapshot.absorb("healthy", &healthy.snapshot);
+    snapshot.absorb("faulted", &faulted.snapshot);
+    snapshot.absorb("sampled", &sampled.snapshot);
+
+    Ok(AnomalySession {
+        threshold,
+        healthy,
+        faulted,
+        sampled,
+        snapshot,
+    })
+}

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod anomaly_demo;
 pub mod serve_demo;
 
 pub use qi_control as control;

@@ -1,0 +1,301 @@
+//! The PR-9 differential harness: anomaly detection, adaptive
+//! sampling, and the bounded trace store proven equivalent to their
+//! reference paths on real simulator traces.
+//!
+//! Four gates:
+//!
+//! 1. **Scorer determinism** — fitting and scoring the isolation
+//!    forest is bit-identical across reruns and across rayon pools of
+//!    1, 2, and 8 worker threads.
+//! 2. **Sampler-off equivalence** — an unbounded-budget
+//!    [`AdaptiveSampler`] is a pass-through: the feature pipeline
+//!    emits byte-identical windows whether the sampler sits in front
+//!    of it or not.
+//! 3. **Trace-store equivalence** — a run recorded into the RLE
+//!    ring-buffer store reads back exactly like the unbounded `Vec`
+//!    store: same samples, same telemetry, same feature vectors.
+//! 4. **ROC separation** — on the canonical anomaly session, every
+//!    faulted window (all OSTs slowed 7×, MDS lock storm) scores
+//!    strictly above the healthy p95 threshold, no healthy held-out
+//!    window does, and detection survives budget-bounded sampling.
+
+use quanterference_repro::anomaly_demo::{run_anomaly_session, session_scenario};
+use quanterference_repro::framework::prelude::*;
+use quanterference_repro::pfs::ops::RunTrace;
+use quanterference_repro::pfs::store::TraceStoreConfig;
+
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool")
+        .install(f)
+}
+
+/// The featurization the session uses (server-side features, 1 s
+/// windows).
+fn session_cfgs() -> (WindowConfig, FeatureConfig) {
+    (
+        WindowConfig::seconds(1),
+        FeatureConfig {
+            client: false,
+            server: true,
+        },
+    )
+}
+
+/// Per emitted window: the window index and every app's feature block
+/// as raw bits.
+type WindowBits = (u64, Vec<(u32, Vec<u32>)>);
+
+/// Canonical comparable form of a pipeline run.
+fn window_fingerprint(
+    ops: &[qi_pfs::ops::OpRecord],
+    rpcs: &[qi_pfs::ops::RpcRecord],
+    samples: &[qi_pfs::ops::ServerSample],
+    wcfg: WindowConfig,
+    fcfg: FeatureConfig,
+    n_devices: u32,
+) -> Vec<WindowBits> {
+    qi_monitor::pipeline::FeaturePipeline::new(wcfg, fcfg, n_devices)
+        .run_streams(ops, rpcs, samples)
+        .iter()
+        .map(|ew| {
+            let blocks = ew
+                .feature_blocks(fcfg, n_devices, wcfg.window)
+                .into_iter()
+                .map(|(app, block, _)| (app.0, block.iter().map(|f| f.to_bits()).collect()))
+                .collect();
+            (ew.window, blocks)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- gate 1
+
+#[test]
+fn scorer_is_bit_deterministic_across_reruns_and_thread_pools() {
+    let (wcfg, fcfg) = session_cfgs();
+    let scn = session_scenario(1, false);
+    let n_devices = scn.cluster.n_devices();
+    let (_, healthy) = scn.run().expect("healthy run");
+    let (_, faulted) = session_scenario(1, true).run().expect("faulted run");
+    let rows = feature_rows(&healthy, wcfg, fcfg, n_devices);
+    let probe = feature_rows(&faulted, wcfg, fcfg, n_devices);
+    assert!(!rows.is_empty() && !probe.is_empty());
+
+    let forest = ForestConfig {
+        n_trees: 50,
+        sample_size: 64,
+        seed: 7,
+    };
+    let run = || {
+        let scorer = AnomalyScorer::fit_healthy(forest, &rows, 95.0);
+        let scores: Vec<u64> = scorer
+            .forest()
+            .score_batch(&probe)
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        (scorer.threshold().to_bits(), scores)
+    };
+
+    let reference = run();
+    assert_eq!(reference, run(), "rerun in the ambient pool diverged");
+    for threads in [1usize, 2, 8] {
+        let other = in_pool(threads, run);
+        assert_eq!(
+            reference, other,
+            "scorer diverged under a {threads}-thread rayon pool"
+        );
+    }
+}
+
+// -------------------------------------------------------------- gate 2
+
+#[test]
+fn unbounded_budget_sampler_is_equivalent_to_no_sampler() {
+    let (wcfg, fcfg) = session_cfgs();
+    let scn = session_scenario(11, true);
+    let n_devices = scn.cluster.n_devices();
+    let (_, trace) = scn.run().expect("faulted run");
+    let raw = trace.samples.to_vec();
+    assert!(!raw.is_empty(), "scenario produced no server samples");
+
+    let (kept, stats) = AdaptiveSampler::run(
+        SamplerConfig {
+            budget: u32::MAX,
+            quiet_keep: 1,
+            seed: 9,
+        },
+        wcfg,
+        raw.clone(),
+    );
+    assert_eq!(stats.seen, stats.kept, "unbounded budget dropped samples");
+    assert_eq!(kept, raw, "pass-through reordered or altered samples");
+
+    let direct = window_fingerprint(&trace.ops, &trace.rpcs, &raw, wcfg, fcfg, n_devices);
+    let sampled = window_fingerprint(&trace.ops, &trace.rpcs, &kept, wcfg, fcfg, n_devices);
+    assert_eq!(
+        direct, sampled,
+        "windows/features diverged behind the unbounded sampler"
+    );
+}
+
+// -------------------------------------------------------------- gate 3
+
+fn run_with_store(store: TraceStoreConfig) -> RunTrace {
+    let mut scn = session_scenario(11, true);
+    scn.cluster.trace_store = store;
+    let (_, trace) = scn.run().expect("scenario runs");
+    trace
+}
+
+#[test]
+fn ring_buffer_store_reads_back_like_the_unbounded_store() {
+    let (wcfg, fcfg) = session_cfgs();
+    let reference = run_with_store(TraceStoreConfig::Unbounded);
+    let n = reference.samples.len();
+    assert!(n > 0);
+
+    // Large enough that nothing evicts: every read path must agree.
+    let ring = run_with_store(TraceStoreConfig::RleRing { capacity: 4096 });
+    assert_eq!(ring.samples.evicted(), 0);
+    assert_eq!(ring.samples, reference.samples, "logical sample equality");
+    assert_eq!(ring.samples.to_vec(), reference.samples.to_vec());
+    assert_eq!(
+        ring.metrics.to_json(),
+        reference.metrics.to_json(),
+        "simulator telemetry depends on the store backend"
+    );
+    let n_devices = session_scenario(11, true).cluster.n_devices();
+    assert_eq!(
+        feature_rows(&ring, wcfg, fcfg, n_devices),
+        feature_rows(&reference, wcfg, fcfg, n_devices),
+        "feature extraction depends on the store backend"
+    );
+    // The RLE ring actually compresses: fewer stored segments than raw
+    // samples (idle devices collapse into strided runs).
+    assert!(
+        ring.samples.storage_cells() < n,
+        "RLE kept {} cells for {n} samples",
+        ring.samples.storage_cells()
+    );
+
+    // A tight ring drops the oldest samples but keeps exact accounting,
+    // and what it still holds is a per-device suffix of the run
+    // (eviction drops whole sealed segments, so cut points differ per
+    // device).
+    let bounded = run_with_store(TraceStoreConfig::RleRing { capacity: 8 });
+    assert!(bounded.samples.evicted() > 0, "capacity 8 evicted nothing");
+    assert_eq!(bounded.samples.recorded(), n as u64);
+    let held: Vec<_> = bounded.samples.to_vec();
+    assert_eq!(bounded.samples.evicted() + held.len() as u64, n as u64);
+    let per_dev = |samples: &[qi_pfs::ops::ServerSample], dev: u32| -> Vec<_> {
+        samples.iter().filter(|s| s.dev.0 == dev).cloned().collect()
+    };
+    let all = reference.samples.to_vec();
+    for dev in 0..session_scenario(11, true).cluster.n_devices() {
+        let held_dev = per_dev(&held, dev);
+        let all_dev = per_dev(&all, dev);
+        assert!(
+            held_dev.len() <= all_dev.len()
+                && held_dev == all_dev[all_dev.len() - held_dev.len()..],
+            "device {dev}: bounded ring holds a non-suffix of its series"
+        );
+    }
+    assert_eq!(
+        bounded
+            .samples
+            .iter_from(bounded.samples.evicted())
+            .collect::<Vec<_>>(),
+        held,
+        "iter_from(evicted) must resume at the oldest held sample"
+    );
+}
+
+// -------------------------------------------------------------- gate 4
+
+#[test]
+fn faulted_windows_score_above_the_healthy_p95() {
+    let session = run_anomaly_session().expect("anomaly session runs");
+    session.check_detection().expect("detection invariant");
+
+    // ROC separation, window by window: nothing healthy flags, every
+    // faulted window clears the healthy-p95 threshold.
+    assert_eq!(
+        session.healthy.n_flagged(),
+        0,
+        "held-out healthy windows above threshold"
+    );
+    assert!(!session.faulted.scores.is_empty());
+    for ws in &session.faulted.scores {
+        assert!(
+            ws.score > session.threshold,
+            "faulted window {} (app {}) scored {:.4} <= threshold {:.4}",
+            ws.window,
+            ws.app.0,
+            ws.score,
+            session.threshold
+        );
+        assert!(ws.anomalous);
+    }
+    // The healthy manifold margin is real, not epsilon-thin.
+    assert!(
+        session.faulted.max_score() > session.threshold + 0.05,
+        "margin too thin: {:.4} vs {:.4}",
+        session.faulted.max_score(),
+        session.threshold
+    );
+
+    // Detection survives budget-bounded sampling, and the sampler
+    // actually paid for itself on this session (the bench gate's 30%
+    // floor, asserted here without criterion).
+    let stats = session.sampled.sampler.expect("sampler stats");
+    assert!(
+        stats.savings() >= 0.30,
+        "sampler saved only {:.1}% of ingest",
+        stats.savings() * 100.0
+    );
+    assert_eq!(
+        session.sampled.scores.len(),
+        session.faulted.scores.len(),
+        "sampling changed the scored window set"
+    );
+    for ws in &session.sampled.scores {
+        assert!(
+            ws.score > session.threshold,
+            "sampled faulted window {} scored {:.4} <= threshold {:.4}",
+            ws.window,
+            ws.score,
+            session.threshold
+        );
+    }
+
+    // Telemetry namespaces: anomaly.* appears only because a scorer
+    // ran; sampler counters only on the sampled leg.
+    for (prefix, report) in [
+        ("healthy", &session.healthy),
+        ("faulted", &session.faulted),
+        ("sampled", &session.sampled),
+    ] {
+        assert_eq!(
+            report.snapshot.counter("anomaly.windows_scored"),
+            Some(report.scores.len() as u64),
+            "{prefix} windows_scored"
+        );
+        assert_eq!(
+            report.snapshot.counter("anomaly.flagged"),
+            Some(report.n_flagged() as u64),
+            "{prefix} flagged"
+        );
+    }
+    assert_eq!(
+        session.healthy.snapshot.counter("monitor.sampler.seen"),
+        None
+    );
+    assert_eq!(
+        session.sampled.snapshot.counter("monitor.sampler.seen"),
+        Some(stats.seen)
+    );
+}

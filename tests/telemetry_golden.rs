@@ -16,6 +16,7 @@
 
 use std::path::PathBuf;
 
+use quanterference_repro::anomaly_demo::run_anomaly_session;
 use quanterference_repro::framework::prelude::*;
 use quanterference_repro::serve_demo::run_serve_session;
 use quanterference_repro::telemetry::MetricsSnapshot;
@@ -111,6 +112,7 @@ fn golden_json_parses_and_reserialises_byte_identically() {
         "serve_loop.metrics.json",
         "serve_loop.overload.metrics.json",
         "serve_loop.sharded.metrics.json",
+        "anomaly_session.metrics.json",
     ] {
         let text = std::fs::read_to_string(golden_dir().join(name)).expect("golden present");
         let snap = MetricsSnapshot::from_json(&text).expect("golden parses");
@@ -169,6 +171,40 @@ fn serve_session_snapshot_matches_golden_across_thread_counts() {
             other.sharded_snapshot.to_json(),
             reference.sharded_snapshot.to_json(),
             "sharded telemetry diverged at {shards} shards"
+        );
+    }
+}
+
+/// The full anomaly session (healthy training → held-out healthy and
+/// faulted scoring → budget-bounded sampled scoring) pinned to one
+/// golden snapshot, then re-run under rayon pools of 2 and 8 worker
+/// threads: anomaly telemetry — scores, verdict counts, histogram,
+/// sampler accounting — must be byte-identical at every width. Note
+/// the `anomaly.*` namespace exists ONLY because this session installs
+/// a scorer; plain simulator runs (the goldens above) never emit it.
+#[test]
+fn anomaly_session_snapshot_matches_golden_across_thread_counts() {
+    let reference = run_anomaly_session().expect("anomaly session runs");
+    reference.check_detection().expect("detection invariant");
+    // Sanity before comparing bytes: all three legs actually scored.
+    let snap = &reference.snapshot;
+    assert!(snap.counter("healthy.anomaly.windows_scored").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("healthy.anomaly.flagged"), Some(0));
+    assert!(snap.counter("faulted.anomaly.flagged").unwrap_or(0) > 0);
+    assert!(snap.counter("sampled.monitor.sampler.dropped").unwrap_or(0) > 0);
+    check_golden("anomaly_session.metrics.json", &snap.to_json());
+    for threads in [2usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build rayon pool");
+        let other = pool
+            .install(run_anomaly_session)
+            .expect("anomaly session runs");
+        assert_eq!(
+            other.snapshot.to_json(),
+            reference.snapshot.to_json(),
+            "anomaly telemetry diverged at {threads} worker threads"
         );
     }
 }
