@@ -13,6 +13,11 @@
 //! 2. `cluster_events_per_sec` — a real end-to-end simulation (every
 //!    client streaming 1 MiB writes) at the same OSS scales, measuring
 //!    delivered events/second from [`RunTrace::events_processed`].
+//! 3. `cluster_run_sharded` — the parallel-simulator shard sweep
+//!    (DESIGN.md — parallel simulation): a dense staggered-write run at
+//!    the largest grid point, at `sim_shards` 1/2/4/8, timed both on a
+//!    single-thread rayon pool (the overhead gate point) and on the
+//!    ambient pool (the scaling curve).
 //!
 //! **Throughput gate:** at the 32-OSS point the calendar backend must
 //! sustain ≥ 3× the heap backend's churn throughput, compared on
@@ -22,8 +27,16 @@
 //! — the escape hatch for single-CPU or heavily loaded containers where
 //! even best-of-N timing is noise.
 //!
+//! **Parallel-simulation gate:** every sharded run must leave the
+//! observable trace (ops, RPCs, samples, end time, telemetry JSON)
+//! bit-identical to the one-shard run — never waived — and on a
+//! one-thread pool the sharded runs must cost at most 10% more wall
+//! time than the sequential run, best-sample basis
+//! (`QI_SKIP_PARSIM_GATE=1` waives the overhead bound only).
+//!
 //! Knobs: `QI_BENCH_OUT=path.json`, `QI_BENCH_QUICK=1` / `QI_SMOKE=1`
-//! (smaller grid and step counts), `QI_SKIP_SIM_GATE=1`.
+//! (smaller grid and step counts), `QI_SKIP_SIM_GATE=1`,
+//! `QI_SKIP_PARSIM_GATE=1`.
 
 use std::time::Duration;
 
@@ -39,6 +52,9 @@ const OSS_GRID: [u32; 4] = [4, 8, 16, 32];
 /// The gated point and its required calendar-vs-heap speedup.
 const GATE_OSS: u32 = 32;
 const GATE_SPEEDUP: f64 = 3.0;
+/// Shard counts of the parallel sweep and the one-thread overhead bound.
+const SHARD_GRID: [u32; 4] = [1, 2, 4, 8];
+const PARSIM_MAX_OVERHEAD_PCT: f64 = 10.0;
 
 /// Backends the curve compares. `Reference` is deliberately absent: the
 /// sorted-Vec double exists for correctness cross-checks, not racing.
@@ -144,16 +160,89 @@ fn streaming_cluster(backend: QueueBackend, oss: u32, mib_per_client: u64) -> Cl
     cl
 }
 
+/// The shard-sweep workload: like `streaming_cluster` but denser (more
+/// data, short deadline — no idle sampler tail) and with each client's
+/// start staggered by a distinct sub-RPC delay. The stagger breaks the
+/// perfect client symmetry of the streaming workload, which otherwise
+/// completes whole cohorts of ops at identical instants — and record
+/// order *within* one instant is the one surface the parallel merge
+/// does not reproduce (DESIGN.md, parallel simulation, residual ties).
+fn sharded_cluster(shards: u32, oss: u32, mib_per_client: u64) -> Cluster {
+    let cfg = ClusterConfig {
+        oss_nodes: oss,
+        osts_per_oss: 1,
+        client_nodes: 2 * oss,
+        sim_shards: shards,
+        ..ClusterConfig::default()
+    };
+    let clients = cfg.client_nodes;
+    let mut cl = Cluster::builder()
+        .config(cfg)
+        .seed(7)
+        .build()
+        .expect("valid shard-sweep config");
+    for c in 0..clients {
+        let file = FileKey {
+            app: AppId(c),
+            num: 1,
+        };
+        let mut left = mib_per_client;
+        let mut started = false;
+        let prog = move |_now: SimTime| {
+            if !started {
+                started = true;
+                let stagger = qi_simkit::time::SimDuration::from_nanos(1_300 * c as u64 + 1);
+                return ProgramStep::Compute(stagger);
+            }
+            if left == 0 {
+                return ProgramStep::Finished;
+            }
+            left -= 1;
+            ProgramStep::Op(IoOp::Write {
+                file,
+                offset: (mib_per_client - left - 1) * 1024 * 1024,
+                len: 1024 * 1024,
+            })
+        };
+        cl.add_app(&format!("w{c}"), vec![Box::new(prog)], &[NodeId(c)]);
+    }
+    cl
+}
+
+/// Bit equality of everything a run observes. `events_processed` is
+/// deliberately absent: shard counts differ in bookkeeping events (one
+/// sampler chain per shard) while every observable stays identical.
+fn assert_observably_identical(a: &RunTrace, b: &RunTrace, ctx: &str) {
+    assert_eq!(a.ops, b.ops, "{ctx}: op records diverged");
+    assert_eq!(a.rpcs, b.rpcs, "{ctx}: rpc records diverged");
+    assert_eq!(a.samples, b.samples, "{ctx}: server samples diverged");
+    assert_eq!(a.app_completion, b.app_completion, "{ctx}: completions");
+    assert_eq!(a.failed_ops, b.failed_ops, "{ctx}: failed ops diverged");
+    assert_eq!(a.end, b.end, "{ctx}: end time diverged");
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "{ctx}: telemetry JSON diverged"
+    );
+}
+
 struct Row {
     kind: &'static str,
     backend: &'static str,
     oss: u32,
+    shards: u32,
     median_ms: f64,
     events_per_sec: f64,
 }
 
-fn write_json(rows: &[Row], gate: (f64, bool, bool), out: &std::path::Path) {
+fn write_json(
+    rows: &[Row],
+    gate: (f64, bool, bool),
+    parsim: (u32, f64, bool, bool, &str),
+    out: &std::path::Path,
+) {
     let (speedup, enforced, passed) = gate;
+    let (sweep_oss, overhead, p_enforced, p_passed, determinism) = parsim;
     let mut s = String::from("{\n");
     s.push_str("  \"generated_by\": \"cargo bench -p qi-bench --bench sim_scale\",\n");
     s.push_str(&format!(
@@ -161,14 +250,21 @@ fn write_json(rows: &[Row], gate: (f64, bool, bool), out: &std::path::Path) {
          \"measured_speedup\": {speedup:.3}, \"basis\": \"best_sample\", \
          \"enforced\": {enforced}, \"passed\": {passed}}},\n"
     ));
+    s.push_str(&format!(
+        "  \"parsim_gate\": {{\"point_oss\": {sweep_oss}, \"threads\": 1, \
+         \"max_overhead_pct\": {PARSIM_MAX_OVERHEAD_PCT:.1}, \
+         \"worst_overhead_pct\": {overhead:.2}, \"basis\": \"best_sample\", \
+         \"determinism\": \"{determinism}\", \"enforced\": {p_enforced}, \"passed\": {p_passed}}},\n"
+    ));
     s.push_str("  \"curves\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"kind\": \"{}\", \"backend\": \"{}\", \"oss\": {}, \"median_ms\": {:.3}, \
-             \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"kind\": \"{}\", \"backend\": \"{}\", \"oss\": {}, \"shards\": {}, \
+             \"median_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
             r.kind,
             r.backend,
             r.oss,
+            r.shards,
             r.median_ms,
             r.events_per_sec,
             if i + 1 < rows.len() { "," } else { "" },
@@ -184,6 +280,12 @@ fn main() {
             .map(|v| v == "1")
             .unwrap_or(false);
     let skip_gate = std::env::var("QI_SKIP_SIM_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let skip_parsim_gate = std::env::var("QI_SKIP_PARSIM_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let skip_parsim = std::env::var("QI_SKIP_PARSIM")
         .map(|v| v == "1")
         .unwrap_or(false);
     let grid: Vec<u32> = if quick {
@@ -237,6 +339,67 @@ fn main() {
         cluster_events.push((oss, processed.unwrap_or(0)));
     }
 
+    // Curve 3: the parallel shard sweep at the largest grid point. The
+    // determinism leg runs first and is never waived: every shard count
+    // must reproduce the sequential run's observables bit-for-bit.
+    let sweep_oss = *grid.last().expect("non-empty grid");
+    let shard_grid: Vec<u32> = if skip_parsim {
+        Vec::new()
+    } else {
+        SHARD_GRID.into_iter().filter(|&s| s <= sweep_oss).collect()
+    };
+    let sweep_mib = if quick { 16 } else { 64 };
+    let sweep_deadline = SimTime::from_secs(10);
+    let mut sweep_events: Vec<(u32, u64)> = Vec::new();
+    let mut sweep_golden: Option<RunTrace> = None;
+    for &shards in &shard_grid {
+        let trace = sharded_cluster(shards, sweep_oss, sweep_mib).run(sweep_deadline);
+        match &sweep_golden {
+            None => sweep_golden = Some(trace),
+            Some(golden) => {
+                assert_observably_identical(
+                    golden,
+                    &trace,
+                    &format!("{shards} shards vs sequential @ {sweep_oss} OSS"),
+                );
+                sweep_events.push((shards, trace.events_processed));
+            }
+        }
+    }
+    if let Some(golden) = &sweep_golden {
+        sweep_events.insert(0, (1, golden.events_processed));
+        println!(
+            "shard sweep @ {sweep_oss} OSS: observables bit-identical at {shard_grid:?} shards"
+        );
+    } else {
+        println!("shard sweep skipped (QI_SKIP_PARSIM=1)");
+    }
+
+    for &shards in &shard_grid {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("one-thread pool builds");
+        let name = format!("cluster_shards/{shards}shards/1t");
+        c.bench_function(&name, |bench| {
+            bench.iter(|| {
+                pool.install(|| {
+                    sharded_cluster(shards, sweep_oss, sweep_mib)
+                        .run(sweep_deadline)
+                        .events_processed
+                })
+            })
+        });
+        let name = format!("cluster_shards/{shards}shards/ambient");
+        c.bench_function(&name, |bench| {
+            bench.iter(|| {
+                sharded_cluster(shards, sweep_oss, sweep_mib)
+                    .run(sweep_deadline)
+                    .events_processed
+            })
+        });
+    }
+
     let stats = c.results();
     let median_of = |name: &str| {
         stats
@@ -267,6 +430,7 @@ fn main() {
                 kind: "queue_churn",
                 backend: label,
                 oss,
+                shards: 1,
                 median_ms: m,
                 events_per_sec: churn_steps as f64 / (m / 1e3),
             });
@@ -280,6 +444,23 @@ fn main() {
                 kind: "cluster_run",
                 backend: label,
                 oss,
+                shards: 1,
+                median_ms: m,
+                events_per_sec: events as f64 / (m / 1e3),
+            });
+        }
+    }
+    for &(shards, events) in &sweep_events {
+        for (kind, pool) in [
+            ("cluster_run_sharded_1t", "1t"),
+            ("cluster_run_sharded", "ambient"),
+        ] {
+            let m = median_of(&format!("cluster_shards/{shards}shards/{pool}"));
+            rows.push(Row {
+                kind,
+                backend: "calendar",
+                oss: sweep_oss,
+                shards,
                 median_ms: m,
                 events_per_sec: events as f64 / (m / 1e3),
             });
@@ -301,6 +482,23 @@ fn main() {
         "gate @ {gate_oss} OSS (best-sample): calendar {cal:.3} ms vs heap {heap:.3} ms → {speedup:.2}×"
     );
 
+    // Parallel-simulation gate: sharded runs on a one-thread pool must
+    // stay within the overhead bound of the sequential run.
+    let mut worst_overhead = 0.0f64;
+    if !skip_parsim {
+        let seq_1t = best_of("cluster_shards/1shards/1t");
+        for &shards in shard_grid.iter().filter(|&&s| s > 1) {
+            let t = best_of(&format!("cluster_shards/{shards}shards/1t"));
+            let overhead = (t / seq_1t - 1.0) * 100.0;
+            println!(
+                "parsim @ {shards} shards, 1 thread (best-sample): {t:.3} ms vs sequential \
+                 {seq_1t:.3} ms → {overhead:+.1}%"
+            );
+            worst_overhead = worst_overhead.max(overhead);
+        }
+    }
+    let parsim_passed = worst_overhead <= PARSIM_MAX_OVERHEAD_PCT;
+
     let out = std::env::var("QI_BENCH_OUT").map_or_else(
         |_| {
             std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -309,13 +507,32 @@ fn main() {
         },
         std::path::PathBuf::from,
     );
-    write_json(&rows, (speedup, !skip_gate, passed), &out);
+    write_json(
+        &rows,
+        (speedup, !skip_gate, passed),
+        (
+            sweep_oss,
+            worst_overhead,
+            !skip_parsim_gate && !skip_parsim,
+            parsim_passed,
+            if skip_parsim { "skipped" } else { "passed" },
+        ),
+        &out,
+    );
     println!("wrote {}", out.display());
 
     if !passed && !skip_gate {
         panic!(
             "throughput gate failed: calendar is {speedup:.2}× heap at {gate_oss} OSS \
              (need ≥ {GATE_SPEEDUP}×); set QI_SKIP_SIM_GATE=1 to waive on constrained machines"
+        );
+    }
+    if !parsim_passed && !skip_parsim_gate {
+        panic!(
+            "parallel-simulation overhead gate failed: worst sharded run is \
+             {worst_overhead:+.1}% vs sequential at 1 thread (bound \
+             {PARSIM_MAX_OVERHEAD_PCT}%); set QI_SKIP_PARSIM_GATE=1 to waive \
+             on constrained machines — determinism is asserted regardless"
         );
     }
 }

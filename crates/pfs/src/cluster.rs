@@ -18,21 +18,30 @@ use qi_simkit::ratelimit::TokenBucket;
 use qi_simkit::rng::SimRng;
 use qi_simkit::stats::OnlineStats;
 use qi_simkit::time::{SimDuration, SimTime};
-use qi_telemetry::{MetricValue, MetricsSnapshot};
+use qi_telemetry::{MetricValue, MetricsSnapshot, Registry};
 
 use crate::arena::{Slab, SlabKey};
-use crate::cache::{Admit, LruSet, SmallObjectCache, WriteCache};
+use crate::cache::LruSet;
 use crate::config::{ClusterConfig, StripeConfig, SECTOR_SIZE};
 use crate::control::{ClusterController, ControlDirective, DirectiveRecord};
 use crate::disk::Disk;
 use crate::ids::{AppId, DeviceId, DirKey, FileKey, NodeId, OpToken};
-use crate::layout::{chunks, chunks_into, Chunk, ExtentMap, FileLayout, ObjKey, SectorRange};
+use crate::layout::{chunks, chunks_into, Chunk, FileLayout, ObjKey};
 use crate::net::{LinkFate, LinkFault, LinkFaultKind, Network};
 use crate::ops::{
     IoOp, OpKind, OpRecord, ProgramStep, RankProgram, RpcRecord, RunTrace, ServerSample,
 };
 use crate::queue::{BlockDevice, Dispatch, Member, ReqKind};
+use crate::shard::{
+    DiskTag, Ev, Fx, MetaOp, Msg, NetFx, SendIntent, ShardCell, ShardState, SHARD_DISK_STALLS,
+    SHARD_PARKED, SHARD_RESUMED,
+};
 use crate::store::SampleStore;
+
+/// The parallel (multi-shard) driver: a child module so it can reach
+/// the cluster's internals without widening their visibility.
+#[path = "parsim.rs"]
+mod parsim;
 
 /// Client-side per-op syscall/dispatch overhead.
 const CLIENT_OP_OVERHEAD: SimDuration = SimDuration::from_micros(5);
@@ -40,142 +49,6 @@ const CLIENT_OP_OVERHEAD: SimDuration = SimDuration::from_micros(5);
 const META_MSG_BYTES: u64 = 1024;
 /// Sectors per metadata device operation (4 KiB records).
 const META_SECTORS: u64 = 8;
-
-/// Completion payload attached to device block requests.
-enum DiskTag {
-    /// Foreground read belonging to a client read chunk.
-    ReadChunk { chunk: SlabKey },
-    /// Background flush of dirty cache data (payload-byte share).
-    Flush { dirty_bytes: u64 },
-    /// Synchronous write belonging to a client write chunk.
-    SyncChunk { chunk: SlabKey },
-    /// MDT journal write completing a namespace mutation.
-    Journal {
-        token: OpToken,
-        client: NodeId,
-        dir: DirKey,
-    },
-    /// MDT inode read completing a lookup miss.
-    Lookup {
-        token: OpToken,
-        client: NodeId,
-        file: FileKey,
-    },
-}
-
-/// A write waiting in (or moving through) an OSS cache.
-struct PendingWrite {
-    token: OpToken,
-    client: NodeId,
-    dev: DeviceId,
-    obj: ObjKey,
-    obj_off: u64,
-    len: u64,
-}
-
-/// In-flight chunk bookkeeping (reads and sync writes).
-struct ChunkPending {
-    remaining: u32,
-    token: OpToken,
-    client: NodeId,
-    dev: DeviceId,
-    reply_bytes: u64,
-    /// Object touched, with the end offset of the access (for read-cache
-    /// residency updates on completion). `None` for sync writes.
-    touched: Option<(ObjKey, u64)>,
-}
-
-/// Messages travelling the simulated network. Cloneable so the retry
-/// layer can stash a copy of a dropped request for resending.
-#[derive(Clone)]
-enum Msg {
-    ReadReq {
-        dev: DeviceId,
-        obj: ObjKey,
-        obj_off: u64,
-        len: u64,
-        token: OpToken,
-        client: NodeId,
-    },
-    WriteReq {
-        dev: DeviceId,
-        obj: ObjKey,
-        obj_off: u64,
-        len: u64,
-        token: OpToken,
-        client: NodeId,
-    },
-    MetaReq {
-        op: MetaOp,
-        token: OpToken,
-        client: NodeId,
-    },
-    /// Any server→client completion (read reply, write ack, meta ack).
-    OpDone { token: OpToken },
-}
-
-/// Metadata request payloads.
-#[derive(Clone)]
-enum MetaOp {
-    /// open/stat: namespace lookup, maybe an MDT inode read.
-    Lookup { file: FileKey },
-    /// close: CPU only.
-    Close,
-    /// create/unlink/mkdir: directory lock + journal write. For create,
-    /// the layout is registered at processing time.
-    Mutate {
-        create: Option<(FileKey, Option<StripeConfig>)>,
-        dir: DirKey,
-    },
-}
-
-/// Simulator events.
-enum Ev {
-    /// Ask a rank for its next step.
-    RankNext { app: u32, rank: u32 },
-    /// A network message arrives at its destination.
-    Deliver(Msg),
-    /// OSS CPU finished processing a data RPC.
-    OssProcess(Msg),
-    /// MDS CPU finished processing a metadata RPC.
-    MdsProcess(Msg),
-    /// A device finished its in-service block request.
-    DiskDone { dev: u32 },
-    /// A device's anticipation window expired; re-check its queue.
-    DiskIdle { dev: u32 },
-    /// Deferred server→client send (e.g. ack after cache absorb).
-    SendLater {
-        src: NodeId,
-        dst: NodeId,
-        payload: u64,
-        token: OpToken,
-    },
-    /// A rate-limited data RPC cleared its token-bucket wait.
-    TbfAdmitted(Msg),
-    /// Directory-lock revocation finished; run the mutation's journal
-    /// write under the lock.
-    MdsLockRun {
-        token: OpToken,
-        client: NodeId,
-        dir: DirKey,
-    },
-    /// Server-side monitor tick.
-    Sample,
-    /// Mitigation-controller tick (window close + 1 ns).
-    Control,
-    /// A scheduled fail-slow injection fires on a device.
-    FailSlow { dev: u32, factor: f64 },
-    /// A `DiskStall` fault begins: the device's queue freezes until the
-    /// given instant.
-    DiskStall { dev: u32, until: SimTime },
-    /// An `OssThreadCrash` (or its restart) changes an OSS node's
-    /// effective CPU cost multiplier.
-    OssFactor { oss: u32, factor: f64 },
-    /// A client's wait for a reply to a (dropped) request expired.
-    RpcTimeout { seq: SlabKey },
-    /// A client's retry backoff elapsed; resend the stored request.
-    RpcResend { seq: SlabKey },
-}
 
 /// A dropped client request awaiting retry, keyed by a
 /// generation-versioned slab key: stale timeout/resend events for a
@@ -324,24 +197,26 @@ struct AppState {
 /// [`run`]: Cluster::run
 pub struct Cluster {
     cfg: ClusterConfig,
+    /// The realm event queue: clients, network deliveries, MDS/MDT, and
+    /// control — everything that is not shard-owned. In the sequential
+    /// loop (one shard) it also drives the single shard's events.
     events: EventQueue<Ev>,
     net: Network,
-    devices: Vec<BlockDevice<DiskTag>>,
-    extents: Vec<ExtentMap>,
-    caches: Vec<WriteCache<PendingWrite>>,
-    read_cache: Vec<SmallObjectCache>,
+    /// Server shards in ascending OSS order. Always at least one; the
+    /// sequential loop is simply the one-shard special case.
+    shards: Vec<ShardCell>,
+    /// Owning shard of each global OST index.
+    ost_shard: Vec<usize>,
+    /// The MDT device: realm-owned (metadata is not sharded). The
+    /// journal is synchronous, so no write-back cache.
+    mdt_dev: BlockDevice<DiskTag>,
     dev_node: Vec<NodeId>,
-    oss_cpu_free: Vec<SimTime>,
     mds: MdsState,
     apps: Vec<AppState>,
-    /// In-flight read/sync-write chunks, keyed by slab index. Slots are
-    /// recycled the moment a chunk's last block request completes, so the
-    /// table stays at the steady-state high-water mark instead of growing
-    /// (and rehashing) with the total chunk count of the run.
-    chunk_pending: Slab<ChunkPending>,
     /// Per-application server-side token-bucket filters (bytes/s), the
     /// classful TBF NRS policy of Qian et al. — data RPCs of a limited
-    /// app are admitted to the OSS only as tokens accrue.
+    /// app are admitted to the OSS only as tokens accrue. Realm-owned:
+    /// the buckets are consulted at delivery time, before routing.
     tbf: HashMap<AppId, TokenBucket>,
     trace: RunTrace,
     rng: SimRng,
@@ -354,9 +229,6 @@ pub struct Cluster {
     /// jitter). Healthy runs never draw from it, so adding a fault plan
     /// cannot perturb the main RNG's value stream.
     fault_rng: SimRng,
-    /// Per-OSS CPU cost multiplier (1.0 = healthy; `OssThreadCrash`
-    /// raises it, restart resets it).
-    oss_cpu_factor: Vec<f64>,
     /// Active `MdsLockStorm` windows: (from, until, revoke_factor).
     lock_storms: Vec<(SimTime, SimTime, f64)>,
     /// Dropped requests awaiting timeout/retry, keyed by slab key; the
@@ -367,7 +239,6 @@ pub struct Cluster {
     /// per-event heap allocation. Each user `std::mem::take`s the buffer,
     /// clears it, fills and drains it, then puts it back.
     scratch_chunks: Vec<Chunk>,
-    scratch_ranges: Vec<SectorRange>,
     scratch_members: Vec<Member<DiskTag>>,
     /// The installed mitigation controller, ticked once per control
     /// interval; `None` on uncontrolled runs (the common case — every
@@ -381,18 +252,26 @@ pub struct Cluster {
     /// gates the `pfs.control.*` snapshot block so uncontrolled runs
     /// keep their historical (golden) key set.
     control_used: bool,
-    /// Per-app admission cap on concurrently admitted data RPCs per OST.
+    /// Per-app admission cap on concurrently admitted data RPCs per OST
+    /// (master copy; every shard holds a replica the realm updates when
+    /// a directive lands).
     inflight_caps: BTreeMap<u32, u32>,
-    /// Admitted-RPC counts per (app, OST); entries exist only while the
-    /// app is capped. Ordered map: drain order on cap-clear must be
-    /// deterministic.
-    adm_active: BTreeMap<(u32, u32), u32>,
-    /// RPCs parked at admission, FIFO per (app, OST).
-    adm_waiting: BTreeMap<(u32, u32), VecDeque<Msg>>,
     /// Per-OST avoidance flags for new layouts; empty means no steering.
     avoid_osts: Vec<bool>,
     /// Scratch directive buffer for control ticks.
     scratch_directives: Vec<ControlDirective>,
+    /// True when running the parallel (multi-shard) driver; chosen at
+    /// construction from `sim_shards` and the topology.
+    par: bool,
+    /// Parallel driver: network sends produced by realm handlers inside
+    /// the current epoch, applied at the barrier.
+    realm_outbox: Vec<SendIntent>,
+    /// Parallel driver: MDT monitor samples taken inside the current
+    /// epoch, merged with shard samples at the barrier.
+    realm_samples: Vec<ServerSample>,
+    /// Events injected before the run (e.g. [`Cluster::inject_fail_slow`])
+    /// staged here and routed to the owning queue when the run starts.
+    pending_init: Vec<(SimTime, Ev)>,
 }
 
 /// Deterministic 64-bit mix of a file key, used for placement and inode
@@ -486,6 +365,14 @@ impl ClusterBuilder {
         if cfg.sample_interval == SimDuration::ZERO {
             return Err(QiError::Config("sample_interval must be non-zero".into()));
         }
+        if cfg.sim_shards == 0 {
+            return Err(QiError::Config("sim_shards must be at least 1".into()));
+        }
+        if cfg.sim_shards > 1 && cfg.net.latency == SimDuration::ZERO {
+            return Err(QiError::Config(
+                "sim_shards > 1 requires non-zero network latency (the epoch lookahead)".into(),
+            ));
+        }
         self.fault_plan.validate(
             cfg.n_devices() as usize,
             cfg.n_nodes() as usize,
@@ -508,27 +395,32 @@ impl Cluster {
 
     fn construct(cfg: ClusterConfig, seed: u64, fault_plan: FaultPlan, retry: RetryPolicy) -> Self {
         let n_osts = cfg.n_osts() as usize;
-        let mut devices = Vec::with_capacity(n_osts + 1);
-        let mut extents = Vec::with_capacity(n_osts);
-        let mut caches = Vec::with_capacity(n_osts);
         let mut dev_node = Vec::with_capacity(n_osts + 1);
         for i in 0..n_osts {
-            devices.push(BlockDevice::new(
-                cfg.queue.clone(),
-                Disk::new(cfg.ost_disk.clone()),
-            ));
-            extents.push(ExtentMap::new(cfg.ost_disk.capacity_sectors));
-            caches.push(WriteCache::new(cfg.cache.clone()));
             let oss = i as u32 / cfg.osts_per_oss;
             dev_node.push(NodeId(cfg.client_nodes + oss));
         }
-        // The MDT device: journal is synchronous, so no write-back cache.
-        devices.push(BlockDevice::new(
-            cfg.queue.clone(),
-            Disk::new(cfg.mdt_disk.clone()),
-        ));
         let mds_node = NodeId(cfg.client_nodes + cfg.oss_nodes);
         dev_node.push(mds_node);
+
+        // Partition the OSS nodes into contiguous shards (ascending, so
+        // global OST order equals shard order + local order). One shard
+        // (the default) is the classic sequential simulator.
+        let n_shards = cfg.sim_shards.min(cfg.oss_nodes).max(1);
+        let mut shards = Vec::with_capacity(n_shards as usize);
+        let mut ost_shard = Vec::with_capacity(n_osts);
+        for s in 0..n_shards {
+            let oss_lo = s * cfg.oss_nodes / n_shards;
+            let oss_hi = (s + 1) * cfg.oss_nodes / n_shards;
+            for _ in 0..(oss_hi - oss_lo) * cfg.osts_per_oss {
+                ost_shard.push(s as usize);
+            }
+            shards.push(ShardCell::new(
+                ShardState::new(&cfg, seed, s, oss_lo, oss_hi),
+                EventQueue::with_capacity_and_backend(cfg.n_nodes() as usize * 64, cfg.event_queue),
+            ));
+        }
+        let mdt_dev = BlockDevice::new(cfg.queue.clone(), Disk::new(cfg.mdt_disk.clone()));
 
         let journal_base = 2048;
         let journal_sectors = cfg.mds.journal_region_bytes / SECTOR_SIZE;
@@ -545,9 +437,6 @@ impl Cluster {
         };
         let rng = SimRng::new(seed).substream(0xC10D);
         let fault_rng = SimRng::new(seed).substream(0xFA17);
-        let read_cache = (0..n_osts)
-            .map(|_| SmallObjectCache::new(cfg.cache.small_object_max, cfg.cache.read_cache_budget))
-            .collect();
         Cluster {
             net: Network::new(cfg.net.clone(), cfg.n_nodes()),
             // In-flight events scale with concurrently outstanding
@@ -559,15 +448,13 @@ impl Cluster {
                 cfg.n_nodes() as usize * 64,
                 cfg.event_queue,
             ),
-            oss_cpu_free: vec![SimTime::ZERO; cfg.oss_nodes as usize],
-            devices,
-            extents,
-            caches,
-            read_cache,
+            par: n_shards > 1,
+            shards,
+            ost_shard,
+            mdt_dev,
             dev_node,
             mds,
             apps: Vec::new(),
-            chunk_pending: Slab::with_capacity(64),
             tbf: HashMap::new(),
             trace: RunTrace {
                 samples: SampleStore::with_config(cfg.trace_store),
@@ -578,23 +465,50 @@ impl Cluster {
             fault_plan,
             retry,
             fault_rng,
-            oss_cpu_factor: vec![1.0; cfg.oss_nodes as usize],
             lock_storms: Vec::new(),
             retry_states: Slab::new(),
             scratch_chunks: Vec::new(),
-            scratch_ranges: Vec::new(),
             scratch_members: Vec::new(),
             controller: None,
             control_interval: SimDuration::ZERO,
             control_window: 0,
             control_used: false,
             inflight_caps: BTreeMap::new(),
-            adm_active: BTreeMap::new(),
-            adm_waiting: BTreeMap::new(),
             avoid_osts: Vec::new(),
             scratch_directives: Vec::new(),
+            realm_outbox: Vec::new(),
+            realm_samples: Vec::new(),
+            pending_init: Vec::new(),
             cfg,
         }
+    }
+
+    /// Owning shard of a global OST id.
+    #[inline]
+    fn shard_of_dev(&self, dev: u32) -> usize {
+        self.ost_shard[dev as usize]
+    }
+
+    /// Target device of a data RPC.
+    fn msg_dev(msg: &Msg) -> DeviceId {
+        match msg {
+            Msg::ReadReq { dev, .. } | Msg::WriteReq { dev, .. } => *dev,
+            _ => unreachable!("not a data RPC"),
+        }
+    }
+
+    /// Run one shard-owned event against the realm queue and live
+    /// network — the sequential path (exact one-shard equivalent of the
+    /// pre-shard simulator). The parallel driver never routes through
+    /// here; shard events live on shard queues there.
+    fn shard_event(&mut self, s: usize, now: SimTime, ev: Ev) {
+        debug_assert!(!self.par, "shard event on the realm queue in parallel mode");
+        let sh = &mut self.shards[s];
+        let mut fx = Fx {
+            q: &mut self.events,
+            net: NetFx::Direct(&mut self.net),
+        };
+        sh.st.handle(now, ev, &self.cfg, &mut fx);
     }
 
     /// Cluster configuration.
@@ -729,12 +643,12 @@ impl Cluster {
                 }
                 self.inflight_caps.insert(app.0, *max_inflight);
                 self.tele.control_caps += 1;
-                self.admission_recheck(at, app.0);
+                self.cap_changed(at, app.0);
             }
             ControlDirective::ClearCapInflight { app } => {
                 self.inflight_caps.remove(&app.0);
                 self.tele.control_cap_clears += 1;
-                self.admission_recheck(at, app.0);
+                self.cap_changed(at, app.0);
             }
             ControlDirective::AvoidOsts { osts } => {
                 let n_osts = self.cfg.n_osts();
@@ -792,79 +706,39 @@ impl Cluster {
             .schedule(now + self.control_interval, Ev::Control);
     }
 
-    /// After a cap change for `app`: admit parked RPCs while the new cap
-    /// (or its absence) leaves headroom, in ascending OST order then
-    /// FIFO — deterministic regardless of park order across OSTs.
-    fn admission_recheck(&mut self, now: SimTime, app: u32) {
-        if self.adm_waiting.is_empty() {
-            return;
-        }
-        let cap = self.inflight_caps.get(&app).copied().unwrap_or(u32::MAX);
-        let keys: Vec<(u32, u32)> = self
-            .adm_waiting
-            .range((app, 0)..=(app, u32::MAX))
-            .map(|(k, _)| *k)
-            .collect();
-        for key in keys {
-            loop {
-                let active = self.adm_active.get(&key).copied().unwrap_or(0);
-                if active >= cap {
-                    break;
-                }
-                let Some(msg) = self.adm_waiting.get_mut(&key).and_then(|q| q.pop_front()) else {
-                    break;
+    /// A cap directive for `app` landed: push the master cap table to
+    /// every shard's replica, then re-admit parked RPCs under the new
+    /// cap. The realm runs strictly before the shards inside an epoch,
+    /// so the sequential loop rechecks inline while the parallel driver
+    /// schedules the recheck onto each shard's queue at the directive
+    /// instant (shard clocks are still at the previous epoch boundary).
+    fn cap_changed(&mut self, at: SimTime, app: u32) {
+        for s in 0..self.shards.len() {
+            self.shards[s].st.inflight_caps = self.inflight_caps.clone();
+            if self.par {
+                self.shards[s].q.schedule(at, Ev::AdmissionRecheck { app });
+            } else {
+                let sh = &mut self.shards[s];
+                let mut fx = Fx {
+                    q: &mut self.events,
+                    net: NetFx::Direct(&mut self.net),
                 };
-                *self.adm_active.entry(key).or_insert(0) += 1;
-                self.tele.control_resumed += 1;
-                self.oss_cpu_start(now, msg);
-            }
-            if self.adm_waiting.get(&key).is_some_and(|q| q.is_empty()) {
-                self.adm_waiting.remove(&key);
+                sh.st.admission_recheck(at, app, &self.cfg, &mut fx);
             }
         }
-    }
-
-    /// A capped data RPC finished its OSS/disk journey: free its
-    /// admission slot and admit the next parked RPC if the cap allows.
-    fn admission_release(&mut self, now: SimTime, app: AppId, dev: DeviceId) {
-        if self.adm_active.is_empty() {
-            return;
-        }
-        let key = (app.0, dev.0);
-        let Some(active) = self.adm_active.get_mut(&key) else {
-            return;
-        };
-        // An RPC admitted before the cap was (re)installed may release
-        // against a fresh counter; saturate instead of underflowing.
-        *active = active.saturating_sub(1);
-        let cap = self.inflight_caps.get(&app.0).copied().unwrap_or(u32::MAX);
-        if *active >= cap {
-            return;
-        }
-        let Some(msg) = self.adm_waiting.get_mut(&key).and_then(|q| q.pop_front()) else {
-            if *self.adm_active.get(&key).expect("entry present") == 0
-                && !self.inflight_caps.contains_key(&app.0)
-            {
-                self.adm_active.remove(&key);
-            }
-            return;
-        };
-        *self.adm_active.get_mut(&key).expect("entry present") += 1;
-        self.tele.control_resumed += 1;
-        if self.adm_waiting.get(&key).is_some_and(|q| q.is_empty()) {
-            self.adm_waiting.remove(&key);
-        }
-        self.oss_cpu_start(now, msg);
     }
 
     /// Schedule a fail-slow injection: from `at` onward, `dev` services
     /// every request `factor`× slower (1.0 restores health). Models the
     /// gray-failure drives of Lu et al.'s Perseus.
     pub fn inject_fail_slow(&mut self, dev: DeviceId, at: SimTime, factor: f64) {
-        assert!(dev.index() < self.devices.len(), "no such device");
+        assert!(dev.0 < self.cfg.n_devices(), "no such device");
         assert!(factor >= 1.0);
-        self.events
-            .schedule(at, Ev::FailSlow { dev: dev.0, factor });
+        // Staged, not scheduled: the owning queue (realm or shard) is
+        // only decided when the run starts. Relative order among
+        // same-instant injections is preserved by the stage order.
+        self.pending_init
+            .push((at, Ev::FailSlow { dev: dev.0, factor }));
     }
 
     /// Pre-populate a file (namespace entry + contiguous extents) without
@@ -904,12 +778,14 @@ impl Cluster {
                     file,
                     stripe: c.stripe,
                 };
-                self.extents[c.dev.index()].map(key, c.obj_offset, c.len);
+                let st = &mut self.shards[self.ost_shard[c.dev.index()]].st;
+                let li = c.dev.index() - st.ost_lo as usize;
+                st.extents[li].map(key, c.obj_offset, c.len);
                 if small {
                     // Small pre-existing files sit in the server page
                     // cache (e.g. mdtest-hard bodies written moments
                     // before the read phase).
-                    self.read_cache[c.dev.index()].touch(key, c.obj_offset + c.len);
+                    st.read_cache[li].touch(key, c.obj_offset + c.len);
                 }
             }
         }
@@ -957,6 +833,19 @@ impl Cluster {
     }
 
     fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload: u64, msg: Msg) {
+        if self.par {
+            // Defer to the epoch barrier: NIC clocks must advance in
+            // global timestamp order, which only the barrier can see.
+            self.realm_outbox.push(SendIntent {
+                at: now,
+                src,
+                dst,
+                payload,
+                extra: SimDuration::ZERO,
+                msg: Some(msg),
+            });
+            return;
+        }
         let deliver = self.net.send(now, src, dst, payload);
         self.events.schedule(deliver, Ev::Deliver(msg));
     }
@@ -987,13 +876,36 @@ impl Cluster {
                 if extra > SimDuration::ZERO {
                     self.tele.rpc_delayed += 1;
                 }
+                if self.par {
+                    self.realm_outbox.push(SendIntent {
+                        at: now,
+                        src,
+                        dst,
+                        payload,
+                        extra,
+                        msg: Some(msg),
+                    });
+                    return;
+                }
                 let deliver = self.net.send(now, src, dst, payload);
                 self.events.schedule(deliver + extra, Ev::Deliver(msg));
             }
             LinkFate::Dropped => {
                 self.tele.rpc_dropped += 1;
-                // The transfer still occupies both NICs.
-                let _ = self.net.send(now, src, dst, payload);
+                // The transfer still occupies both NICs (msg: None —
+                // nothing is delivered).
+                if self.par {
+                    self.realm_outbox.push(SendIntent {
+                        at: now,
+                        src,
+                        dst,
+                        payload,
+                        extra: SimDuration::ZERO,
+                        msg: None,
+                    });
+                } else {
+                    let _ = self.net.send(now, src, dst, payload);
+                }
                 let seq = self.retry_states.insert(RetryState {
                     msg,
                     src,
@@ -1099,6 +1011,14 @@ impl Cluster {
     }
 
     fn run_inner(mut self, deadline: SimTime, stop_app: Option<AppId>) -> RunTrace {
+        if self.par {
+            return self.run_parallel(deadline, stop_app);
+        }
+        // Pre-run injections all land on the realm queue here; the
+        // parallel driver routes them to the owning shard instead.
+        for (at, ev) in std::mem::take(&mut self.pending_init) {
+            self.events.schedule(at, ev);
+        }
         self.schedule_fault_plan();
         // Kick every rank and the sampler.
         for a in 0..self.apps.len() {
@@ -1147,13 +1067,7 @@ impl Cluster {
     /// state, so the snapshot is byte-stable across identical runs.
     fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
-        let n_osts = self.cfg.n_osts() as usize;
-        for (i, dev) in self.devices.iter().enumerate() {
-            let p = if i < n_osts {
-                format!("pfs.ost{i}")
-            } else {
-                "pfs.mdt".to_string()
-            };
+        let put_dev = |snap: &mut MetricsSnapshot, p: &str, dev: &BlockDevice<DiskTag>| {
             let c = dev.counters(now);
             for (field, v) in [
                 ("reads_completed", c.reads_completed),
@@ -1180,7 +1094,27 @@ impl Cluster {
                 &format!("{p}.service_us"),
                 MetricValue::Histogram(dev.service_time_hist().clone()),
             );
+        };
+        // Shards hold contiguous ascending OST ranges, so walking them
+        // in order reproduces the historical global device order.
+        let mut i = 0usize;
+        for sh in &self.shards {
+            for dev in &sh.st.devices {
+                put_dev(&mut snap, &format!("pfs.ost{i}"), dev);
+                i += 1;
+            }
         }
+        put_dev(&mut snap, "pfs.mdt", &self.mdt_dev);
+        // Shard-side counters (fault/control activity on the server
+        // shards) fold into the same snapshot keys the sequential
+        // telemetry always used, via the canonical registry merge.
+        let mut sreg = Registry::new();
+        for sh in &self.shards {
+            sreg.merge(&sh.st.reg)
+                .expect("shards use a uniform metric schema");
+        }
+        let ss = sreg.snapshot();
+        let shard_counter = |name: &str| ss.counter(name).unwrap_or(0);
         let elapsed = now.as_secs_f64();
         let nic = |snap: &mut MetricsSnapshot, label: String, node: NodeId| {
             let busy = self.net.nic_busy(node).as_secs_f64();
@@ -1233,7 +1167,7 @@ impl Cluster {
         }
         snap.put(
             "pfs.faults.disk_stalls",
-            MetricValue::Counter(self.tele.disk_stalls),
+            MetricValue::Counter(self.tele.disk_stalls + shard_counter(SHARD_DISK_STALLS)),
         );
         snap.put(
             "pfs.faults.lock_storm_revocations",
@@ -1247,11 +1181,17 @@ impl Cluster {
                 ("applied", self.tele.control_applied),
                 ("cap_clears", self.tele.control_cap_clears),
                 ("caps", self.tele.control_caps),
-                ("parked", self.tele.control_parked),
+                (
+                    "parked",
+                    self.tele.control_parked + shard_counter(SHARD_PARKED),
+                ),
                 ("rate_clears", self.tele.control_rate_clears),
                 ("rate_limits", self.tele.control_rate_limits),
                 ("rejected", self.tele.control_rejected),
-                ("resumed", self.tele.control_resumed),
+                (
+                    "resumed",
+                    self.tele.control_resumed + shard_counter(SHARD_RESUMED),
+                ),
                 ("retarget_clears", self.tele.control_retarget_clears),
                 ("retarget_layouts", self.tele.control_retarget_layouts),
                 ("retargets", self.tele.control_retargets),
@@ -1269,12 +1209,34 @@ impl Cluster {
         match ev {
             Ev::RankNext { app, rank } => self.rank_next(now, app, rank),
             Ev::Deliver(msg) => self.deliver(now, msg),
-            Ev::OssProcess(msg) => self.oss_process(now, msg),
+            // Shard-owned events reach the realm queue only in the
+            // sequential (one-queue) loop; the parallel driver schedules
+            // them on shard queues directly.
+            Ev::OssProcess(msg) => {
+                let s = self.shard_of_dev(Self::msg_dev(&msg).0);
+                self.shard_event(s, now, Ev::OssProcess(msg));
+            }
+            Ev::TbfAdmitted(msg) => {
+                let s = self.shard_of_dev(Self::msg_dev(&msg).0);
+                self.shard_event(s, now, Ev::TbfAdmitted(msg));
+            }
             Ev::MdsProcess(msg) => self.mds_process(now, msg),
-            Ev::DiskDone { dev } => self.disk_done(now, dev),
+            Ev::DiskDone { dev } => {
+                if (dev as usize) < self.ost_shard.len() {
+                    let s = self.shard_of_dev(dev);
+                    self.shard_event(s, now, Ev::DiskDone { dev });
+                } else {
+                    self.mdt_disk_done(now);
+                }
+            }
             Ev::DiskIdle { dev } => {
-                let d = self.devices[dev as usize].idle_check(now);
-                self.handle_dispatch(now, dev, d);
+                if (dev as usize) < self.ost_shard.len() {
+                    let s = self.shard_of_dev(dev);
+                    self.shard_event(s, now, Ev::DiskIdle { dev });
+                } else {
+                    let d = self.mdt_dev.idle_check(now);
+                    self.mdt_dispatch(now, d);
+                }
             }
             Ev::SendLater {
                 src,
@@ -1282,26 +1244,43 @@ impl Cluster {
                 payload,
                 token,
             } => self.send(now, src, dst, payload, Msg::OpDone { token }),
-            Ev::TbfAdmitted(msg) => self.oss_admit(now, msg),
             Ev::MdsLockRun { token, client, dir } => {
                 self.start_journal_write(now, token, client, dir)
             }
             Ev::Sample => {
-                self.take_sample(now);
+                if self.par {
+                    self.take_mdt_sample(now);
+                } else {
+                    self.take_sample(now);
+                }
                 self.events
                     .schedule(now + self.cfg.sample_interval, Ev::Sample);
             }
             Ev::Control => self.control_tick(now),
             Ev::FailSlow { dev, factor } => {
-                self.devices[dev as usize].disk_mut().set_fail_slow(factor);
+                if (dev as usize) < self.ost_shard.len() {
+                    let s = self.shard_of_dev(dev);
+                    self.shard_event(s, now, Ev::FailSlow { dev, factor });
+                } else {
+                    self.mdt_dev.disk_mut().set_fail_slow(factor);
+                }
             }
             Ev::DiskStall { dev, until } => {
-                self.tele.disk_stalls += 1;
-                let d = self.devices[dev as usize].stall(now, until);
-                self.handle_dispatch(now, dev, d);
+                if (dev as usize) < self.ost_shard.len() {
+                    let s = self.shard_of_dev(dev);
+                    self.shard_event(s, now, Ev::DiskStall { dev, until });
+                } else {
+                    self.tele.disk_stalls += 1;
+                    let d = self.mdt_dev.stall(now, until);
+                    self.mdt_dispatch(now, d);
+                }
             }
             Ev::OssFactor { oss, factor } => {
-                self.oss_cpu_factor[oss as usize] = factor;
+                let s = self.shard_of_dev(oss * self.cfg.osts_per_oss);
+                self.shard_event(s, now, Ev::OssFactor { oss, factor });
+            }
+            Ev::AdmissionRecheck { .. } => {
+                unreachable!("admission rechecks live on shard queues")
             }
             Ev::RpcTimeout { seq } => self.rpc_timeout(now, seq),
             Ev::RpcResend { seq } => self.rpc_resend(now, seq),
@@ -1366,7 +1345,18 @@ impl Cluster {
         match self.net.fate(now, src, dst, &mut self.fault_rng) {
             LinkFate::Dropped => {
                 self.tele.rpc_dropped += 1;
-                let _ = self.net.send(now, src, dst, payload);
+                if self.par {
+                    self.realm_outbox.push(SendIntent {
+                        at: now,
+                        src,
+                        dst,
+                        payload,
+                        extra: SimDuration::ZERO,
+                        msg: None,
+                    });
+                } else {
+                    let _ = self.net.send(now, src, dst, payload);
+                }
                 self.events
                     .schedule(now + self.retry.rpc_timeout, Ev::RpcTimeout { seq });
             }
@@ -1375,6 +1365,17 @@ impl Cluster {
                     self.tele.rpc_delayed += 1;
                 }
                 let state = self.retry_states.remove(seq).expect("retry state present");
+                if self.par {
+                    self.realm_outbox.push(SendIntent {
+                        at: now,
+                        src,
+                        dst,
+                        payload,
+                        extra,
+                        msg: Some(state.msg),
+                    });
+                    return;
+                }
                 let deliver = self.net.send(now, src, dst, payload);
                 self.events
                     .schedule(deliver + extra, Ev::Deliver(state.msg));
@@ -1581,7 +1582,8 @@ impl Cluster {
                 if admitted > now {
                     self.events.schedule(admitted, Ev::TbfAdmitted(msg));
                 } else {
-                    self.oss_admit(now, msg);
+                    let s = self.shard_of_dev(Self::msg_dev(&msg).0);
+                    self.shard_event(s, now, Ev::TbfAdmitted(msg));
                 }
             }
             Msg::MetaReq { ref op, .. } => {
@@ -1598,236 +1600,22 @@ impl Cluster {
         }
     }
 
-    // -------------------------------------------------------------- OSS
+    // -------------------------------------------------------------- MDT
 
-    /// Mark `obj` resident in `dev`'s page cache if, and only if, the
-    /// whole object is small (residency is object-granular, so partially
-    /// read large objects must never qualify).
-    fn touch_small(&mut self, dev: DeviceId, obj: ObjKey) {
-        let bytes = self.extents[dev.index()].object_sectors(obj) * SECTOR_SIZE;
-        if bytes > 0 && bytes <= self.cfg.cache.small_object_max {
-            self.read_cache[dev.index()].touch(obj, bytes);
-        }
+    /// Submit a metadata block request on the MDT and realise its
+    /// dispatch outcome.
+    fn submit_mdt(&mut self, now: SimTime, kind: ReqKind, sector: u64, sectors: u64, tag: DiskTag) {
+        let d = self.mdt_dev.submit(now, kind, sector, sectors, true, tag);
+        self.mdt_dispatch(now, d);
     }
 
-    fn handle_dispatch(&mut self, now: SimTime, dev: u32, d: Dispatch) {
+    fn mdt_dispatch(&mut self, now: SimTime, d: Dispatch) {
+        let dev = self.cfg.n_osts();
         match d {
             Dispatch::Started(dur) => self.events.schedule(now + dur, Ev::DiskDone { dev }),
             Dispatch::Anticipating(at) => self.events.schedule(at, Ev::DiskIdle { dev }),
             Dispatch::Idle => {}
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn submit_block(
-        &mut self,
-        now: SimTime,
-        dev: DeviceId,
-        kind: ReqKind,
-        sector: u64,
-        sectors: u64,
-        foreground: bool,
-        tag: DiskTag,
-    ) {
-        let d = self.devices[dev.index()].submit(now, kind, sector, sectors, foreground, tag);
-        self.handle_dispatch(now, dev.0, d);
-    }
-
-    /// Admit a data RPC to its OSS (post-TBF): if the issuing app has
-    /// an inflight cap and the target OST is at it, park the RPC; else
-    /// count it (capped apps only) and start the CPU stage.
-    fn oss_admit(&mut self, now: SimTime, msg: Msg) {
-        if !self.inflight_caps.is_empty() {
-            let (dev, app) = match &msg {
-                Msg::ReadReq { dev, token, .. } | Msg::WriteReq { dev, token, .. } => {
-                    (*dev, token.app)
-                }
-                _ => unreachable!("only data RPCs reach the OSS"),
-            };
-            if let Some(&cap) = self.inflight_caps.get(&app.0) {
-                let key = (app.0, dev.0);
-                let active = self.adm_active.entry(key).or_insert(0);
-                if *active >= cap {
-                    self.tele.control_parked += 1;
-                    self.adm_waiting.entry(key).or_default().push_back(msg);
-                    return;
-                }
-                *active += 1;
-            }
-        }
-        self.oss_cpu_start(now, msg);
-    }
-
-    /// Schedule an admitted data RPC onto its OSS node's CPU.
-    fn oss_cpu_start(&mut self, now: SimTime, msg: Msg) {
-        let dev = match &msg {
-            Msg::ReadReq { dev, .. } | Msg::WriteReq { dev, .. } => *dev,
-            _ => unreachable!("only data RPCs reach the OSS"),
-        };
-        let oss = (dev.0 / self.cfg.osts_per_oss) as usize;
-        let start = now.max(self.oss_cpu_free[oss]);
-        // `OssThreadCrash`: fewer service threads → each RPC costs more
-        // CPU time. Skip the f64 roundtrip entirely when healthy so the
-        // event stream is bit-identical to pre-fault builds.
-        let factor = self.oss_cpu_factor[oss];
-        let cost = if factor != 1.0 {
-            SimDuration::from_secs_f64(self.cfg.oss.cpu_per_rpc.as_secs_f64() * factor)
-        } else {
-            self.cfg.oss.cpu_per_rpc
-        };
-        let done = start + cost;
-        self.oss_cpu_free[oss] = done;
-        self.events.schedule(done, Ev::OssProcess(msg));
-    }
-
-    fn oss_process(&mut self, now: SimTime, msg: Msg) {
-        match msg {
-            Msg::ReadReq {
-                dev,
-                obj,
-                obj_off,
-                len,
-                token,
-                client,
-            } => {
-                // Server page cache: small resident objects never touch
-                // the disk.
-                if self.read_cache[dev.index()].contains(obj) {
-                    let memcpy =
-                        SimDuration::from_secs_f64(len as f64 / self.cfg.cache.absorb_rate);
-                    self.events.schedule(
-                        now + memcpy,
-                        Ev::SendLater {
-                            src: self.dev_node[dev.index()],
-                            dst: client,
-                            payload: len,
-                            token,
-                        },
-                    );
-                    self.admission_release(now, token.app, dev);
-                    return;
-                }
-                let mut ranges = std::mem::take(&mut self.scratch_ranges);
-                ranges.clear();
-                self.extents[dev.index()].map_into(obj, obj_off, len, &mut ranges);
-                let chunk = self.chunk_pending.insert(ChunkPending {
-                    remaining: ranges.len() as u32,
-                    token,
-                    client,
-                    dev,
-                    reply_bytes: len,
-                    touched: Some((obj, obj_off + len)),
-                });
-                for r in ranges.drain(..) {
-                    self.submit_block(
-                        now,
-                        dev,
-                        ReqKind::Read,
-                        r.sector,
-                        r.sectors,
-                        true,
-                        DiskTag::ReadChunk { chunk },
-                    );
-                }
-                self.scratch_ranges = ranges;
-            }
-            Msg::WriteReq {
-                dev,
-                obj,
-                obj_off,
-                len,
-                token,
-                client,
-            } => {
-                let pw = PendingWrite {
-                    token,
-                    client,
-                    dev,
-                    obj,
-                    obj_off,
-                    len,
-                };
-                match self.caches[dev.index()].admit(len, pw) {
-                    Admit::Absorbed { absorb } => {
-                        let pw = PendingWrite {
-                            token,
-                            client,
-                            dev,
-                            obj,
-                            obj_off,
-                            len,
-                        };
-                        self.touch_small(dev, obj);
-                        self.start_flush(now, &pw);
-                        self.events.schedule(
-                            now + absorb,
-                            Ev::SendLater {
-                                src: self.dev_node[dev.index()],
-                                dst: client,
-                                payload: 0,
-                                token,
-                            },
-                        );
-                        self.admission_release(now, token.app, dev);
-                    }
-                    Admit::Throttled => {} // released by a later flush
-                    Admit::Sync => {
-                        let mut ranges = std::mem::take(&mut self.scratch_ranges);
-                        ranges.clear();
-                        self.extents[dev.index()].map_into(obj, obj_off, len, &mut ranges);
-                        let chunk = self.chunk_pending.insert(ChunkPending {
-                            remaining: ranges.len() as u32,
-                            token,
-                            client,
-                            dev,
-                            reply_bytes: 0,
-                            touched: None,
-                        });
-                        for r in ranges.drain(..) {
-                            self.submit_block(
-                                now,
-                                dev,
-                                ReqKind::Write,
-                                r.sector,
-                                r.sectors,
-                                true,
-                                DiskTag::SyncChunk { chunk },
-                            );
-                        }
-                        self.scratch_ranges = ranges;
-                    }
-                }
-            }
-            _ => unreachable!("only data RPCs reach the OSS"),
-        }
-    }
-
-    /// Submit background flush requests covering one absorbed write.
-    fn start_flush(&mut self, now: SimTime, pw: &PendingWrite) {
-        let mut ranges = std::mem::take(&mut self.scratch_ranges);
-        ranges.clear();
-        self.extents[pw.dev.index()].map_into(pw.obj, pw.obj_off, pw.len, &mut ranges);
-        let mut remaining = pw.len;
-        let n = ranges.len();
-        for (i, r) in ranges.drain(..).enumerate() {
-            let sector_bytes = r.sectors * SECTOR_SIZE;
-            let share = if i + 1 == n {
-                remaining
-            } else {
-                sector_bytes.min(remaining)
-            };
-            remaining -= share;
-            self.submit_block(
-                now,
-                pw.dev,
-                ReqKind::Write,
-                r.sector,
-                r.sectors,
-                false,
-                DiskTag::Flush { dirty_bytes: share },
-            );
-        }
-        self.scratch_ranges = ranges;
     }
 
     // -------------------------------------------------------------- MDS
@@ -1888,14 +1676,11 @@ impl Cluster {
 
     fn start_journal_write(&mut self, now: SimTime, token: OpToken, client: NodeId, dir: DirKey) {
         let sector = self.journal_alloc();
-        let mdt = self.mdt();
-        self.submit_block(
+        self.submit_mdt(
             now,
-            mdt,
             ReqKind::Write,
             sector,
             META_SECTORS,
-            true,
             DiskTag::Journal { token, client, dir },
         );
     }
@@ -1918,14 +1703,11 @@ impl Cluster {
                     self.send(now, mds_node, client, META_MSG_BYTES, Msg::OpDone { token });
                 } else {
                     let sector = self.inode_sector(file);
-                    let mdt = self.mdt();
-                    self.submit_block(
+                    self.submit_mdt(
                         now,
-                        mdt,
                         ReqKind::Read,
                         sector,
                         META_SECTORS,
-                        true,
                         DiskTag::Lookup {
                             token,
                             client,
@@ -1958,39 +1740,13 @@ impl Cluster {
 
     // ------------------------------------------------------------ disks
 
-    fn disk_done(&mut self, now: SimTime, dev: u32) {
+    /// An MDT block request completed: only metadata tags can appear.
+    fn mdt_disk_done(&mut self, now: SimTime) {
         let mut members = std::mem::take(&mut self.scratch_members);
-        let (_meta, next) = self.devices[dev as usize].complete_into(now, &mut members);
-        self.handle_dispatch(now, dev, next);
-        let mut flushed_bytes = 0u64;
+        let (_meta, next) = self.mdt_dev.complete_into(now, &mut members);
+        self.mdt_dispatch(now, next);
         for m in members.drain(..) {
             match m.tag {
-                DiskTag::ReadChunk { chunk } | DiskTag::SyncChunk { chunk } => {
-                    let finished = {
-                        let p = self
-                            .chunk_pending
-                            .get_mut(chunk)
-                            .expect("unknown chunk completion");
-                        p.remaining -= 1;
-                        p.remaining == 0
-                    };
-                    if finished {
-                        let p = self.chunk_pending.remove(chunk).expect("chunk present");
-                        if let Some((obj, _end)) = p.touched {
-                            self.touch_small(p.dev, obj);
-                        }
-                        let src = self.dev_node[p.dev.index()];
-                        self.send(
-                            now,
-                            src,
-                            p.client,
-                            p.reply_bytes,
-                            Msg::OpDone { token: p.token },
-                        );
-                        self.admission_release(now, p.token.app, p.dev);
-                    }
-                }
-                DiskTag::Flush { dirty_bytes } => flushed_bytes += dirty_bytes,
                 DiskTag::Journal { token, client, dir } => {
                     let src = self.dev_node[self.mdt().index()];
                     self.send(now, src, client, META_MSG_BYTES, Msg::OpDone { token });
@@ -2021,50 +1777,54 @@ impl Cluster {
                     let src = self.dev_node[self.mdt().index()];
                     self.send(now, src, client, META_MSG_BYTES, Msg::OpDone { token });
                 }
+                _ => unreachable!("data tag on the MDT"),
             }
         }
         self.scratch_members = members;
-        if flushed_bytes > 0 {
-            let released = self.caches[dev as usize].flushed(flushed_bytes);
-            for r in released {
-                let (token, client, d) = (r.tag.token, r.tag.client, r.tag.dev);
-                self.start_flush(now, &r.tag);
-                self.events.schedule(
-                    now + r.absorb,
-                    Ev::SendLater {
-                        src: self.dev_node[d.index()],
-                        dst: client,
-                        payload: 0,
-                        token,
-                    },
-                );
-                self.admission_release(now, token.app, d);
-            }
-        }
     }
 
     // --------------------------------------------------------- sampling
 
+    /// Sequential sampler: one event walks every device, in global
+    /// device order, directly into the trace.
     fn take_sample(&mut self, now: SimTime) {
         self.tele.samples_taken += 1;
-        let n_osts = self.cfg.n_osts() as usize;
-        for (i, dev) in self.devices.iter().enumerate() {
-            let (dirty, throttled) = if i < n_osts {
-                (
-                    self.caches[i].dirty(),
-                    self.caches[i].throttled_now() as u64,
-                )
-            } else {
-                (0, 0)
-            };
-            self.trace.samples.push(ServerSample {
-                time: now,
-                dev: DeviceId(i as u32),
-                counters: dev.counters(now),
-                dirty_bytes: dirty,
-                throttled_now: throttled,
-            });
+        let mut gi = 0u32;
+        for sh in &self.shards {
+            let st = &sh.st;
+            for (li, dev) in st.devices.iter().enumerate() {
+                self.trace.samples.push(ServerSample {
+                    time: now,
+                    dev: DeviceId(gi),
+                    counters: dev.counters(now),
+                    dirty_bytes: st.caches[li].dirty(),
+                    throttled_now: st.caches[li].throttled_now() as u64,
+                });
+                gi += 1;
+            }
         }
+        self.trace.samples.push(ServerSample {
+            time: now,
+            dev: DeviceId(gi),
+            counters: self.mdt_dev.counters(now),
+            dirty_bytes: 0,
+            throttled_now: 0,
+        });
+    }
+
+    /// Parallel sampler, realm side: the MDT sample is buffered and
+    /// merged with the shard-side samples at the epoch barrier, in
+    /// (time, device) order — the exact order [`Cluster::take_sample`]
+    /// pushes.
+    fn take_mdt_sample(&mut self, now: SimTime) {
+        self.tele.samples_taken += 1;
+        self.realm_samples.push(ServerSample {
+            time: now,
+            dev: DeviceId(self.cfg.n_osts()),
+            counters: self.mdt_dev.counters(now),
+            dirty_bytes: 0,
+            throttled_now: 0,
+        });
     }
 }
 

@@ -245,6 +245,15 @@ pub struct ClusterConfig {
     /// prior releases); the RLE ring bounds trace memory on long runs
     /// and is proven read-equivalent by the differential suite.
     pub trace_store: TraceStoreConfig,
+    /// Number of parallel server shards the simulation loop may use.
+    /// `1` (the default) runs the classic sequential loop. Values above
+    /// 1 partition the OSS/OST set into that many contiguous shards and
+    /// drive them on the ambient rayon pool with conservative epoch
+    /// synchronisation; clamped to `oss_nodes`. Every shard count
+    /// produces bit-identical traces and telemetry (enforced by the
+    /// differential replay harness) — this knob only trades wall-clock
+    /// time for cores.
+    pub sim_shards: u32,
 }
 
 impl Default for ClusterConfig {
@@ -265,6 +274,7 @@ impl Default for ClusterConfig {
             sample_interval: SimDuration::from_secs(1),
             event_queue: QueueBackend::Calendar,
             trace_store: TraceStoreConfig::default(),
+            sim_shards: 1,
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod layout;
 pub mod net;
 pub mod ops;
 pub mod queue;
+mod shard;
 pub mod store;
 
 /// Convenient glob-import surface for building and running clusters.

@@ -1,0 +1,269 @@
+//! Conservative epoch scheduling for parallel simulation.
+//!
+//! A sharded simulation advances all shards through a sequence of
+//! *epochs*: half-open-left windows `(b, b']` of simulated time. Within
+//! an epoch every shard processes only its own events; anything that
+//! crosses a shard boundary (an RPC, a reply) is buffered and exchanged
+//! at the *barrier* between epochs. This is safe — no shard can ever see
+//! an event "from the past" — as long as every epoch is no longer than
+//! the *lookahead*: the minimum latency any cross-shard interaction
+//! needs before it can affect another shard. For the PFS simulator the
+//! lookahead is the minimum network latency: a message sent at time `t`
+//! cannot be delivered before `t + latency`, so a send performed inside
+//! `(b, b']` always lands strictly after `b'` (epoch length ≤ latency).
+//!
+//! [`EpochSchedule`] produces the boundary sequence. Besides the regular
+//! lookahead grid it can pin extra boundaries at a recurring *tick*
+//! (e.g. a controller interval): placing `j·C` and `j·C + offset` on the
+//! boundary set guarantees the tick event is processed in its own
+//! mini-epoch, after every delivery from before the tick has been
+//! materialised and before any delivery following it is routed — which
+//! is what keeps globally ordered control decisions identical between
+//! sequential and sharded execution.
+//!
+//! [`Mailbox`] is the deterministic cross-shard delivery pool: entries
+//! are stamped with an insertion sequence number, and drain strictly in
+//! `(time, stamp)` order, so the merge order at a barrier depends only
+//! on the (canonical) order in which the coordinator pushed them —
+//! never on thread scheduling.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Generator of conservative epoch boundaries.
+///
+/// Boundaries are the union of the regular grid `{k·lookahead}` and, if
+/// a tick is configured, the points `{j·interval}` and
+/// `{j·interval + offset}`. Consecutive boundaries are therefore never
+/// more than `lookahead` apart, which is the conservative-synchronisation
+/// safety condition.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochSchedule {
+    lookahead: SimDuration,
+    tick: Option<(SimDuration, SimDuration)>,
+}
+
+impl EpochSchedule {
+    /// Schedule with the plain lookahead grid. `lookahead` must be
+    /// non-zero.
+    pub fn new(lookahead: SimDuration) -> Self {
+        assert!(lookahead > SimDuration::ZERO, "lookahead must be non-zero");
+        EpochSchedule {
+            lookahead,
+            tick: None,
+        }
+    }
+
+    /// Add recurring tick boundaries at `j·interval` and
+    /// `j·interval + offset` for `j ≥ 1`. `offset` must be smaller than
+    /// `interval`.
+    pub fn with_tick(mut self, interval: SimDuration, offset: SimDuration) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "tick interval must be non-zero"
+        );
+        assert!(offset < interval, "tick offset must precede the next tick");
+        self.tick = Some((interval, offset));
+        self
+    }
+
+    /// The configured lookahead (maximum epoch length).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The first boundary strictly after `b`. Never more than
+    /// `lookahead` past `b`.
+    pub fn next_after(&self, b: SimTime) -> SimTime {
+        let l = self.lookahead.as_nanos();
+        let mut next = (b.as_nanos() / l + 1) * l;
+        if let Some((c, o)) = self.tick {
+            let (c, o) = (c.as_nanos(), o.as_nanos());
+            let j = b.as_nanos() / c;
+            for cand in [j * c, j * c + o, (j + 1) * c, (j + 1) * c + o] {
+                if cand > b.as_nanos() && cand < next {
+                    next = cand;
+                }
+            }
+        }
+        SimTime(next)
+    }
+
+    /// The last boundary strictly *before* `t` (zero if there is none):
+    /// the base from which the epoch containing `t` starts. Used to
+    /// fast-forward over stretches with no pending work.
+    pub fn last_before(&self, t: SimTime) -> SimTime {
+        if t == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        let x = t.as_nanos() - 1;
+        let l = self.lookahead.as_nanos();
+        let mut last = (x / l) * l;
+        if let Some((c, o)) = self.tick {
+            let (c, o) = (c.as_nanos(), o.as_nanos());
+            let j = x / c;
+            for cand in [j * c, j * c + o] {
+                if cand <= x && cand > last {
+                    last = cand;
+                }
+            }
+        }
+        SimTime(last)
+    }
+}
+
+#[derive(Debug)]
+struct Stamped<T> {
+    at: SimTime,
+    stamp: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Stamped<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.stamp == other.stamp
+    }
+}
+impl<T> Eq for Stamped<T> {}
+impl<T> PartialOrd for Stamped<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Stamped<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.stamp).cmp(&(other.at, other.stamp))
+    }
+}
+
+/// Deterministic pending-delivery pool for cross-shard traffic.
+///
+/// Each [`push`](Mailbox::push) stamps the entry with a monotonically
+/// increasing sequence number; [`pop_until`](Mailbox::pop_until) drains
+/// entries in strict `(time, stamp)` order. Two mailboxes fed the same
+/// `(time, item)` sequence drain identically, regardless of how the
+/// producing shards were scheduled onto threads — the coordinator pushes
+/// in canonical order, so the drain order is canonical too.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    heap: BinaryHeap<Reverse<Stamped<T>>>,
+    next_stamp: u64,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Mailbox {
+            heap: BinaryHeap::new(),
+            next_stamp: 0,
+        }
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Enqueue `item` for delivery at `at`.
+    pub fn push(&mut self, at: SimTime, item: T) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.heap.push(Reverse(Stamped { at, stamp, item }));
+    }
+
+    /// Timestamp of the earliest pending entry.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pop the earliest entry if it is due at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.heap.pop().map(|Reverse(s)| (s.at, s.item))
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_never_exceed_lookahead() {
+        let s = EpochSchedule::new(SimDuration::from_micros(100))
+            .with_tick(SimDuration::from_millis(1), SimDuration::from_nanos(1));
+        let mut b = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let n = s.next_after(b);
+            assert!(n > b);
+            assert!(n - b <= SimDuration::from_micros(100));
+            b = n;
+        }
+    }
+
+    #[test]
+    fn tick_points_are_boundaries() {
+        let s = EpochSchedule::new(SimDuration::from_micros(100))
+            .with_tick(SimDuration::from_millis(1), SimDuration::from_nanos(1));
+        // Walking from just before a tick must land exactly on j·C, then
+        // on j·C + 1ns.
+        let close = SimTime(1_000_000);
+        let before = SimTime(close.as_nanos() - 50);
+        assert_eq!(s.next_after(before), close);
+        assert_eq!(s.next_after(close), SimTime(close.as_nanos() + 1));
+    }
+
+    #[test]
+    fn last_before_is_inverse_of_next_after() {
+        let s = EpochSchedule::new(SimDuration::from_micros(100))
+            .with_tick(SimDuration::from_millis(1), SimDuration::from_nanos(1));
+        for t in [
+            1u64, 99_999, 100_000, 100_001, 1_000_000, 1_000_001, 1_000_002,
+        ] {
+            let t = SimTime(t);
+            let b = s.last_before(t);
+            assert!(b < t, "base {b:?} not before {t:?}");
+            assert!(s.next_after(b) >= t, "epoch ({b:?}, ..] skips {t:?}");
+        }
+    }
+
+    #[test]
+    fn mailbox_drains_in_time_then_stamp_order() {
+        let mut m = Mailbox::new();
+        m.push(SimTime(5), "a");
+        m.push(SimTime(3), "b");
+        m.push(SimTime(5), "c");
+        m.push(SimTime(1), "d");
+        let mut out = Vec::new();
+        while let Some((at, item)) = m.pop_until(SimTime(5)) {
+            out.push((at.as_nanos(), item));
+        }
+        assert_eq!(out, vec![(1, "d"), (3, "b"), (5, "a"), (5, "c")]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mailbox_respects_deadline() {
+        let mut m = Mailbox::new();
+        m.push(SimTime(10), 1u32);
+        m.push(SimTime(20), 2u32);
+        assert_eq!(m.pop_until(SimTime(15)), Some((SimTime(10), 1)));
+        assert_eq!(m.pop_until(SimTime(15)), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.peek_time(), Some(SimTime(20)));
+    }
+}

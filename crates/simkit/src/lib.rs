@@ -8,6 +8,8 @@
 //! - [`time`] — integer-nanosecond [`SimTime`]/[`SimDuration`].
 //! - [`event`] — the deterministic [`EventQueue`] with selectable
 //!   calendar/heap backends ([`QueueBackend`]).
+//! - [`epoch`] — conservative epoch boundaries and deterministic
+//!   cross-shard mailboxes for parallel simulation.
 //! - [`reference`] — the naive sorted-`Vec` queue double backing the
 //!   differential tests.
 //! - [`rng`] — seeded [`SimRng`] with substream derivation.
@@ -21,6 +23,7 @@
 //! (a) time is integral, (b) event ties break by insertion order, and
 //! (c) all randomness flows from [`SimRng`] substreams.
 
+pub mod epoch;
 pub mod error;
 pub mod event;
 pub mod ratelimit;
@@ -31,6 +34,7 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use epoch::{EpochSchedule, Mailbox};
 pub use error::QiError;
 pub use event::{EventQueue, QueueBackend};
 pub use ratelimit::TokenBucket;

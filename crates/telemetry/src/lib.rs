@@ -227,7 +227,101 @@ impl Registry {
                 .collect(),
         }
     }
+
+    /// Merge `other` into this registry, name by name in ascending key
+    /// order (parallel shard reduction).
+    ///
+    /// Shared names combine kind-wise: counters and gauges sum, stats
+    /// and histograms merge their accumulators. Names only present in
+    /// `other` are registered here, in ascending order — so the merged
+    /// registry's layout depends only on the *set* of inputs, never on
+    /// each input's registration order. Gauges lose their last-writer
+    /// semantics under a merge (shards must only use gauges for
+    /// summable quantities).
+    ///
+    /// Unlike [`Registry::register`], a kind conflict is an `Err`, not a
+    /// panic — merging telemetry from a foreign shard is an operation
+    /// whose failure the caller must be able to report. The merge is
+    /// validated up front: on `Err` this registry is unchanged.
+    pub fn merge(&mut self, other: &Registry) -> Result<(), MergeError> {
+        let mut incoming: Vec<&Entry> = other.entries.iter().collect();
+        incoming.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in &incoming {
+            if let Some(&i) = self.index.get(&e.name) {
+                let (have, want) = (self.entries[i].value.kind(), e.value.kind());
+                if have != want {
+                    return Err(MergeError::KindConflict {
+                        name: e.name.clone(),
+                        have,
+                        want,
+                    });
+                }
+                if let (MetricValue::Histogram(a), MetricValue::Histogram(b)) =
+                    (&self.entries[i].value, &e.value)
+                {
+                    if a.lo() != b.lo()
+                        || a.hi() != b.hi()
+                        || a.buckets().len() != b.buckets().len()
+                    {
+                        return Err(MergeError::HistogramShape {
+                            name: e.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for e in incoming {
+            match self.index.get(&e.name) {
+                Some(&i) => match (&mut self.entries[i].value, &e.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Stats(a), MetricValue::Stats(b)) => a.merge(b),
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => unreachable!("kinds validated above"),
+                },
+                None => {
+                    self.register(&e.name, e.value.clone());
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`Registry::merge`] was rejected. The target registry is left
+/// untouched in every error case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The same name is registered with different kinds.
+    KindConflict {
+        /// Conflicting metric name.
+        name: String,
+        /// Kind already registered in the target.
+        have: &'static str,
+        /// Kind arriving from the merged registry.
+        want: &'static str,
+    },
+    /// Two histograms share a name but not bounds/bucket count.
+    HistogramShape {
+        /// Conflicting metric name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::KindConflict { name, have, want } => {
+                write!(f, "metric `{name}`: cannot merge {want} into {have}")
+            }
+            MergeError::HistogramShape { name } => {
+                write!(f, "metric `{name}`: histogram shapes differ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// An immutable, name-sorted export of a [`Registry`] at one instant.
 ///
@@ -455,5 +549,85 @@ mod tests {
         let mut out = MetricsSnapshot::new();
         out.absorb("sub", &a);
         assert_eq!(out.counter("sub.x"), Some(1));
+    }
+
+    #[test]
+    fn merge_combines_kind_wise() {
+        let mut a = Registry::new();
+        let ac = a.counter("ops");
+        let ag = a.gauge("bytes");
+        let as_ = a.stats("lat");
+        a.add(ac, 3);
+        a.set(ag, 1.5);
+        a.observe(as_, 2.0);
+        let mut b = Registry::new();
+        let bc = b.counter("ops");
+        let bs = b.stats("lat");
+        let bonly = b.counter("extra");
+        b.add(bc, 4);
+        b.observe(bs, 6.0);
+        b.inc(bonly);
+        a.merge(&b).expect("merge succeeds");
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("ops"), Some(7));
+        assert_eq!(snap.gauge("bytes"), Some(1.5));
+        assert_eq!(snap.counter("extra"), Some(1));
+        let s = snap.stats("lat").unwrap();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 4.0);
+    }
+
+    #[test]
+    fn merge_kind_conflict_is_an_error_and_leaves_target_unchanged() {
+        let mut a = Registry::new();
+        let c = a.counter("x");
+        a.add(c, 2);
+        let yc = a.counter("y");
+        a.add(yc, 9);
+        let before = a.snapshot();
+        let mut b = Registry::new();
+        // `y` sorts after `x`: the conflict is found *after* a mergeable
+        // entry, and the up-front validation must still roll nothing in.
+        let bx = b.counter("x");
+        b.add(bx, 1);
+        b.gauge("y");
+        let err = a.merge(&b).expect_err("kind conflict");
+        assert_eq!(
+            err,
+            MergeError::KindConflict {
+                name: "y".into(),
+                have: "counter",
+                want: "gauge",
+            }
+        );
+        assert_eq!(a.snapshot(), before, "failed merge mutated the target");
+    }
+
+    #[test]
+    fn merge_histogram_shape_mismatch_is_an_error() {
+        let mut a = Registry::new();
+        a.histogram("h", 0.0, 100.0, 10);
+        let mut b = Registry::new();
+        b.histogram("h", 0.0, 100.0, 20);
+        let err = a.merge(&b).expect_err("shape mismatch");
+        assert_eq!(err, MergeError::HistogramShape { name: "h".into() });
+    }
+
+    #[test]
+    fn merge_appends_new_names_in_ascending_order() {
+        let mut a = Registry::new();
+        a.counter("m");
+        let mut b = Registry::new();
+        // Registered out of order on purpose.
+        b.counter("z");
+        b.counter("a");
+        b.counter("q");
+        a.merge(&b).expect("merge succeeds");
+        let mut c = Registry::new();
+        c.counter("m");
+        c.counter("a");
+        c.counter("q");
+        c.counter("z");
+        assert_eq!(a.snapshot(), c.snapshot());
     }
 }

@@ -12,6 +12,10 @@ use qi_simkit::{QueueBackend, SimDuration, SimTime};
 use quanterference_repro::framework::prelude::*;
 use quanterference_repro::pfs::ids::AppId;
 
+/// Shard counts for the parallel-simulator sweep. The sweep cluster has
+/// four OSS nodes, so every count here is a real partition (no clamp).
+const SHARDS: [u32; 2] = [2, 4];
+
 fn t(s: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs(s)
 }
@@ -72,16 +76,27 @@ fn scenario(backend: QueueBackend, faulted: bool) -> Scenario {
 /// Field-by-field bit equality of two run traces, including the
 /// rendered telemetry JSON (the byte-exact surface the goldens pin).
 fn assert_traces_identical(a: &RunTrace, b: &RunTrace, ctx: &str) {
-    assert_eq!(a.ops, b.ops, "{ctx}: op records diverged");
-    assert_eq!(a.rpcs, b.rpcs, "{ctx}: rpc records diverged");
-    assert_eq!(a.samples, b.samples, "{ctx}: server samples diverged");
-    assert_eq!(a.app_completion, b.app_completion, "{ctx}: completions");
-    assert_eq!(a.failed_ops, b.failed_ops, "{ctx}: failed ops diverged");
-    assert_eq!(a.end, b.end, "{ctx}: end time diverged");
+    assert_traces_equivalent(a, b, ctx);
     assert_eq!(
         a.events_processed, b.events_processed,
         "{ctx}: event count diverged"
     );
+}
+
+/// Bit equality of everything a run *observes* — ops, RPCs, samples,
+/// directives, telemetry JSON — but not `events_processed`. Different
+/// shard counts process different bookkeeping events (one sampler chain
+/// per shard, admission-recheck events on shard queues), so the raw
+/// event count is the one trace field that legitimately varies across
+/// shard counts while every observable stays bit-identical.
+fn assert_traces_equivalent(a: &RunTrace, b: &RunTrace, ctx: &str) {
+    assert_eq!(a.ops, b.ops, "{ctx}: op records diverged");
+    assert_eq!(a.rpcs, b.rpcs, "{ctx}: rpc records diverged");
+    assert_eq!(a.samples, b.samples, "{ctx}: server samples diverged");
+    assert_eq!(a.directives, b.directives, "{ctx}: directives diverged");
+    assert_eq!(a.app_completion, b.app_completion, "{ctx}: completions");
+    assert_eq!(a.failed_ops, b.failed_ops, "{ctx}: failed ops diverged");
+    assert_eq!(a.end, b.end, "{ctx}: end time diverged");
     assert_eq!(a.metrics, b.metrics, "{ctx}: telemetry diverged");
     assert_eq!(
         a.metrics.to_json(),
@@ -128,6 +143,132 @@ fn faulted_replay_is_byte_identical_across_backends_and_threads() {
     assert!(golden.1.metrics.counter("pfs.rpc.retries").unwrap_or(0) > 0);
     for backend in BACKENDS {
         assert_backend_matches_golden(&golden, backend, true);
+    }
+}
+
+/// True when `QI_SKIP_PARSIM=1` asks the bench pipeline to skip the
+/// parallel-simulator sweep (both these tests and the bench curve).
+fn skip_parsim() -> bool {
+    let skip = std::env::var("QI_SKIP_PARSIM").map(|v| v == "1") == Ok(true);
+    if skip {
+        eprintln!("skipping sharded replay sweep (QI_SKIP_PARSIM=1)");
+    }
+    skip
+}
+
+/// The shard-sweep scenario: the mixed read/metadata workload on a
+/// four-OSS cluster so that `sim_shards = 4` is a genuine four-way
+/// partition, with the same optional fault plan as `scenario`.
+fn sharded_scenario(backend: QueueBackend, faulted: bool, shards: u32) -> Scenario {
+    let mut s = scenario(backend, faulted);
+    s.cluster.oss_nodes = 4;
+    s.cluster.sim_shards = shards;
+    s
+}
+
+/// The parallel-simulator differential replay: at every shard count the
+/// observable trace must be bit-identical to the sequential (one-shard)
+/// run of the same scenario, on every queue backend and rayon pool
+/// size, healthy and faulted. Within a fixed shard count the *entire*
+/// trace — including the raw event count — must replay exactly.
+#[test]
+fn sharded_replay_is_byte_identical_across_backends_and_threads() {
+    if skip_parsim() {
+        return;
+    }
+    for faulted in [false, true] {
+        let sequential = sharded_scenario(QueueBackend::Calendar, faulted, 1)
+            .run()
+            .expect("sequential golden run");
+        assert!(!sequential.1.ops.is_empty(), "golden run must do real work");
+        if faulted {
+            assert!(
+                sequential.1.metrics.counter("pfs.rpc.dropped").unwrap_or(0) > 0,
+                "the fault plan must visibly bite"
+            );
+        }
+        for shards in SHARDS {
+            let golden = sharded_scenario(QueueBackend::Calendar, faulted, shards)
+                .run()
+                .expect("sharded golden run");
+            assert_eq!(sequential.0, golden.0, "app id diverged");
+            assert_traces_equivalent(
+                &sequential.1,
+                &golden.1,
+                &format!("{shards} shards vs sequential (faulted={faulted})"),
+            );
+            for backend in BACKENDS {
+                let s = sharded_scenario(backend, faulted, shards);
+                for threads in THREADS {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .expect("explicit thread counts always build");
+                    let (app, trace) = pool.install(|| s.run()).expect("scenario runs");
+                    let ctx = format!(
+                        "{backend:?} @ {threads} threads, {shards} shards (faulted={faulted})"
+                    );
+                    assert_eq!(golden.0, app, "{ctx}: app id diverged");
+                    assert_traces_identical(&golden.1, &trace, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// One predictorless uniform-throttle controlled run of the shard-sweep
+/// scenario — the controller tick path pins epoch boundaries to the
+/// control window, so the controlled leg exercises the mini-epoch
+/// schedule the healthy leg never touches.
+fn sharded_controlled_run(faulted: bool, shards: u32) -> (AppId, RunTrace) {
+    let s = sharded_scenario(QueueBackend::Calendar, faulted, shards);
+    let ctl = ControlLoop::builder()
+        .policy(UniformThrottle::new(noise_app_ids(&s), 5.0e6).expect("valid policy"))
+        .window(WindowConfig::millis(100))
+        .build()
+        .expect("uniform loop builds");
+    s.run_with(|cl| cl.install_controller(Box::new(ctl)))
+        .expect("controlled run completes")
+}
+
+/// The controlled leg of the shard sweep: directives, admission caps,
+/// and the epoch mini-tick schedule must leave every observable — the
+/// applied directive sequence included — bit-identical to the
+/// sequential controlled run, at every shard count and pool size.
+#[test]
+fn sharded_controlled_replay_is_byte_identical() {
+    if skip_parsim() {
+        return;
+    }
+    for faulted in [false, true] {
+        let sequential = sharded_controlled_run(faulted, 1);
+        let ctx = format!("controlled sequential (faulted={faulted})");
+        assert!(
+            !sequential.1.directives.is_empty(),
+            "{ctx}: controller must actually act or this proves nothing"
+        );
+        for shards in SHARDS {
+            let golden = sharded_controlled_run(faulted, shards);
+            assert_eq!(sequential.0, golden.0, "app id diverged");
+            assert_traces_equivalent(
+                &sequential.1,
+                &golden.1,
+                &format!("controlled {shards} shards vs sequential (faulted={faulted})"),
+            );
+            for threads in THREADS {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("explicit thread counts always build");
+                let got = pool.install(|| sharded_controlled_run(faulted, shards));
+                assert_eq!(golden.0, got.0, "app id diverged");
+                assert_traces_identical(
+                    &golden.1,
+                    &got.1,
+                    &format!("controlled {shards} shards @ {threads} threads (faulted={faulted})"),
+                );
+            }
+        }
     }
 }
 
